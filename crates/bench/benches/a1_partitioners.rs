@@ -1,0 +1,37 @@
+//! A1: partitioning algorithm runtime — the paper's core argument for the
+//! greedy heuristic is that it is fast enough for *dynamic* partitioning.
+
+use binpart_partition::{gclp, greedy_90_10, knapsack_optimal, simulated_annealing, Item};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn items(n: usize) -> Vec<Item> {
+    (0..n)
+        .map(|i| Item {
+            sw_cycles: 1000 + (i as u64 * 7919) % 100_000,
+            hw_cycles: 100 + (i as u64 * 104729) % 5_000,
+            area: 1000 + (i as u64 * 31) % 30_000,
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("a1_partitioners");
+    let set = items(64);
+    let budget = 300_000;
+    group.bench_function("greedy_90_10", |b| {
+        b.iter(|| greedy_90_10(std::hint::black_box(&set), budget))
+    });
+    group.bench_function("knapsack_optimal", |b| {
+        b.iter(|| knapsack_optimal(std::hint::black_box(&set), budget, 256))
+    });
+    group.bench_function("gclp", |b| {
+        b.iter(|| gclp(std::hint::black_box(&set), budget))
+    });
+    group.bench_function("simulated_annealing", |b| {
+        b.iter(|| simulated_annealing(std::hint::black_box(&set), budget, 42, 10_000))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! E2 (Table 2): platform sweep evaluation cost per processor clock.
+
+use binpart_bench::run_one;
+use binpart_minicc::OptLevel;
+use binpart_workloads::suite;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_sweep");
+    group.sample_size(10);
+    let b = suite().into_iter().find(|b| b.name == "aifirf01").unwrap();
+    for hz in [40e6, 200e6, 400e6] {
+        group.bench_function(format!("{}MHz", hz / 1e6), |bench| {
+            bench.iter(|| run_one(std::hint::black_box(&b), OptLevel::O1, hz, false))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

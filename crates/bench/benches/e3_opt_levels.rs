@@ -1,0 +1,21 @@
+//! E3 (Table 3): flow cost per compiler optimization level.
+
+use binpart_bench::run_one;
+use binpart_minicc::OptLevel;
+use binpart_workloads::opt_level_subset;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_levels");
+    group.sample_size(10);
+    let b = &opt_level_subset()[0];
+    for level in OptLevel::ALL {
+        group.bench_function(level.flag(), |bench| {
+            bench.iter(|| run_one(std::hint::black_box(b), level, 200e6, true))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! E4: decompilation cost per stage (lift only vs full pass pipeline).
+
+use binpart_core::{decompile, DecompileOptions};
+use binpart_minicc::OptLevel;
+use binpart_workloads::suite;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_decompile");
+    group.sample_size(20);
+    let b = suite().into_iter().find(|b| b.name == "jpegdct").unwrap();
+    let binary = b.compile(OptLevel::O1).unwrap();
+    group.bench_function("lift_only", |bench| {
+        bench.iter(|| {
+            decompile(
+                std::hint::black_box(&binary),
+                DecompileOptions {
+                    optimize: false,
+                    ..Default::default()
+                },
+            )
+            .unwrap()
+            .stats
+        })
+    });
+    group.bench_function("full_pipeline", |bench| {
+        bench.iter(|| {
+            decompile(std::hint::black_box(&binary), DecompileOptions::default())
+                .unwrap()
+                .stats
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,310 @@
+//! Experiment runners that regenerate every table and figure of the DATE'05
+//! evaluation (see DESIGN.md section 4 for the experiment index).
+//!
+//! The same runners back the `tables` binary (human-readable paper-vs-
+//! measured output) and the Criterion benches (wall-clock cost of the flow
+//! itself — relevant because the paper motivates the fast greedy
+//! partitioner with dynamic-synthesis use).
+
+use binpart_core::flow::{Flow, FlowOptions};
+use binpart_core::{DecompileError, DecompileOptions, FlowError};
+use binpart_minicc::OptLevel;
+use binpart_platform::{geomean, Platform};
+use binpart_workloads::{suite, Benchmark};
+
+/// One benchmark's row of Table 1 (experiment E1).
+#[derive(Debug, Clone)]
+pub struct E1Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Suite label.
+    pub suite: &'static str,
+    /// `None` when CDFG recovery failed (the paper's 2-of-20).
+    pub result: Option<E1Numbers>,
+}
+
+/// Numbers for a successfully partitioned benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct E1Numbers {
+    /// Application speedup.
+    pub app_speedup: f64,
+    /// Mean kernel speedup.
+    pub kernel_speedup: f64,
+    /// Energy savings fraction.
+    pub energy_savings: f64,
+    /// Area in gate equivalents.
+    pub area_gates: u64,
+    /// Fraction of cycles moved to hardware.
+    pub coverage: f64,
+}
+
+/// E1: the 20-benchmark table at `-O1`, 200 MHz.
+pub fn run_e1(clock_hz: f64, recover_jump_tables: bool) -> Vec<E1Row> {
+    let mut rows = Vec::new();
+    for b in suite() {
+        rows.push(run_one(&b, OptLevel::O1, clock_hz, recover_jump_tables));
+    }
+    rows
+}
+
+/// Runs one benchmark through the whole flow.
+pub fn run_one(
+    b: &Benchmark,
+    level: OptLevel,
+    clock_hz: f64,
+    recover_jump_tables: bool,
+) -> E1Row {
+    let binary = b.compile(level).expect("suite compiles");
+    let mut options = FlowOptions::default();
+    options.platform = Platform::mips_virtex2(clock_hz);
+    options.decompile = DecompileOptions {
+        recover_jump_tables,
+        ..Default::default()
+    };
+    let flow = Flow::new(options);
+    match flow.run(&binary) {
+        Ok(report) => E1Row {
+            name: b.name.to_string(),
+            suite: b.suite.label(),
+            result: Some(E1Numbers {
+                app_speedup: report.hybrid.app_speedup,
+                kernel_speedup: report.hybrid.mean_kernel_speedup(),
+                energy_savings: report.hybrid.energy_savings,
+                area_gates: report.hybrid.total_area_gates,
+                coverage: report.partition.coverage(),
+            }),
+        },
+        Err(FlowError::Decompile(DecompileError::IndirectJump { .. })) => E1Row {
+            name: b.name.to_string(),
+            suite: b.suite.label(),
+            result: None,
+        },
+        Err(e) => panic!("{}: unexpected flow error: {e}", b.name),
+    }
+}
+
+/// Summary statistics over E1 rows.
+#[derive(Debug, Clone, Copy)]
+pub struct E1Summary {
+    /// Successfully recovered benchmarks.
+    pub recovered: usize,
+    /// Failures (indirect jumps).
+    pub failed: usize,
+    /// Mean application speedup.
+    pub mean_speedup: f64,
+    /// Mean kernel speedup.
+    pub mean_kernel_speedup: f64,
+    /// Mean energy savings.
+    pub mean_savings: f64,
+    /// Mean area (gate equivalents).
+    pub mean_area: u64,
+}
+
+/// Averages an E1 table.
+pub fn summarize_e1(rows: &[E1Row]) -> E1Summary {
+    let ok: Vec<&E1Numbers> = rows.iter().filter_map(|r| r.result.as_ref()).collect();
+    let n = ok.len().max(1) as f64;
+    E1Summary {
+        recovered: ok.len(),
+        failed: rows.len() - ok.len(),
+        mean_speedup: geomean(ok.iter().map(|r| r.app_speedup)),
+        mean_kernel_speedup: geomean(ok.iter().map(|r| r.kernel_speedup)),
+        mean_savings: ok.iter().map(|r| r.energy_savings).sum::<f64>() / n,
+        mean_area: (ok.iter().map(|r| r.area_gates).sum::<u64>() as f64 / n) as u64,
+    }
+}
+
+/// E2: the platform sweep row for one clock.
+pub fn run_e2(clock_hz: f64) -> E1Summary {
+    summarize_e1(&run_e1(clock_hz, false))
+}
+
+/// One row of E3 (optimization-level study).
+#[derive(Debug, Clone)]
+pub struct E3Row {
+    /// Benchmark name.
+    pub name: String,
+    /// Optimization level.
+    pub level: OptLevel,
+    /// Software time (ms at the platform clock).
+    pub sw_time_ms: f64,
+    /// Hybrid time (ms).
+    pub hybrid_time_ms: f64,
+    /// Speedup.
+    pub speedup: f64,
+    /// Energy savings.
+    pub savings: f64,
+}
+
+/// E3: 4 benchmarks x 4 levels at 200 MHz (jump-table recovery on, so every
+/// cell completes).
+pub fn run_e3() -> Vec<E3Row> {
+    let mut rows = Vec::new();
+    for b in binpart_workloads::opt_level_subset() {
+        for level in OptLevel::ALL {
+            let binary = b.compile(level).expect("compiles");
+            let mut options = FlowOptions::default();
+            options.decompile.recover_jump_tables = true;
+            let report = Flow::new(options).run(&binary).expect("flow");
+            rows.push(E3Row {
+                name: b.name.to_string(),
+                level,
+                sw_time_ms: report.hybrid.sw_time_s * 1e3,
+                hybrid_time_ms: report.hybrid.hybrid_time_s * 1e3,
+                speedup: report.hybrid.app_speedup,
+                savings: report.hybrid.energy_savings,
+            });
+        }
+    }
+    rows
+}
+
+/// E4: aggregate decompilation statistics over the suite at `-O1` (plus the
+/// targeted -O2/-O3 passes).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct E4Totals {
+    /// Benchmarks recovered / failed.
+    pub recovered: usize,
+    /// CDFG failures.
+    pub failed: usize,
+    /// Loops recovered.
+    pub loops: usize,
+    /// Conditionals recovered.
+    pub ifs: usize,
+    /// Unstructured regions (should be ~0).
+    pub unstructured: usize,
+    /// Stack slots promoted (from -O0 binaries).
+    pub stack_slots: usize,
+    /// Multiplications promoted (from -O2 binaries).
+    pub muls_promoted: usize,
+    /// Loops rerolled (from -O3 binaries).
+    pub rerolled: usize,
+    /// Values narrowed below 32 bits.
+    pub narrowed: usize,
+}
+
+/// Runs E4.
+pub fn run_e4() -> E4Totals {
+    let mut t = E4Totals::default();
+    for b in suite() {
+        // structure + widths from the -O1 binary
+        let binary = b.compile(OptLevel::O1).expect("compiles");
+        match binpart_core::decompile(&binary, DecompileOptions::default()) {
+            Ok(prog) => {
+                t.recovered += 1;
+                t.loops += prog.stats.structure.loops();
+                t.ifs += prog.stats.structure.ifs + prog.stats.structure.if_elses;
+                t.unstructured += prog.stats.structure.unstructured;
+                t.narrowed += prog.stats.passes.values_narrowed;
+            }
+            Err(_) => t.failed += 1,
+        }
+        // stack ops from -O0
+        let b0 = b.compile(OptLevel::O0).expect("compiles");
+        if let Ok(prog) = binpart_core::decompile(&b0, DecompileOptions::default()) {
+            t.stack_slots += prog.stats.passes.stack_slots_promoted;
+        }
+        // strength promotion from -O2, rerolling from -O3 (with recovery so
+        // jump-table benchmarks still decompile)
+        let opts = DecompileOptions {
+            recover_jump_tables: true,
+            ..Default::default()
+        };
+        if let Ok(prog) = binpart_core::decompile(&b.compile(OptLevel::O2).unwrap(), opts) {
+            t.muls_promoted += prog.stats.passes.muls_promoted;
+        }
+        if let Ok(prog) = binpart_core::decompile(&b.compile(OptLevel::O3).unwrap(), opts) {
+            t.rerolled += prog.stats.passes.loops_rerolled;
+        }
+    }
+    t
+}
+
+/// A1: partitioner-quality comparison on abstract candidates harvested from
+/// the real flow.
+#[derive(Debug, Clone)]
+pub struct A1Result {
+    /// (algorithm, total gain, solve time in microseconds).
+    pub rows: Vec<(&'static str, u64, u128)>,
+}
+
+/// Runs the A1 ablation over the whole suite's kernel candidates.
+pub fn run_a1(area_budget: u64) -> A1Result {
+    use binpart_partition as bp;
+    // Harvest candidates from every recovered benchmark.
+    let mut items = Vec::new();
+    for b in suite() {
+        let binary = b.compile(OptLevel::O1).expect("compiles");
+        let mut options = FlowOptions::default();
+        options.decompile.recover_jump_tables = true;
+        if let Ok(report) = Flow::new(options).run(&binary) {
+            for k in &report.partition.kernels {
+                let hw_cpu_cycles = (k.synth.timing.hw_cycles as f64
+                    * (200e6 / (k.synth.timing.clock_mhz * 1e6)))
+                    as u64;
+                items.push(bp::Item {
+                    sw_cycles: k.sw_cycles,
+                    hw_cycles: hw_cpu_cycles,
+                    area: k.synth.area.gate_equivalents,
+                });
+            }
+        }
+    }
+    let timed = |f: &dyn Fn() -> bp::Selection| {
+        let t0 = std::time::Instant::now();
+        let sel = f();
+        (sel.gain, t0.elapsed().as_micros())
+    };
+    let g = timed(&|| bp::greedy_90_10(&items, area_budget));
+    let k = timed(&|| bp::knapsack_optimal(&items, area_budget, 256));
+    let c = timed(&|| bp::gclp(&items, area_budget));
+    let s = timed(&|| bp::simulated_annealing(&items, area_budget, 12345, 50_000));
+    A1Result {
+        rows: vec![
+            ("greedy-90-10 (paper)", g.0, g.1),
+            ("knapsack optimal", k.0, k.1),
+            ("GCLP (Kalavade-Lee)", c.0, c.1),
+            ("simulated annealing", s.0, s.1),
+        ],
+    }
+}
+
+/// A2: decompiler-optimization ablation — speedup with passes on vs off.
+pub fn run_a2() -> Vec<(String, f64, f64)> {
+    let mut rows = Vec::new();
+    for b in suite().into_iter().take(6) {
+        let binary = b.compile(OptLevel::O1).expect("compiles");
+        let run = |optimize: bool| -> f64 {
+            let mut options = FlowOptions::default();
+            options.decompile = DecompileOptions {
+                recover_jump_tables: true,
+                optimize,
+            };
+            match Flow::new(options).run(&binary) {
+                Ok(r) => r.hybrid.app_speedup,
+                Err(_) => 1.0,
+            }
+        };
+        rows.push((b.name.to_string(), run(true), run(false)));
+    }
+    rows
+}
+
+/// A3: alias-step (block RAM) ablation.
+pub fn run_a3() -> Vec<(String, f64, f64)> {
+    let mut rows = Vec::new();
+    for b in suite().into_iter().take(6) {
+        let binary = b.compile(OptLevel::O1).expect("compiles");
+        let run = |alias: bool| -> f64 {
+            let mut options = FlowOptions::default();
+            options.decompile.recover_jump_tables = true;
+            options.partition.alias_step = alias;
+            match Flow::new(options).run(&binary) {
+                Ok(r) => r.hybrid.app_speedup,
+                Err(_) => 1.0,
+            }
+        };
+        rows.push((b.name.to_string(), run(true), run(false)));
+    }
+    rows
+}

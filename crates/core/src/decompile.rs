@@ -1,0 +1,351 @@
+//! The full decompilation pipeline: lift → stack-operation removal → SSA →
+//! constant propagation → strength promotion → loop rerolling → size
+//! reduction → control structure recovery.
+
+use crate::lift::{self, DecompileError, DecompileOptions};
+use crate::opts::{self, PassStats};
+use binpart_cdfg::ir::{Function, Op, Operand, VReg};
+use binpart_cdfg::structure::{self, StructureStats};
+use binpart_cdfg::{cfg, ssa};
+use binpart_mips::sim::Profile;
+use binpart_mips::{Binary, Reg};
+
+/// Aggregated decompilation statistics (experiment E4).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecompileStats {
+    /// Functions recovered.
+    pub functions: usize,
+    /// Basic blocks recovered.
+    pub blocks: usize,
+    /// Optimization pass counters.
+    pub passes: PassStats,
+    /// Control constructs recovered (summed over functions).
+    pub structure: StructureStats,
+}
+
+/// A fully decompiled program: optimized SSA CDFGs plus statistics.
+#[derive(Debug, Clone)]
+pub struct DecompiledProgram {
+    /// Functions; index 0 is the binary entry.
+    pub functions: Vec<Function>,
+    /// Entry addresses parallel to `functions`.
+    pub entries: Vec<u32>,
+    /// Statistics.
+    pub stats: DecompileStats,
+}
+
+impl DecompiledProgram {
+    /// The entry function.
+    pub fn entry_function(&self) -> &Function {
+        &self.functions[0]
+    }
+}
+
+/// Decompiles `binary` into optimized SSA CDFGs.
+///
+/// # Errors
+///
+/// Returns [`DecompileError`] when CDFG recovery fails (undecodable words,
+/// indirect jumps without recovery enabled, or flow leaving the text
+/// section).
+pub fn decompile(
+    binary: &Binary,
+    options: DecompileOptions,
+) -> Result<DecompiledProgram, DecompileError> {
+    let lifted = lift::lift_program(binary, options)?;
+    let mut stats = DecompileStats::default();
+    let mut functions = Vec::new();
+    for mut f in lifted.functions {
+        if options.optimize {
+            opts::stack_op_removal(&mut f, &mut stats.passes);
+        }
+        let info = ssa::construct(&mut f);
+        // Calling-convention recovery: live-in argument registers become
+        // parameters (in ABI order).
+        let mut params: Vec<(u8, VReg)> = info
+            .live_ins
+            .iter()
+            .filter_map(|(orig, name)| {
+                let n = orig.0;
+                if (Reg::A0.number() as u32..=Reg::A3.number() as u32).contains(&n) {
+                    Some((n as u8, *name))
+                } else {
+                    None
+                }
+            })
+            .collect();
+        params.sort();
+        f.params = params.into_iter().map(|(_, v)| v).collect();
+        if options.optimize {
+            opts::const_copy_prop(&mut f, &mut stats.passes);
+            opts::strength_promotion(&mut f, &mut stats.passes);
+            opts::loop_reroll(&mut f, &mut stats.passes);
+            opts::const_copy_prop(&mut f, &mut stats.passes);
+            opts::size_reduction(&mut f, &mut stats.passes);
+        }
+        cfg::remove_unreachable(&mut f);
+        stats.functions += 1;
+        stats.blocks += f.blocks.len();
+        let st = structure::recover(&f).stats();
+        stats.structure.blocks += st.blocks;
+        stats.structure.ifs += st.ifs;
+        stats.structure.if_elses += st.if_elses;
+        stats.structure.whiles += st.whiles;
+        stats.structure.do_whiles += st.do_whiles;
+        stats.structure.self_loops += st.self_loops;
+        stats.structure.switches += st.switches;
+        stats.structure.unstructured += st.unstructured;
+        functions.push(f);
+    }
+    // Refine call arities now that parameters are known.
+    let arities: Vec<(u32, usize)> = lifted
+        .entries
+        .iter()
+        .zip(&functions)
+        .map(|(&e, f)| (e, f.params.len()))
+        .collect();
+    for f in &mut functions {
+        for b in f.block_ids().collect::<Vec<_>>() {
+            for inst in &mut f.block_mut(b).ops {
+                if let Op::Call { target, args, .. } = &mut inst.op {
+                    if let Some((_, n)) = arities.iter().find(|(e, _)| e == target) {
+                        args.truncate(*n);
+                    }
+                }
+            }
+        }
+    }
+    Ok(DecompiledProgram {
+        functions,
+        entries: lifted.entries,
+        stats,
+    })
+}
+
+/// Attaches dynamic execution counts from `profile` onto every block.
+///
+/// A block's count is the maximum count over the addresses of its lifted
+/// operations (robust against blocks merged or split by optimization).
+pub fn attach_profile(prog: &mut DecompiledProgram, profile: &Profile) {
+    for f in &mut prog.functions {
+        for b in f.block_ids().collect::<Vec<_>>() {
+            let mut count = f
+                .block(b)
+                .start_pc
+                .map(|pc| profile.count_at(pc))
+                .unwrap_or(0);
+            for inst in &f.block(b).ops {
+                if let Some(pc) = inst.pc {
+                    count = count.max(profile.count_at(pc));
+                }
+            }
+            f.block_mut(b).profile_count = count;
+        }
+    }
+}
+
+/// Profiled software cycles attributed to a set of blocks (by decoding the
+/// original instructions at the blocks' addresses).
+pub fn sw_cycles_of_blocks(
+    f: &Function,
+    blocks: &[binpart_cdfg::ir::BlockId],
+    binary: &Binary,
+    profile: &Profile,
+    cycles: &binpart_mips::CycleModel,
+) -> u64 {
+    // Decompiler passes delete ops (stack loads, moves) whose machine
+    // instructions still cost software cycles, so account by pc *range*:
+    // the code generator lays a loop nest out contiguously.
+    let mut min_pc = u32::MAX;
+    let mut max_pc = 0u32;
+    for &b in blocks {
+        if let Some(pc) = f.block(b).start_pc {
+            min_pc = min_pc.min(pc);
+            max_pc = max_pc.max(pc);
+        }
+        for inst in &f.block(b).ops {
+            if let Some(pc) = inst.pc {
+                min_pc = min_pc.min(pc);
+                max_pc = max_pc.max(pc);
+            }
+        }
+    }
+    if min_pc > max_pc {
+        return 0;
+    }
+    let mut total = 0u64;
+    let mut pc = min_pc;
+    while pc <= max_pc {
+        let idx = pc.wrapping_sub(binary.text_base) / 4;
+        if let Some(&word) = binary.text.get(idx as usize) {
+            if let Ok(instr) = binpart_mips::decode(word) {
+                total += profile.count_at(pc) * cycles.cycles_for(instr) as u64;
+            }
+        }
+        pc += 4;
+    }
+    total
+}
+
+/// Convenience: does any op in these blocks call another function?
+pub fn blocks_contain_call(f: &Function, blocks: &[binpart_cdfg::ir::BlockId]) -> bool {
+    blocks.iter().any(|&b| {
+        f.block(b)
+            .ops
+            .iter()
+            .any(|i| matches!(i.op, Op::Call { .. }))
+    })
+}
+
+/// Convenience: the return value operand of the entry function, if constant.
+pub fn entry_returns_const(prog: &DecompiledProgram) -> Option<i64> {
+    let f = prog.entry_function();
+    for b in f.block_ids() {
+        if let binpart_cdfg::ir::Terminator::Return {
+            value: Some(Operand::Const(c)),
+        } = f.block(b).term
+        {
+            return Some(c);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use binpart_minicc::{compile, OptLevel};
+
+    fn decompile_src(src: &str, level: OptLevel) -> DecompiledProgram {
+        let binary = compile(src, level).expect("compiles");
+        decompile(&binary, DecompileOptions::default()).expect("decompiles")
+    }
+
+    #[test]
+    fn decompiles_o0_binary_and_removes_stack_ops() {
+        let src = "int main(void) { int i; int s = 0; for (i = 0; i < 10; i++) s += i; return s; }";
+        let prog = decompile_src(src, OptLevel::O0);
+        assert_eq!(prog.functions.len(), 1);
+        assert!(
+            prog.stats.passes.stack_slots_promoted >= 2,
+            "expected spill slots promoted: {:?}",
+            prog.stats.passes
+        );
+        assert!(prog.stats.passes.stack_ops_removed > 4);
+        // The loop must survive as a recovered construct.
+        assert!(prog.stats.structure.loops() >= 1);
+    }
+
+    #[test]
+    fn recovers_loops_across_opt_levels() {
+        let src = "int a[16];
+            int main(void) { int i; int s = 0;
+              for (i = 0; i < 16; i++) a[i] = i;
+              for (i = 0; i < 16; i++) s += a[i];
+              return s; }";
+        for level in OptLevel::ALL {
+            let prog = decompile_src(src, level);
+            assert!(
+                prog.stats.structure.loops() >= 2,
+                "at {level}: {:?}",
+                prog.stats.structure
+            );
+            assert_eq!(prog.stats.structure.unstructured, 0, "at {level}");
+        }
+    }
+
+    #[test]
+    fn strength_promotion_fires_on_o2_binaries() {
+        // x*10 is strength-reduced by the compiler at -O2; the decompiler
+        // must promote it back to a multiply.
+        let src = "int g;
+            int main(void) { int i; int s = 0;
+              for (i = 0; i < 64; i++) s += i * 10;
+              g = s; return s; }";
+        let prog = decompile_src(src, OptLevel::O2);
+        assert!(
+            prog.stats.passes.muls_promoted >= 1,
+            "{:?}",
+            prog.stats.passes
+        );
+    }
+
+    #[test]
+    fn reroll_fires_on_o3_binaries() {
+        let src = "int a[16]; int b[16];
+            int main(void) { int i;
+              for (i = 0; i < 16; i++) b[i] = a[i] + 3;
+              return b[5]; }";
+        let prog = decompile_src(src, OptLevel::O3);
+        assert!(
+            prog.stats.passes.loops_rerolled >= 1,
+            "expected the unrolled loop to reroll: {:?}",
+            prog.stats.passes
+        );
+    }
+
+    #[test]
+    fn jump_table_fails_then_recovers_with_option() {
+        let src = "int main(void) { int i; int acc = 0;
+            for (i = 0; i < 6; i++) {
+              switch (i) {
+                case 0: acc += 1; break;
+                case 1: acc += 2; break;
+                case 2: acc += 4; break;
+                case 3: acc += 8; break;
+                case 4: acc += 16; break;
+                case 5: acc += 32; break;
+              }
+            }
+            return acc; }";
+        let binary = compile(src, OptLevel::O2).unwrap();
+        let plain = decompile(&binary, DecompileOptions::default());
+        assert!(
+            matches!(plain, Err(DecompileError::IndirectJump { .. })),
+            "jump table must defeat plain CDFG recovery: {plain:?}"
+        );
+        let recovered = decompile(
+            &binary,
+            DecompileOptions {
+                recover_jump_tables: true,
+                ..Default::default()
+            },
+        )
+        .expect("recovery succeeds");
+        assert!(recovered.stats.structure.switches >= 1);
+    }
+
+    #[test]
+    fn profile_attaches_to_hot_blocks() {
+        let src = "int main(void) { int i; int s = 0; for (i = 0; i < 500; i++) s += i; return s; }";
+        let binary = compile(src, OptLevel::O1).unwrap();
+        let mut m = binpart_mips::sim::Machine::new(&binary).unwrap();
+        let exit = m.run().unwrap();
+        let mut prog = decompile(&binary, DecompileOptions::default()).unwrap();
+        attach_profile(&mut prog, &exit.profile);
+        let max = prog.functions[0]
+            .blocks
+            .iter()
+            .map(|b| b.profile_count)
+            .max()
+            .unwrap();
+        assert!(max >= 500, "hottest block count {max}");
+    }
+
+    #[test]
+    fn size_reduction_narrows_loop_counters() {
+        let src = "int main(void) { int i; int s = 0; for (i = 0; i < 100; i++) s += 3; return s; }";
+        let prog = decompile_src(src, OptLevel::O1);
+        assert!(prog.stats.passes.values_narrowed > 0);
+    }
+
+    #[test]
+    fn multi_function_program_recovers_params() {
+        let src = "int add3(int a, int b, int c) { return a + b + c; }
+            int main(void) { return add3(1, 2, 3); }";
+        let prog = decompile_src(src, OptLevel::O1);
+        assert_eq!(prog.functions.len(), 2);
+        let callee = &prog.functions[1];
+        assert_eq!(callee.params.len(), 3, "{callee}");
+    }
+}

@@ -1,0 +1,322 @@
+//! The end-to-end flow: run the binary for a profile, decompile it,
+//! partition it, synthesize the kernels, and evaluate the hybrid platform.
+
+use crate::decompile::{self, DecompiledProgram};
+use crate::lift::{DecompileError, DecompileOptions};
+use crate::partition::{partition_90_10, Partition, PartitionOptions};
+use binpart_mips::sim::{Machine, SimConfig, SimError};
+use binpart_mips::Binary;
+use binpart_platform::{HardwareKernel, HybridReport, Platform};
+use binpart_synth::{ResourceBudget, TechLibrary};
+use std::fmt;
+
+/// Everything the flow needs to run.
+#[derive(Debug, Clone)]
+pub struct FlowOptions {
+    /// Target platform (CPU clock, FPGA, power).
+    pub platform: Platform,
+    /// Decompiler options.
+    pub decompile: DecompileOptions,
+    /// Partitioner options.
+    pub partition: PartitionOptions,
+    /// Synthesis resource budget.
+    pub budget: ResourceBudget,
+    /// Technology library.
+    pub library: TechLibrary,
+    /// Simulator configuration (step limit, cycle model).
+    pub sim: SimConfig,
+}
+
+impl Default for FlowOptions {
+    fn default() -> Self {
+        FlowOptions {
+            platform: Platform::mips_virtex2(200e6),
+            decompile: DecompileOptions::default(),
+            partition: PartitionOptions::default(),
+            budget: ResourceBudget::default(),
+            library: TechLibrary::virtex2(),
+            sim: SimConfig::default(),
+        }
+    }
+}
+
+/// Flow failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// The software run failed.
+    Sim(SimError),
+    /// CDFG recovery failed (the paper's 2-of-20 case).
+    Decompile(DecompileError),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Sim(e) => write!(f, "simulation failed: {e}"),
+            FlowError::Decompile(e) => write!(f, "decompilation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for FlowError {}
+
+impl From<SimError> for FlowError {
+    fn from(e: SimError) -> Self {
+        FlowError::Sim(e)
+    }
+}
+
+impl From<DecompileError> for FlowError {
+    fn from(e: DecompileError) -> Self {
+        FlowError::Decompile(e)
+    }
+}
+
+/// The flow's complete result for one binary.
+#[derive(Debug, Clone)]
+pub struct FlowReport {
+    /// Profiled all-software cycles.
+    pub sw_cycles: u64,
+    /// Value in `$v0` when the software run exited.
+    pub sw_exit_value: u32,
+    /// Hybrid execution-time/energy evaluation.
+    pub hybrid: HybridReport,
+    /// Decompilation statistics (E4).
+    pub stats: crate::decompile::DecompileStats,
+    /// The partition (kernels, areas, decision log).
+    pub partition: Partition,
+    /// The decompiled program (CDFGs with profile attached).
+    pub program: DecompiledProgram,
+}
+
+impl FlowReport {
+    /// Concatenated VHDL of all selected kernels.
+    pub fn vhdl(&self) -> String {
+        self.partition
+            .kernels
+            .iter()
+            .map(|k| k.synth.vhdl.as_str())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// The decompilation-based partitioning flow.
+///
+/// # Example
+///
+/// ```
+/// use binpart_core::flow::{Flow, FlowOptions};
+/// use binpart_minicc::{compile, OptLevel};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let binary = compile(
+///     "int a[64];
+///      int main(void) { int i; int s = 0;
+///        for (i = 0; i < 64; i++) a[i] = i * 3;
+///        for (i = 0; i < 64; i++) s += a[i];
+///        return s; }",
+///     OptLevel::O1,
+/// )?;
+/// let flow = Flow::new(FlowOptions::default());
+/// let report = flow.run(&binary)?;
+/// assert!(report.hybrid.app_speedup >= 1.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Flow {
+    /// Options.
+    pub options: FlowOptions,
+}
+
+impl Flow {
+    /// Creates a flow with the given options.
+    pub fn new(options: FlowOptions) -> Flow {
+        Flow { options }
+    }
+
+    /// Runs the complete flow on `binary`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError`] if the software run or CDFG recovery fails.
+    pub fn run(&self, binary: &Binary) -> Result<FlowReport, FlowError> {
+        // 1. Software run: cycles + profile.
+        let mut machine = Machine::with_config(binary, self.options.sim)?;
+        let exit = machine.run()?;
+        let sw_cycles = exit.cycles;
+
+        // 2. Decompile and attach the profile.
+        let mut program = decompile::decompile(binary, self.options.decompile)?;
+        decompile::attach_profile(&mut program, &exit.profile);
+
+        // 3. Partition.
+        let mut popts = self.options.partition.clone();
+        popts.cpu_clock_hz = self.options.platform.cpu.clock_hz;
+        let partition = partition_90_10(
+            &program,
+            binary,
+            &exit.profile,
+            &self.options.sim.cycles,
+            sw_cycles,
+            &popts,
+            &self.options.budget,
+            &self.options.library,
+        );
+
+        // 4. Evaluate on the platform.
+        let kernels: Vec<HardwareKernel> = partition
+            .kernels
+            .iter()
+            .map(|k| HardwareKernel {
+                name: k.name.clone(),
+                invocations: k.invocations,
+                hw_cycles: k.synth.timing.hw_cycles,
+                clock_hz: k.synth.timing.clock_mhz * 1e6,
+                sw_cycles_replaced: k.sw_cycles,
+                area_gates: k.synth.area.gate_equivalents,
+            })
+            .collect();
+        let hybrid = self.options.platform.hybrid(sw_cycles, &kernels);
+        let stats = program.stats;
+        Ok(FlowReport {
+            sw_cycles,
+            sw_exit_value: exit.reg(binpart_mips::Reg::V0),
+            hybrid,
+            stats,
+            partition,
+            program,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use binpart_minicc::{compile, OptLevel};
+
+    fn kernel_program() -> &'static str {
+        "int a[256]; int coef[16];
+         int main(void) {
+           int i; int j; int acc; int out = 0;
+           for (i = 0; i < 256; i++) a[i] = i & 0xff;
+           for (i = 0; i < 16; i++) coef[i] = i + 1;
+           for (j = 0; j < 200; j++) {
+             acc = 0;
+             for (i = 0; i < 16; i++) acc += a[j + i] * coef[i];
+             out += acc >> 6;
+           }
+           return out;
+         }"
+    }
+
+    #[test]
+    fn flow_accelerates_fir_like_kernel() {
+        let binary = compile(kernel_program(), OptLevel::O1).unwrap();
+        let flow = Flow::new(FlowOptions::default());
+        let report = flow.run(&binary).unwrap();
+        assert!(
+            report.hybrid.app_speedup > 1.5,
+            "speedup {} (partition: {:?})",
+            report.hybrid.app_speedup,
+            report.partition.log
+        );
+        assert!(!report.partition.kernels.is_empty());
+        assert!(report.partition.coverage() > 0.5);
+        assert!(report.hybrid.total_area_gates > 0);
+        assert!(report.vhdl().contains("entity"));
+    }
+
+    #[test]
+    fn best_kernel_speedup_bounds_app_speedup() {
+        let binary = compile(kernel_program(), OptLevel::O1).unwrap();
+        let report = Flow::new(FlowOptions::default()).run(&binary).unwrap();
+        let best = report
+            .hybrid
+            .kernels
+            .iter()
+            .map(|k| k.kernel_speedup)
+            .fold(0.0f64, f64::max);
+        assert!(
+            best * 1.05 >= report.hybrid.app_speedup,
+            "best kernel {best} vs app {}",
+            report.hybrid.app_speedup
+        );
+    }
+
+    #[test]
+    fn energy_savings_positive_for_hot_kernels() {
+        let binary = compile(kernel_program(), OptLevel::O1).unwrap();
+        let report = Flow::new(FlowOptions::default()).run(&binary).unwrap();
+        assert!(
+            report.hybrid.energy_savings > 0.2,
+            "savings {}",
+            report.hybrid.energy_savings
+        );
+    }
+
+    #[test]
+    fn tiny_area_budget_prevents_selection() {
+        let binary = compile(kernel_program(), OptLevel::O1).unwrap();
+        let mut options = FlowOptions::default();
+        options.partition.area_budget_gates = 10;
+        let report = Flow::new(options).run(&binary).unwrap();
+        assert!(report.partition.kernels.is_empty());
+        assert!((report.hybrid.app_speedup - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn indirect_jump_binary_reports_cdfg_failure() {
+        let src = "int main(void) { int i; int acc = 0;
+            for (i = 0; i < 6; i++) {
+              switch (i) {
+                case 0: acc += 1; break;
+                case 1: acc += 2; break;
+                case 2: acc += 4; break;
+                case 3: acc += 8; break;
+                case 4: acc += 16; break;
+                case 5: acc += 32; break;
+              }
+            }
+            return acc; }";
+        let binary = compile(src, OptLevel::O2).unwrap();
+        let err = Flow::new(FlowOptions::default()).run(&binary).unwrap_err();
+        assert!(matches!(
+            err,
+            FlowError::Decompile(DecompileError::IndirectJump { .. })
+        ));
+    }
+
+    #[test]
+    fn flow_works_across_opt_levels() {
+        for level in OptLevel::ALL {
+            let binary = compile(kernel_program(), level).unwrap();
+            let report = Flow::new(FlowOptions::default())
+                .run(&binary)
+                .unwrap_or_else(|e| panic!("flow failed at {level}: {e}"));
+            assert!(
+                report.hybrid.app_speedup > 1.0,
+                "at {level}: speedup {}",
+                report.hybrid.app_speedup
+            );
+        }
+    }
+
+    #[test]
+    fn slower_cpu_larger_speedup() {
+        let binary = compile(kernel_program(), OptLevel::O1).unwrap();
+        let run_at = |hz: f64| {
+            let mut o = FlowOptions::default();
+            o.platform = Platform::mips_virtex2(hz);
+            Flow::new(o).run(&binary).unwrap().hybrid
+        };
+        let r40 = run_at(40e6);
+        let r200 = run_at(200e6);
+        let r400 = run_at(400e6);
+        assert!(r40.app_speedup > r200.app_speedup);
+        assert!(r200.app_speedup > r400.app_speedup);
+        assert!(r40.energy_savings >= r200.energy_savings);
+        assert!(r200.energy_savings >= r400.energy_savings);
+    }
+}

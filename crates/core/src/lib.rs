@@ -1,0 +1,33 @@
+//! Decompilation-based hardware/software partitioning — the primary
+//! contribution of Stitt & Vahid's DATE'05 paper, reimplemented as a
+//! library.
+//!
+//! Given a MIPS software [`binpart_mips::Binary`] produced by *any*
+//! compiler, the flow:
+//!
+//! 1. profiles it on the instruction-set simulator,
+//! 2. **decompiles** it — binary parsing, CDFG creation, control structure
+//!    recovery ([`lift`]), then the decompiler optimizations: constant
+//!    propagation (register-move overhead removal), stack operation
+//!    removal, operator size reduction, strength promotion, and loop
+//!    rerolling ([`opts`]),
+//! 3. partitions it with the three-step 90-10 heuristic using profile and
+//!    alias information ([`partition`], [`alias`]),
+//! 4. synthesizes the selected kernels to RTL VHDL with a Virtex-II area
+//!    model (`binpart-synth`), and
+//! 5. reports hybrid speedup and energy savings (`binpart-platform`).
+//!
+//! See [`flow::Flow`] for the one-call entry point.
+
+pub mod alias;
+pub mod decompile;
+pub mod flow;
+pub mod lift;
+pub mod opts;
+pub mod partition;
+
+pub use decompile::{attach_profile, decompile, DecompileStats, DecompiledProgram};
+pub use flow::{Flow, FlowError, FlowOptions, FlowReport};
+pub use lift::{DecompileError, DecompileOptions};
+pub use opts::PassStats;
+pub use partition::{Partition, PartitionOptions, SelectedKernel};

@@ -1,0 +1,1453 @@
+//! The decompiler optimization passes from the paper:
+//!
+//! * **constant propagation** — removes the instruction-set overhead of
+//!   register moves encoded as `addiu rd, rs, 0` and materializes folded
+//!   constants, so no adder is wasted in synthesis;
+//! * **stack operation removal** — promotes spill slots, saved registers,
+//!   and `$ra` homes back into registers (pre-SSA);
+//! * **operator size reduction** — infers the bit-width each value actually
+//!   needs so the synthesizer builds narrow datapaths;
+//! * **strength promotion** — re-fuses shift/add sequences produced by a
+//!   compiler's strength reduction back into single multiplications, giving
+//!   the synthesis tool the choice;
+//! * **loop rerolling** — detects compiler-unrolled loops and rolls them
+//!   back into their original single-body form.
+
+use binpart_cdfg::cfg;
+use binpart_cdfg::dataflow::DefUse;
+use binpart_cdfg::ir::{BinOp, BlockId, Function, Inst, Op, Operand, Terminator, UnOp, VReg};
+use binpart_cdfg::loops::LoopForest;
+use std::collections::HashMap;
+
+/// Counters reported by experiment E4 ("constructs recovered").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PassStats {
+    /// `Copy`/move instructions eliminated (instruction-set overhead).
+    pub moves_removed: usize,
+    /// Operations folded to constants.
+    pub consts_folded: usize,
+    /// Dead operations removed.
+    pub dead_removed: usize,
+    /// Stack slots promoted to registers.
+    pub stack_slots_promoted: usize,
+    /// Stack loads/stores eliminated.
+    pub stack_ops_removed: usize,
+    /// Values whose inferred width is below 32 bits.
+    pub values_narrowed: usize,
+    /// Multiplications recovered from shift/add sequences.
+    pub muls_promoted: usize,
+    /// Loops rerolled.
+    pub loops_rerolled: usize,
+}
+
+impl PassStats {
+    /// Accumulates another function's stats.
+    pub fn merge(&mut self, other: &PassStats) {
+        self.moves_removed += other.moves_removed;
+        self.consts_folded += other.consts_folded;
+        self.dead_removed += other.dead_removed;
+        self.stack_slots_promoted += other.stack_slots_promoted;
+        self.stack_ops_removed += other.stack_ops_removed;
+        self.values_narrowed += other.values_narrowed;
+        self.muls_promoted += other.muls_promoted;
+        self.loops_rerolled += other.loops_rerolled;
+    }
+}
+
+// ---------------------------------------------------------------- stack ops
+
+/// Pre-SSA stack operation removal.
+///
+/// Finds the frame adjustment (`sp -= N` / `sp += N`), tracks `sp`-relative
+/// addresses per block, and promotes word-sized slots whose addresses never
+/// escape to fresh virtual registers. Slots above the lowest escaping base
+/// (local arrays, address-taken scalars) are left in memory.
+pub fn stack_op_removal(f: &mut Function, stats: &mut PassStats) {
+    const SP: VReg = VReg(29);
+    // 1. Find the frame size from the entry block's `sp = sp + (-N)`.
+    let mut frame: Option<i64> = None;
+    for inst in &f.block(f.entry).ops {
+        if let Op::Bin {
+            op: BinOp::Add,
+            dst,
+            lhs: Operand::Reg(r),
+            rhs: Operand::Const(c),
+        } = inst.op
+        {
+            if dst == SP && r == SP && c < 0 {
+                frame = Some(-c);
+                break;
+            }
+        }
+    }
+    let Some(frame) = frame else { return };
+
+    // 2. Scan: classify every sp-derived value per block; find accesses and
+    //    escapes. Sp-derived values are `Add(sp, const)` temporaries.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Acc {
+        Word,
+        Narrow,
+    }
+    let mut slot_access: HashMap<i64, Acc> = HashMap::new();
+    let mut min_escape: i64 = frame;
+    let mut whole_frame_escape = false;
+    for b in f.block_ids() {
+        let mut derived: HashMap<VReg, i64> = HashMap::new();
+        for inst in &f.block(b).ops {
+            // Which of this op's *uses* are sp or sp-derived, and how?
+            match &inst.op {
+                Op::Bin {
+                    op: BinOp::Add,
+                    dst,
+                    lhs,
+                    rhs,
+                } => {
+                    let sp_side = |o: &Operand| matches!(o, Operand::Reg(r) if *r == SP);
+                    if sp_side(lhs) || sp_side(rhs) {
+                        let c = lhs.as_const().or(rhs.as_const());
+                        match c {
+                            Some(c) if *dst != SP => {
+                                derived.insert(*dst, c);
+                            }
+                            Some(_) => {} // the prologue/epilogue adjust
+                            None => whole_frame_escape = true,
+                        }
+                        continue;
+                    }
+                    // non-sp add consuming a derived value: pointer
+                    // arithmetic off a frame object -> its base escapes
+                    for o in [lhs, rhs] {
+                        if let Operand::Reg(r) = o {
+                            if let Some(&off) = derived.get(r) {
+                                min_escape = min_escape.min(off);
+                            }
+                        }
+                    }
+                    derived.remove(dst);
+                }
+                Op::Load { dst, addr, width, .. } => {
+                    let off = match addr {
+                        Operand::Reg(r) if *r == SP => Some(0),
+                        Operand::Reg(r) => derived.get(r).copied(),
+                        Operand::Const(_) => None,
+                    };
+                    if let Some(off) = off {
+                        let acc = if width.bytes() == 4 { Acc::Word } else { Acc::Narrow };
+                        slot_access
+                            .entry(off)
+                            .and_modify(|a| {
+                                if *a != acc {
+                                    *a = Acc::Narrow;
+                                }
+                            })
+                            .or_insert(acc);
+                    }
+                    derived.remove(dst);
+                }
+                Op::Store { src, addr, width } => {
+                    // storing a derived value leaks the address
+                    if let Operand::Reg(r) = src {
+                        if let Some(&off) = derived.get(r) {
+                            min_escape = min_escape.min(off);
+                        }
+                        if *r == SP {
+                            whole_frame_escape = true;
+                        }
+                    }
+                    let off = match addr {
+                        Operand::Reg(r) if *r == SP => Some(0),
+                        Operand::Reg(r) => derived.get(r).copied(),
+                        Operand::Const(_) => None,
+                    };
+                    if let Some(off) = off {
+                        let acc = if width.bytes() == 4 { Acc::Word } else { Acc::Narrow };
+                        slot_access
+                            .entry(off)
+                            .and_modify(|a| {
+                                if *a != acc {
+                                    *a = Acc::Narrow;
+                                }
+                            })
+                            .or_insert(acc);
+                    }
+                }
+                Op::Call { args, .. } => {
+                    for a in args {
+                        if let Operand::Reg(r) = a {
+                            if let Some(&off) = derived.get(r) {
+                                min_escape = min_escape.min(off);
+                            }
+                            if *r == SP {
+                                whole_frame_escape = true;
+                            }
+                        }
+                    }
+                    // calls may define v0; drop any derived there
+                }
+                other => {
+                    // any other use of sp or a derived value escapes
+                    other.for_each_use(|o| {
+                        if let Operand::Reg(r) = o {
+                            if *r == SP {
+                                whole_frame_escape = true;
+                            } else if let Some(&off) = derived.get(r) {
+                                min_escape = min_escape.min(off);
+                            }
+                        }
+                    });
+                    if let Some(d) = other.dst() {
+                        derived.remove(&d);
+                    }
+                }
+            }
+        }
+        let term_uses_sp = {
+            let mut found = false;
+            f.block(b).term.for_each_use(|o| {
+                if let Operand::Reg(r) = o {
+                    if *r == SP || derived.contains_key(r) {
+                        found = true;
+                    }
+                }
+            });
+            found
+        };
+        if term_uses_sp {
+            whole_frame_escape = true;
+        }
+    }
+    if whole_frame_escape {
+        return;
+    }
+    // 3. Promote: word slots below the escape line get fresh registers.
+    let promotable: Vec<i64> = slot_access
+        .iter()
+        .filter(|(off, acc)| **off < min_escape && **off >= 0 && **acc == Acc::Word)
+        .map(|(off, _)| *off)
+        .collect();
+    if promotable.is_empty() {
+        return;
+    }
+    let mut slot_reg: HashMap<i64, VReg> = HashMap::new();
+    for &off in &promotable {
+        slot_reg.insert(off, f.new_vreg());
+    }
+    stats.stack_slots_promoted += promotable.len();
+    for b in f.block_ids().collect::<Vec<_>>() {
+        let mut derived: HashMap<VReg, i64> = HashMap::new();
+        let ops = std::mem::take(&mut f.block_mut(b).ops);
+        let mut new_ops = Vec::with_capacity(ops.len());
+        for inst in ops {
+            match &inst.op {
+                Op::Bin {
+                    op: BinOp::Add,
+                    dst,
+                    lhs,
+                    rhs,
+                } if *dst != SP => {
+                    let sp_side = matches!(lhs, Operand::Reg(r) if *r == SP)
+                        || matches!(rhs, Operand::Reg(r) if *r == SP);
+                    if sp_side {
+                        if let Some(c) = lhs.as_const().or(rhs.as_const()) {
+                            derived.insert(*dst, c);
+                        }
+                    } else {
+                        derived.remove(dst);
+                    }
+                    new_ops.push(inst);
+                }
+                Op::Load { dst, addr, .. } => {
+                    let off = match addr {
+                        Operand::Reg(r) if *r == SP => Some(0),
+                        Operand::Reg(r) => derived.get(r).copied(),
+                        _ => None,
+                    };
+                    match off.and_then(|o| slot_reg.get(&o)) {
+                        Some(&slot) => {
+                            stats.stack_ops_removed += 1;
+                            new_ops.push(Inst {
+                                op: Op::Copy {
+                                    dst: *dst,
+                                    src: Operand::Reg(slot),
+                                },
+                                pc: inst.pc,
+                            });
+                        }
+                        None => new_ops.push(inst.clone()),
+                    }
+                    if let Op::Load { dst, .. } = &inst.op {
+                        derived.remove(dst);
+                    }
+                }
+                Op::Store { src, addr, .. } => {
+                    let off = match addr {
+                        Operand::Reg(r) if *r == SP => Some(0),
+                        Operand::Reg(r) => derived.get(r).copied(),
+                        _ => None,
+                    };
+                    match off.and_then(|o| slot_reg.get(&o)) {
+                        Some(&slot) => {
+                            stats.stack_ops_removed += 1;
+                            new_ops.push(Inst {
+                                op: Op::Copy {
+                                    dst: slot,
+                                    src: *src,
+                                },
+                                pc: inst.pc,
+                            });
+                        }
+                        None => new_ops.push(inst),
+                    }
+                }
+                other => {
+                    if let Some(d) = other.dst() {
+                        derived.remove(&d);
+                    }
+                    new_ops.push(inst);
+                }
+            }
+        }
+        f.block_mut(b).ops = new_ops;
+    }
+}
+
+// -------------------------------------------------- const & copy prop + DCE
+
+/// SSA constant/copy propagation with branch folding. This is the pass that
+/// removes "arithmetic instructions with an immediate of zero used as
+/// register moves" — the instruction-set overhead the paper calls out.
+pub fn const_copy_prop(f: &mut Function, stats: &mut PassStats) {
+    for _ in 0..8 {
+        let mut changed = false;
+        // Map single-def values to replacements.
+        let mut value: HashMap<VReg, Operand> = HashMap::new();
+        for b in f.block_ids() {
+            for inst in &f.block(b).ops {
+                match &inst.op {
+                    Op::Const { dst, value: v } => {
+                        value.insert(*dst, Operand::Const(*v));
+                    }
+                    Op::Copy { dst, src } => {
+                        value.insert(*dst, *src);
+                    }
+                    Op::Phi { dst, args } => {
+                        // Phi whose args are all identical (or the phi
+                        // itself) collapses.
+                        let mut uniq: Option<Operand> = None;
+                        let mut ok = true;
+                        for (_, a) in args {
+                            if a.as_reg() == Some(*dst) {
+                                continue;
+                            }
+                            match uniq {
+                                None => uniq = Some(*a),
+                                Some(u) if u == *a => {}
+                                _ => {
+                                    ok = false;
+                                    break;
+                                }
+                            }
+                        }
+                        if ok {
+                            if let Some(u) = uniq {
+                                value.insert(*dst, u);
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        let resolve = |mut o: Operand| -> Operand {
+            for _ in 0..16 {
+                match o {
+                    Operand::Reg(r) => match value.get(&r) {
+                        Some(&n) if n != o => o = n,
+                        _ => break,
+                    },
+                    Operand::Const(_) => break,
+                }
+            }
+            o
+        };
+        // Rewrite uses & fold.
+        for b in f.block_ids().collect::<Vec<_>>() {
+            let block = f.block_mut(b);
+            for inst in &mut block.ops {
+                if matches!(inst.op, Op::Phi { .. }) {
+                    // phi args resolve too (values dominate the edge)
+                    inst.op.for_each_use_mut(|o| {
+                        let n = resolve(*o);
+                        if n != *o {
+                            *o = n;
+                            changed = true;
+                        }
+                    });
+                    continue;
+                }
+                inst.op.for_each_use_mut(|o| {
+                    let n = resolve(*o);
+                    if n != *o {
+                        *o = n;
+                        changed = true;
+                    }
+                });
+                // Fold.
+                let folded: Option<Op> = match &inst.op {
+                    Op::Bin { op, dst, lhs, rhs } => match (lhs, rhs) {
+                        (Operand::Const(a), Operand::Const(b)) => Some(Op::Const {
+                            dst: *dst,
+                            value: op.fold(*a, *b),
+                        }),
+                        (x, Operand::Const(0))
+                            if matches!(
+                                op,
+                                BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor | BinOp::Shl
+                                    | BinOp::ShrL | BinOp::ShrA
+                            ) =>
+                        {
+                            Some(Op::Copy { dst: *dst, src: *x })
+                        }
+                        (Operand::Const(0), y) if matches!(op, BinOp::Add | BinOp::Or) => {
+                            Some(Op::Copy { dst: *dst, src: *y })
+                        }
+                        _ => None,
+                    },
+                    Op::Un { op, dst, src: Operand::Const(c) } => Some(Op::Const {
+                        dst: *dst,
+                        value: op.fold(*c),
+                    }),
+                    _ => None,
+                };
+                if let Some(n) = folded {
+                    if matches!(n, Op::Const { .. }) {
+                        stats.consts_folded += 1;
+                    } else {
+                        stats.moves_removed += 1;
+                    }
+                    inst.op = n;
+                    changed = true;
+                }
+            }
+            block.term.for_each_use_mut(|o| {
+                let n = resolve(*o);
+                if n != *o {
+                    *o = n;
+                    changed = true;
+                }
+            });
+        }
+        // Fold constant branches (and prune phi edges of dropped targets).
+        for b in f.block_ids().collect::<Vec<_>>() {
+            if let Terminator::Branch {
+                cond: Operand::Const(c),
+                t,
+                f: fl,
+            } = f.block(b).term
+            {
+                let (taken, dropped) = if c != 0 { (t, fl) } else { (fl, t) };
+                f.block_mut(b).term = Terminator::Jump(taken);
+                if dropped != taken {
+                    prune_phi_edge(f, b, dropped);
+                }
+                changed = true;
+            }
+        }
+        changed |= cfg::remove_unreachable(f) > 0;
+        changed |= dce(f, stats);
+        if !changed {
+            break;
+        }
+    }
+}
+
+/// Removes the `pred` incoming edge from `succ`'s phis.
+fn prune_phi_edge(f: &mut Function, pred: BlockId, succ: BlockId) {
+    for inst in &mut f.block_mut(succ).ops {
+        if let Op::Phi { args, .. } = &mut inst.op {
+            args.retain(|(p, _)| *p != pred);
+        }
+    }
+}
+
+/// Dead-code elimination (SSA). Returns `true` on change.
+pub fn dce(f: &mut Function, stats: &mut PassStats) -> bool {
+    let mut any = false;
+    loop {
+        let mut used: Vec<bool> = vec![false; f.vreg_count() as usize];
+        for b in f.block_ids() {
+            for inst in &f.block(b).ops {
+                inst.op.for_each_use(|o| {
+                    if let Operand::Reg(r) = o {
+                        if r.index() < used.len() {
+                            used[r.index()] = true;
+                        }
+                    }
+                });
+            }
+            f.block(b).term.for_each_use(|o| {
+                if let Operand::Reg(r) = o {
+                    if r.index() < used.len() {
+                        used[r.index()] = true;
+                    }
+                }
+            });
+        }
+        let mut changed = false;
+        for b in f.block_ids().collect::<Vec<_>>() {
+            let block = f.block_mut(b);
+            let before = block.ops.len();
+            block.ops.retain(|inst| {
+                if inst.op.has_side_effects() {
+                    return true;
+                }
+                match inst.op.dst() {
+                    Some(d) => d.index() >= used.len() || used[d.index()],
+                    None => true,
+                }
+            });
+            if block.ops.len() != before {
+                stats.dead_removed += before - block.ops.len();
+                changed = true;
+            }
+        }
+        any |= changed;
+        if !changed {
+            break;
+        }
+    }
+    any
+}
+
+// --------------------------------------------------------- size reduction
+
+/// Operator size reduction: forward bit-width inference (with induction-
+/// variable ranges from the loop forest) written into `f.vreg_bits`.
+pub fn size_reduction(f: &mut Function, stats: &mut PassStats) {
+    let n = f.vreg_count() as usize;
+    let mut bits: Vec<u8> = vec![32; n];
+    // Seed induction variables from loop trip counts.
+    let forest = LoopForest::compute(f);
+    let mut iv_bits: HashMap<VReg, u8> = HashMap::new();
+    for l in forest.loops() {
+        if let (Some(iv), Some(trip)) = (l.induction, l.trip_count) {
+            if let Some(init) = iv.init.as_const() {
+                let lo = init.min(init + iv.step * trip as i64);
+                let hi = init.max(init + iv.step * trip as i64);
+                if lo >= 0 {
+                    let w = 64 - (hi.max(1) as u64).leading_zeros();
+                    iv_bits.insert(iv.phi, (w as u8).min(32));
+                    iv_bits.insert(iv.next, (w as u8).min(32));
+                }
+            }
+        }
+    }
+    let width_of = |o: &Operand, bits: &[u8]| -> u8 {
+        match o {
+            Operand::Const(c) => {
+                if *c < 0 {
+                    32
+                } else {
+                    (64 - (*c as u64).max(1).leading_zeros()).min(32) as u8
+                }
+            }
+            Operand::Reg(r) => bits.get(r.index()).copied().unwrap_or(32),
+        }
+    };
+    // Initialize to a narrow optimistic value then widen to fixpoint.
+    for b in bits.iter_mut() {
+        *b = 1;
+    }
+    for _ in 0..12 {
+        let mut changed = false;
+        for blk in f.block_ids() {
+            for inst in &f.block(blk).ops {
+                let Some(d) = inst.op.dst() else { continue };
+                if d.index() >= n {
+                    continue;
+                }
+                let w: u8 = match &inst.op {
+                    Op::Const { value, .. } => width_of(&Operand::Const(*value), &bits),
+                    Op::Copy { src, .. } => width_of(src, &bits),
+                    Op::Phi { args, .. } => {
+                        if let Some(&ivw) = iv_bits.get(&d) {
+                            ivw
+                        } else {
+                            args.iter().map(|(_, a)| width_of(a, &bits)).max().unwrap_or(32)
+                        }
+                    }
+                    Op::Un { op, src, .. } => match op {
+                        UnOp::ZextB => 8.min(width_of(src, &bits)),
+                        UnOp::ZextH => 16.min(width_of(src, &bits)),
+                        UnOp::SextB => {
+                            let w = width_of(src, &bits);
+                            if w <= 7 {
+                                w
+                            } else {
+                                32
+                            }
+                        }
+                        UnOp::SextH => {
+                            let w = width_of(src, &bits);
+                            if w <= 15 {
+                                w
+                            } else {
+                                32
+                            }
+                        }
+                        _ => 32,
+                    },
+                    Op::Bin { op, lhs, rhs, .. } => {
+                        if let Some(&ivw) = iv_bits.get(&d) {
+                            ivw
+                        } else {
+                            let a = width_of(lhs, &bits);
+                            let b = width_of(rhs, &bits);
+                            match op {
+                                BinOp::And => a.min(b),
+                                BinOp::Or | BinOp::Xor | BinOp::Nor => a.max(b),
+                                BinOp::Add => (a.max(b) + 1).min(32),
+                                BinOp::Mul => (a as u32 + b as u32).min(32) as u8,
+                                BinOp::Shl => match rhs.as_const() {
+                                    Some(s) => (a as u32 + (s as u32 & 31)).min(32) as u8,
+                                    None => 32,
+                                },
+                                BinOp::ShrL => match rhs.as_const() {
+                                    Some(s) => a.saturating_sub((s & 31) as u8).max(1),
+                                    None => a,
+                                },
+                                BinOp::ShrA => {
+                                    if a < 32 {
+                                        a
+                                    } else {
+                                        32
+                                    }
+                                }
+                                op if op.is_compare() => 1,
+                                _ => 32,
+                            }
+                        }
+                    }
+                    Op::Load { width, signed, .. } => {
+                        if *signed && width.bits() < 32 {
+                            32
+                        } else {
+                            width.bits()
+                        }
+                    }
+                    Op::Call { .. } => 32,
+                    Op::Store { .. } => continue,
+                };
+                if w > bits[d.index()] {
+                    bits[d.index()] = w;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    stats.values_narrowed += bits.iter().filter(|&&b| b < 32).count();
+    f.vreg_bits = bits;
+}
+
+// ------------------------------------------------------ strength promotion
+
+/// Strength promotion: rewrites shift/add trees computing `k·x` back into a
+/// single multiplication, undoing compiler strength reduction so the
+/// synthesis tool can choose the implementation.
+pub fn strength_promotion(f: &mut Function, stats: &mut PassStats) {
+    let du = DefUse::compute(f);
+    // linear form: value = k * base + c
+    #[derive(Clone, Copy)]
+    struct Lin {
+        base: Option<VReg>,
+        k: i64,
+        c: i64,
+        ops: u32,
+    }
+    fn linear(
+        v: VReg,
+        f: &Function,
+        du: &DefUse,
+        depth: u32,
+    ) -> Lin {
+        let leaf = Lin {
+            base: Some(v),
+            k: 1,
+            c: 0,
+            ops: 0,
+        };
+        if depth > 8 {
+            return leaf;
+        }
+        let Some(op) = du.def_of(f, v) else { return leaf };
+        let operand = |o: &Operand, f: &Function, du: &DefUse| -> Lin {
+            match o {
+                Operand::Const(c) => Lin {
+                    base: None,
+                    k: 0,
+                    c: *c,
+                    ops: 0,
+                },
+                Operand::Reg(r) => linear(*r, f, du, depth + 1),
+            }
+        };
+        match op {
+            Op::Bin { op: BinOp::Add, lhs, rhs, .. } => {
+                let a = operand(lhs, f, du);
+                let b = operand(rhs, f, du);
+                combine(a, b, 1).unwrap_or(leaf)
+            }
+            Op::Bin { op: BinOp::Sub, lhs, rhs, .. } => {
+                let a = operand(lhs, f, du);
+                let b = operand(rhs, f, du);
+                combine(a, b, -1).unwrap_or(leaf)
+            }
+            Op::Bin {
+                op: BinOp::Shl,
+                lhs,
+                rhs: Operand::Const(s),
+                ..
+            } => {
+                let a = operand(lhs, f, du);
+                let s = *s & 31;
+                Lin {
+                    base: a.base,
+                    k: a.k.wrapping_shl(s as u32),
+                    c: a.c.wrapping_shl(s as u32),
+                    ops: a.ops + 1,
+                }
+            }
+            Op::Copy { src, .. } => operand(src, f, du),
+            _ => leaf,
+        }
+    }
+    fn combine(a: Lin, b: Lin, sign: i64) -> Option<Lin> {
+        let base = match (a.base, b.base) {
+            (Some(x), Some(y)) if x == y => Some(x),
+            (Some(x), None) => Some(x),
+            (None, Some(y)) => Some(y),
+            (None, None) => None,
+            _ => return None, // two different bases: not a 1-D linear form
+        };
+        Some(Lin {
+            base,
+            k: a.k + sign * b.k,
+            c: a.c + sign * b.c,
+            ops: a.ops + b.ops + 1,
+        })
+    }
+    // Promote roots: Add/Sub ops whose linear form is k*x with interesting k.
+    let mut promotions: Vec<(BlockId, usize, VReg, VReg, i64)> = Vec::new();
+    for b in f.block_ids() {
+        for (k, inst) in f.block(b).ops.iter().enumerate() {
+            let Op::Bin { op, dst, .. } = &inst.op else {
+                continue;
+            };
+            if !matches!(op, BinOp::Add | BinOp::Sub) {
+                continue;
+            }
+            let lin = linear(*dst, f, &du, 0);
+            let Some(base) = lin.base else { continue };
+            if base == *dst {
+                continue;
+            }
+            if lin.c != 0 || lin.ops < 2 {
+                continue;
+            }
+            let kk = lin.k;
+            if kk <= 1 || (kk as u64).is_power_of_two() {
+                continue;
+            }
+            promotions.push((b, k, *dst, base, kk));
+        }
+    }
+    for (b, k, dst, base, kk) in promotions {
+        f.block_mut(b).ops[k].op = Op::Bin {
+            op: BinOp::Mul,
+            dst,
+            lhs: Operand::Reg(base),
+            rhs: Operand::Const(kk),
+        };
+        stats.muls_promoted += 1;
+    }
+    if stats.muls_promoted > 0 {
+        dce(f, stats);
+    }
+}
+
+// ---------------------------------------------------------- loop rerolling
+
+/// Loop rerolling: detects a loop body consisting of `k` isomorphic sections
+/// separated by induction-variable increments (the unrolled form) and rolls
+/// it back to a single section.
+pub fn loop_reroll(f: &mut Function, stats: &mut PassStats) {
+    loop {
+        let forest = LoopForest::compute(f);
+        let mut rerolled = false;
+        'loops: for l in forest.loops() {
+            // Identify the single non-header block holding the body (after
+            // lifting, counted loops are header + body).
+            let body_blocks: Vec<BlockId> = l
+                .blocks
+                .iter()
+                .copied()
+                .filter(|&b| b != l.header)
+                .collect();
+            if body_blocks.len() > 1 {
+                continue;
+            }
+            // The replicated sections may live in the header itself (when
+            // the latch only holds the exit test) or in the single body
+            // block; try both.
+            let mut candidates_blocks = vec![l.header];
+            candidates_blocks.extend(body_blocks.iter().copied());
+            // Candidate induction phis: the unrolled IV steps through a
+            // *chain* of adds, so the loop forest's `phi + c` recognizer
+            // does not apply; walk the chain from each phi's latch argument
+            // back to the phi.
+            for &body in &candidates_blocks {
+                for inst in f.block(l.header).ops.clone() {
+                    let Op::Phi { dst, args } = &inst.op else {
+                        continue;
+                    };
+                    let Some(back) = args
+                        .iter()
+                        .find(|(p, _)| l.blocks.contains(p))
+                        .and_then(|(_, a)| a.as_reg())
+                    else {
+                        continue;
+                    };
+                    let Some(step) = chain_step(f, body, *dst, back) else {
+                        continue;
+                    };
+                    if try_reroll(f, l.header, body, *dst, step) {
+                        stats.loops_rerolled += 1;
+                        rerolled = true;
+                        break 'loops; // structure changed: recompute forest
+                    }
+                }
+            }
+        }
+        if !rerolled {
+            break;
+        }
+    }
+}
+
+/// If `back` is reached from `phi` through a chain of 2+ `add const`
+/// operations with a uniform step inside `body`, returns the step.
+fn chain_step(f: &Function, body: BlockId, phi: VReg, back: VReg) -> Option<i64> {
+    let def_of = |v: VReg| -> Option<(VReg, i64)> {
+        f.block(body).ops.iter().find_map(|inst| match &inst.op {
+            Op::Bin {
+                op: BinOp::Add,
+                dst,
+                lhs: Operand::Reg(r),
+                rhs: Operand::Const(c),
+            } if *dst == v => Some((*r, *c)),
+            Op::Bin {
+                op: BinOp::Add,
+                dst,
+                lhs: Operand::Const(c),
+                rhs: Operand::Reg(r),
+            } if *dst == v => Some((*r, *c)),
+            _ => None,
+        })
+    };
+    let mut cur = back;
+    let mut step: Option<i64> = None;
+    let mut hops = 0;
+    while cur != phi {
+        let (prev, c) = def_of(cur)?;
+        match step {
+            None => step = Some(c),
+            Some(s) if s == c => {}
+            _ => return None,
+        }
+        cur = prev;
+        hops += 1;
+        if hops > 64 {
+            return None;
+        }
+    }
+    if hops >= 2 {
+        step
+    } else {
+        None
+    }
+}
+
+/// Attempts to reroll one loop; returns `true` on success.
+fn try_reroll(f: &mut Function, header: BlockId, body: BlockId, iv_phi: VReg, step: i64) -> bool {
+    // 1. Find the IV chain in the body: i1 = phi + step; i2 = i1 + step; ...
+    let ops = &f.block(body).ops;
+    let mut chain: Vec<(usize, VReg)> = Vec::new(); // (op index, def)
+    let mut cur = iv_phi;
+    loop {
+        let next = ops.iter().enumerate().find_map(|(k, inst)| match &inst.op {
+            Op::Bin {
+                op: BinOp::Add,
+                dst,
+                lhs: Operand::Reg(r),
+                rhs: Operand::Const(c),
+            } if *r == cur && *c == step => Some((k, *dst)),
+            Op::Bin {
+                op: BinOp::Add,
+                dst,
+                lhs: Operand::Const(c),
+                rhs: Operand::Reg(r),
+            } if *r == cur && *c == step => Some((k, *dst)),
+            _ => None,
+        });
+        match next {
+            Some((k, d)) => {
+                chain.push((k, d));
+                cur = d;
+            }
+            None => break,
+        }
+    }
+    let k = chain.len();
+    if k < 2 {
+        return false;
+    }
+    // 2..4. Read-only analysis in its own scope so the borrow ends before
+    // we mutate blocks: partition into sections, check isomorphism, and
+    // build the positional value map (defs of section j map to section 0;
+    // the IV chain maps i_j -> i_1).
+    let remap: HashMap<VReg, VReg> = {
+        let ops = &f.block(body).ops;
+        // Sections start after any leading phis (the sections may live in
+        // the loop header itself).
+        let first_non_phi = ops
+            .iter()
+            .position(|i| !matches!(i.op, Op::Phi { .. }))
+            .unwrap_or(ops.len());
+        if chain[0].0 < first_non_phi {
+            return false;
+        }
+        // Section j = ops strictly between consecutive chain adds.
+        let mut sections: Vec<&[Inst]> = Vec::new();
+        let mut start = first_non_phi;
+        for (idx, _) in &chain {
+            sections.push(&ops[start..*idx]);
+            start = idx + 1;
+        }
+        // trailing ops after the last IV add must be empty
+        if !ops[chain[k - 1].0 + 1..].is_empty() {
+            return false;
+        }
+        // Isomorphism: identical op kinds and constants across sections.
+        let shape = |inst: &Inst| -> String {
+            match &inst.op {
+                Op::Bin { op, rhs, .. } => match rhs.as_const() {
+                    Some(c) => format!("bin:{op}:{c}"),
+                    None => format!("bin:{op}"),
+                },
+                Op::Un { op, .. } => format!("un:{op}"),
+                Op::Load { width, signed, .. } => format!("load:{}:{}", width.bits(), signed),
+                Op::Store { width, .. } => format!("store:{}", width.bits()),
+                Op::Const { value, .. } => format!("const:{value}"),
+                Op::Copy { .. } => "copy".to_string(),
+                Op::Phi { .. } => "phi".to_string(),
+                Op::Call { target, .. } => format!("call:{target}"),
+            }
+        };
+        let first: Vec<String> = sections[0].iter().map(shape).collect();
+        for s in &sections[1..] {
+            let sig: Vec<String> = s.iter().map(shape).collect();
+            if sig != first {
+                return false;
+            }
+        }
+        let mut remap: HashMap<VReg, VReg> = HashMap::new();
+        let sec0_defs: Vec<Option<VReg>> = sections[0].iter().map(|i| i.op.dst()).collect();
+        for s in &sections[1..] {
+            for (p, inst) in s.iter().enumerate() {
+                if let (Some(d), Some(Some(d0))) = (inst.op.dst(), sec0_defs.get(p)) {
+                    remap.insert(d, *d0);
+                }
+            }
+        }
+        let i1 = chain[0].1;
+        for (_, d) in &chain[1..] {
+            remap.insert(*d, i1);
+        }
+        remap
+    };
+    // 5. Rewrite the header phis' loop-carried arguments through the map
+    //    (value-based: the latch edge may come through a test-only block).
+    let resolve = |mut v: VReg, remap: &HashMap<VReg, VReg>| -> VReg {
+        for _ in 0..8 {
+            match remap.get(&v) {
+                Some(&n) if n != v => v = n,
+                _ => break,
+            }
+        }
+        v
+    };
+    let header_block = f.block_mut(header);
+    for inst in &mut header_block.ops {
+        if let Op::Phi { args, .. } = &mut inst.op {
+            for (_, a) in args.iter_mut() {
+                if let Operand::Reg(r) = a {
+                    let n = resolve(*r, &remap);
+                    if n != *r {
+                        *a = Operand::Reg(n);
+                    }
+                }
+            }
+        }
+    }
+    // 6. Truncate the body to (phis +) section 0 + the first IV add, and
+    //    rewrite any remaining uses of replicated values (e.g. the exit
+    //    test consuming the final IV) through the map.
+    let keep = chain[0].0 + 1;
+    f.block_mut(body).ops.truncate(keep);
+    for b in f.block_ids().collect::<Vec<_>>() {
+        let block = f.block_mut(b);
+        for inst in &mut block.ops {
+            inst.op.for_each_use_mut(|o| {
+                if let Operand::Reg(r) = o {
+                    let n = resolve(*r, &remap);
+                    if n != *r {
+                        *o = Operand::Reg(n);
+                    }
+                }
+            });
+        }
+        block.term.for_each_use_mut(|o| {
+            if let Operand::Reg(r) = o {
+                let n = resolve(*r, &remap);
+                if n != *r {
+                    *o = Operand::Reg(n);
+                }
+            }
+        });
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use binpart_cdfg::ir::MemWidth;
+    use binpart_cdfg::ssa;
+
+    fn stats() -> PassStats {
+        PassStats::default()
+    }
+
+    #[test]
+    fn const_prop_removes_move_overhead() {
+        // addiu v0, t0, 0 lifted as Add(v0, t0, 0): must fold to a copy and
+        // propagate away.
+        let mut f = Function::with_reserved_regs("m", 34);
+        let t0 = VReg(8);
+        let v0 = VReg(2);
+        f.block_mut(f.entry).push(Op::Const { dst: t0, value: 5 });
+        f.block_mut(f.entry).push(Op::Bin {
+            op: BinOp::Add,
+            dst: v0,
+            lhs: Operand::Reg(t0),
+            rhs: Operand::Const(0),
+        });
+        f.block_mut(f.entry).term = Terminator::Return {
+            value: Some(Operand::Reg(v0)),
+        };
+        ssa::construct(&mut f);
+        let mut s = stats();
+        const_copy_prop(&mut f, &mut s);
+        // Everything folds to return of constant-ish value with no adds
+        let adds = f
+            .block_ids()
+            .flat_map(|b| f.block(b).ops.iter())
+            .filter(|i| matches!(i.op, Op::Bin { op: BinOp::Add, .. }))
+            .count();
+        assert_eq!(adds, 0, "{f}");
+        assert!(s.moves_removed + s.consts_folded > 0);
+    }
+
+    #[test]
+    fn branch_folding_prunes_paths() {
+        let mut f = Function::new("bf");
+        let a = f.add_block();
+        let b = f.add_block();
+        let c = f.new_vreg();
+        let x = f.new_vreg();
+        f.block_mut(f.entry).push(Op::Const { dst: c, value: 1 });
+        f.block_mut(f.entry).term = Terminator::Branch {
+            cond: Operand::Reg(c),
+            t: a,
+            f: b,
+        };
+        f.block_mut(a).push(Op::Const { dst: x, value: 10 });
+        f.block_mut(a).term = Terminator::Return {
+            value: Some(Operand::Reg(x)),
+        };
+        f.block_mut(b).term = Terminator::Return { value: None };
+        ssa::construct(&mut f);
+        let mut s = stats();
+        const_copy_prop(&mut f, &mut s);
+        // the false path is gone
+        assert_eq!(f.blocks.len(), 2, "{f}");
+    }
+
+    #[test]
+    fn strength_promotion_recovers_x10() {
+        // (x<<3) + (x<<1) => x*10
+        let mut f = Function::new("sp");
+        let x = f.new_vreg();
+        let a = f.new_vreg();
+        let b = f.new_vreg();
+        let d = f.new_vreg();
+        f.block_mut(f.entry).push(Op::Load {
+            dst: x,
+            addr: Operand::Const(0x1000),
+            width: MemWidth::W,
+            signed: false,
+        });
+        f.block_mut(f.entry).push(Op::Bin {
+            op: BinOp::Shl,
+            dst: a,
+            lhs: Operand::Reg(x),
+            rhs: Operand::Const(3),
+        });
+        f.block_mut(f.entry).push(Op::Bin {
+            op: BinOp::Shl,
+            dst: b,
+            lhs: Operand::Reg(x),
+            rhs: Operand::Const(1),
+        });
+        f.block_mut(f.entry).push(Op::Bin {
+            op: BinOp::Add,
+            dst: d,
+            lhs: Operand::Reg(a),
+            rhs: Operand::Reg(b),
+        });
+        f.block_mut(f.entry).term = Terminator::Return {
+            value: Some(Operand::Reg(d)),
+        };
+        f.is_ssa = true;
+        let mut s = stats();
+        strength_promotion(&mut f, &mut s);
+        assert_eq!(s.muls_promoted, 1);
+        let has_mul = f
+            .block(f.entry)
+            .ops
+            .iter()
+            .any(|i| matches!(i.op, Op::Bin { op: BinOp::Mul, rhs: Operand::Const(10), .. }));
+        assert!(has_mul, "{f}");
+    }
+
+    #[test]
+    fn strength_promotion_recovers_shift_sub() {
+        // (x<<3) - x => x*7
+        let mut f = Function::new("sp7");
+        let x = f.new_vreg();
+        let a = f.new_vreg();
+        let d = f.new_vreg();
+        f.block_mut(f.entry).push(Op::Load {
+            dst: x,
+            addr: Operand::Const(0x1000),
+            width: MemWidth::W,
+            signed: false,
+        });
+        f.block_mut(f.entry).push(Op::Bin {
+            op: BinOp::Shl,
+            dst: a,
+            lhs: Operand::Reg(x),
+            rhs: Operand::Const(3),
+        });
+        f.block_mut(f.entry).push(Op::Bin {
+            op: BinOp::Sub,
+            dst: d,
+            lhs: Operand::Reg(a),
+            rhs: Operand::Reg(x),
+        });
+        f.block_mut(f.entry).term = Terminator::Return {
+            value: Some(Operand::Reg(d)),
+        };
+        f.is_ssa = true;
+        let mut s = stats();
+        strength_promotion(&mut f, &mut s);
+        assert_eq!(s.muls_promoted, 1);
+        let has_mul7 = f
+            .block(f.entry)
+            .ops
+            .iter()
+            .any(|i| matches!(i.op, Op::Bin { op: BinOp::Mul, rhs: Operand::Const(7), .. }));
+        assert!(has_mul7, "{f}");
+    }
+
+    #[test]
+    fn plain_shift_not_promoted() {
+        let mut f = Function::new("nsp");
+        let x = f.new_vreg();
+        let d = f.new_vreg();
+        f.block_mut(f.entry).push(Op::Load {
+            dst: x,
+            addr: Operand::Const(0x1000),
+            width: MemWidth::W,
+            signed: false,
+        });
+        f.block_mut(f.entry).push(Op::Bin {
+            op: BinOp::Shl,
+            dst: d,
+            lhs: Operand::Reg(x),
+            rhs: Operand::Const(3),
+        });
+        f.block_mut(f.entry).term = Terminator::Return {
+            value: Some(Operand::Reg(d)),
+        };
+        f.is_ssa = true;
+        let mut s = stats();
+        strength_promotion(&mut f, &mut s);
+        assert_eq!(s.muls_promoted, 0);
+    }
+
+    #[test]
+    fn size_reduction_narrows_masked_values() {
+        let mut f = Function::new("sr");
+        let x = f.new_vreg();
+        let m = f.new_vreg();
+        f.block_mut(f.entry).push(Op::Load {
+            dst: x,
+            addr: Operand::Const(0x1000),
+            width: MemWidth::W,
+            signed: false,
+        });
+        f.block_mut(f.entry).push(Op::Bin {
+            op: BinOp::And,
+            dst: m,
+            lhs: Operand::Reg(x),
+            rhs: Operand::Const(0xff),
+        });
+        f.block_mut(f.entry).term = Terminator::Return {
+            value: Some(Operand::Reg(m)),
+        };
+        f.is_ssa = true;
+        let mut s = stats();
+        size_reduction(&mut f, &mut s);
+        assert_eq!(f.bits_of(m), 8);
+        assert!(s.values_narrowed >= 1);
+    }
+
+    #[test]
+    fn size_reduction_uses_induction_ranges() {
+        // i = 0..100 loop: phi width should be 7 bits
+        let mut f = Function::new("iv");
+        let header = f.add_block();
+        let body = f.add_block();
+        let exit = f.add_block();
+        let i = f.new_vreg();
+        let c = f.new_vreg();
+        f.block_mut(f.entry).push(Op::Const { dst: i, value: 0 });
+        f.block_mut(f.entry).term = Terminator::Jump(header);
+        f.block_mut(header).push(Op::Bin {
+            op: BinOp::LtS,
+            dst: c,
+            lhs: Operand::Reg(i),
+            rhs: Operand::Const(100),
+        });
+        f.block_mut(header).term = Terminator::Branch {
+            cond: Operand::Reg(c),
+            t: body,
+            f: exit,
+        };
+        f.block_mut(body).push(Op::Bin {
+            op: BinOp::Add,
+            dst: i,
+            lhs: Operand::Reg(i),
+            rhs: Operand::Const(1),
+        });
+        f.block_mut(body).term = Terminator::Jump(header);
+        f.block_mut(exit).term = Terminator::Return {
+            value: Some(Operand::Reg(i)),
+        };
+        ssa::construct(&mut f);
+        let mut s = stats();
+        size_reduction(&mut f, &mut s);
+        // find the phi and check its width
+        let phi_bits = f
+            .block_ids()
+            .flat_map(|b| f.block(b).ops.iter())
+            .find_map(|inst| match &inst.op {
+                Op::Phi { dst, .. } => Some(f.bits_of(*dst)),
+                _ => None,
+            })
+            .unwrap();
+        assert!(phi_bits <= 8, "phi width {phi_bits}");
+    }
+
+    #[test]
+    fn reroll_collapses_unrolled_body() {
+        // Hand-built 4x-unrolled accumulation:
+        //   header: i = phi(0, i4); acc = phi(0, a4); cond...
+        //   body:   a1 = acc + 3; i1 = i + 1;
+        //           a2 = a1 + 3;  i2 = i1 + 1;
+        //           a3 = a2 + 3;  i3 = i2 + 1;
+        //           a4 = a3 + 3;  i4 = i3 + 1;
+        let mut f = Function::new("rr");
+        let header = f.add_block();
+        let body = f.add_block();
+        let exit = f.add_block();
+        let iphi = f.new_vreg();
+        let aphi = f.new_vreg();
+        let c = f.new_vreg();
+        let mut ai = aphi;
+        let mut ii = iphi;
+        f.block_mut(f.entry).term = Terminator::Jump(header);
+        let mut avs = Vec::new();
+        let mut ivs = Vec::new();
+        for _ in 0..4 {
+            let a = f.new_vreg();
+            let iv = f.new_vreg();
+            avs.push((ai, a));
+            ivs.push((ii, iv));
+            ai = a;
+            ii = iv;
+        }
+        for k in 0..4 {
+            let (src_a, a) = avs[k];
+            let (src_i, iv) = ivs[k];
+            f.block_mut(body).push(Op::Bin {
+                op: BinOp::Add,
+                dst: a,
+                lhs: Operand::Reg(src_a),
+                rhs: Operand::Const(3),
+            });
+            f.block_mut(body).push(Op::Bin {
+                op: BinOp::Add,
+                dst: iv,
+                lhs: Operand::Reg(src_i),
+                rhs: Operand::Const(1),
+            });
+        }
+        f.block_mut(body).term = Terminator::Jump(header);
+        let entry = f.entry;
+        f.block_mut(header).ops.insert(
+            0,
+            Inst::new(Op::Phi {
+                dst: iphi,
+                args: vec![
+                    (entry, Operand::Const(0)),
+                    (body, Operand::Reg(ivs[3].1)),
+                ],
+            }),
+        );
+        f.block_mut(header).ops.insert(
+            1,
+            Inst::new(Op::Phi {
+                dst: aphi,
+                args: vec![
+                    (entry, Operand::Const(0)),
+                    (body, Operand::Reg(avs[3].1)),
+                ],
+            }),
+        );
+        f.block_mut(header).push(Op::Bin {
+            op: BinOp::LtS,
+            dst: c,
+            lhs: Operand::Reg(iphi),
+            rhs: Operand::Const(16),
+        });
+        f.block_mut(header).term = Terminator::Branch {
+            cond: Operand::Reg(c),
+            t: body,
+            f: exit,
+        };
+        f.block_mut(exit).term = Terminator::Return {
+            value: Some(Operand::Reg(aphi)),
+        };
+        f.is_ssa = true;
+        let before = f.block(body).ops.len();
+        let mut s = stats();
+        loop_reroll(&mut f, &mut s);
+        assert_eq!(s.loops_rerolled, 1);
+        let after = f.block(body).ops.len();
+        assert!(after < before, "body {before} -> {after}\n{f}");
+        assert_eq!(after, 2); // one acc add + one IV add
+        // phis now take the section-1 values
+        for inst in &f.block(header).ops {
+            if let Op::Phi { args, .. } = &inst.op {
+                for (p, a) in args {
+                    if *p == body {
+                        assert!(
+                            matches!(a, Operand::Reg(r) if *r == avs[0].1 || *r == ivs[0].1),
+                            "latch arg {a:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reroll_rejects_non_isomorphic_sections() {
+        let mut f = Function::new("nrr");
+        let header = f.add_block();
+        let body = f.add_block();
+        let exit = f.add_block();
+        let iphi = f.new_vreg();
+        let c = f.new_vreg();
+        let i1 = f.new_vreg();
+        let i2 = f.new_vreg();
+        let junk = f.new_vreg();
+        f.block_mut(f.entry).term = Terminator::Jump(header);
+        // section 0: empty; i1 = iphi + 1
+        f.block_mut(body).push(Op::Bin {
+            op: BinOp::Add,
+            dst: i1,
+            lhs: Operand::Reg(iphi),
+            rhs: Operand::Const(1),
+        });
+        // section 1: extra op; i2 = i1 + 1
+        f.block_mut(body).push(Op::Bin {
+            op: BinOp::Mul,
+            dst: junk,
+            lhs: Operand::Reg(i1),
+            rhs: Operand::Const(3),
+        });
+        f.block_mut(body).push(Op::Bin {
+            op: BinOp::Add,
+            dst: i2,
+            lhs: Operand::Reg(i1),
+            rhs: Operand::Const(1),
+        });
+        f.block_mut(body).push(Op::Store {
+            src: Operand::Reg(junk),
+            addr: Operand::Const(0x2000),
+            width: MemWidth::W,
+        });
+        f.block_mut(body).term = Terminator::Jump(header);
+        let entry = f.entry;
+        f.block_mut(header).ops.insert(
+            0,
+            Inst::new(Op::Phi {
+                dst: iphi,
+                args: vec![(entry, Operand::Const(0)), (body, Operand::Reg(i2))],
+            }),
+        );
+        f.block_mut(header).push(Op::Bin {
+            op: BinOp::LtS,
+            dst: c,
+            lhs: Operand::Reg(iphi),
+            rhs: Operand::Const(16),
+        });
+        f.block_mut(header).term = Terminator::Branch {
+            cond: Operand::Reg(c),
+            t: body,
+            f: exit,
+        };
+        f.block_mut(exit).term = Terminator::Return { value: None };
+        f.is_ssa = true;
+        let mut s = stats();
+        loop_reroll(&mut f, &mut s);
+        assert_eq!(s.loops_rerolled, 0);
+    }
+}

@@ -1,0 +1,377 @@
+//! Abstract syntax tree for the mini-C language.
+//!
+//! The language is the integer subset of C that embedded benchmark kernels
+//! use: `char/short/int` with unsigned variants, global and local arrays,
+//! pointers, functions, the full statement set (`if`, `while`, `do`, `for`,
+//! `switch`, `break`, `continue`, `return`), and C's operator zoo including
+//! short-circuit logicals, increments, and compound assignment.
+
+use std::fmt;
+
+/// A type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Ty {
+    /// `void` (function returns only).
+    Void,
+    /// Signed 8-bit.
+    Char,
+    /// Unsigned 8-bit.
+    UChar,
+    /// Signed 16-bit.
+    Short,
+    /// Unsigned 16-bit.
+    UShort,
+    /// Signed 32-bit.
+    Int,
+    /// Unsigned 32-bit.
+    UInt,
+    /// Pointer to element type.
+    Ptr(Box<Ty>),
+    /// Fixed-size array.
+    Array(Box<Ty>, usize),
+}
+
+impl Ty {
+    /// Size in bytes (pointers are 4).
+    pub fn size(&self) -> usize {
+        match self {
+            Ty::Void => 0,
+            Ty::Char | Ty::UChar => 1,
+            Ty::Short | Ty::UShort => 2,
+            Ty::Int | Ty::UInt | Ty::Ptr(_) => 4,
+            Ty::Array(e, n) => e.size() * n,
+        }
+    }
+
+    /// Natural alignment in bytes.
+    pub fn align(&self) -> usize {
+        match self {
+            Ty::Array(e, _) => e.align(),
+            other => other.size().max(1),
+        }
+    }
+
+    /// `true` for signed integer types.
+    pub fn is_signed(&self) -> bool {
+        matches!(self, Ty::Char | Ty::Short | Ty::Int)
+    }
+
+    /// `true` for any integer type.
+    pub fn is_integer(&self) -> bool {
+        matches!(
+            self,
+            Ty::Char | Ty::UChar | Ty::Short | Ty::UShort | Ty::Int | Ty::UInt
+        )
+    }
+
+    /// The element type of arrays and pointers.
+    pub fn element(&self) -> Option<&Ty> {
+        match self {
+            Ty::Ptr(e) | Ty::Array(e, _) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Array-to-pointer decay.
+    pub fn decayed(&self) -> Ty {
+        match self {
+            Ty::Array(e, _) => Ty::Ptr(e.clone()),
+            other => other.clone(),
+        }
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Void => write!(f, "void"),
+            Ty::Char => write!(f, "char"),
+            Ty::UChar => write!(f, "unsigned char"),
+            Ty::Short => write!(f, "short"),
+            Ty::UShort => write!(f, "unsigned short"),
+            Ty::Int => write!(f, "int"),
+            Ty::UInt => write!(f, "unsigned int"),
+            Ty::Ptr(e) => write!(f, "{e}*"),
+            Ty::Array(e, n) => write!(f, "{e}[{n}]"),
+        }
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    LAnd,
+    /// `||` (short-circuit)
+    LOr,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `~`
+    Not,
+    /// `!`
+    LNot,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Num(i64),
+    /// Variable reference.
+    Ident(String),
+    /// Unary operation.
+    Unary {
+        /// Operator.
+        op: UnOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// Assignment `lhs = rhs` or compound `lhs op= rhs`.
+    Assign {
+        /// Compound operator, `None` for plain `=`.
+        op: Option<BinOp>,
+        /// Assignable target.
+        lhs: Box<Expr>,
+        /// Value.
+        rhs: Box<Expr>,
+    },
+    /// `base[index]`
+    Index {
+        /// Array or pointer expression.
+        base: Box<Expr>,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// Function call.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `(ty) expr`
+    Cast {
+        /// Target type.
+        ty: Ty,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// `*expr`
+    Deref(Box<Expr>),
+    /// `&expr`
+    AddrOf(Box<Expr>),
+    /// `c ? t : e`
+    Ternary {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value when nonzero.
+        then: Box<Expr>,
+        /// Value when zero.
+        els: Box<Expr>,
+    },
+    /// `++x` / `--x` (`inc` selects which).
+    PreInc {
+        /// `true` for `++`.
+        inc: bool,
+        /// Target lvalue.
+        expr: Box<Expr>,
+    },
+    /// `x++` / `x--`.
+    PostInc {
+        /// `true` for `++`.
+        inc: bool,
+        /// Target lvalue.
+        expr: Box<Expr>,
+    },
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// Local declaration with optional initializer.
+    Decl {
+        /// Variable name.
+        name: String,
+        /// Declared type.
+        ty: Ty,
+        /// Initializer.
+        init: Option<Expr>,
+    },
+    /// Expression statement.
+    Expr(Expr),
+    /// `if`/`else`.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then: Box<Stmt>,
+        /// Else branch.
+        els: Option<Box<Stmt>>,
+    },
+    /// `while`.
+    While {
+        /// Condition.
+        cond: Expr,
+        /// Body.
+        body: Box<Stmt>,
+    },
+    /// `do { } while (c);`
+    DoWhile {
+        /// Body.
+        body: Box<Stmt>,
+        /// Condition.
+        cond: Expr,
+    },
+    /// `for (init; cond; step) body`
+    For {
+        /// Init statement (decl or expression).
+        init: Option<Box<Stmt>>,
+        /// Condition (absent = infinite).
+        cond: Option<Expr>,
+        /// Step expression.
+        step: Option<Expr>,
+        /// Body.
+        body: Box<Stmt>,
+    },
+    /// `switch` with constant case labels.
+    Switch {
+        /// Scrutinee.
+        scrutinee: Expr,
+        /// `(label, body)` pairs in source order; bodies do not fall
+        /// through (every case is implicitly terminated).
+        cases: Vec<(i64, Vec<Stmt>)>,
+        /// `default:` body.
+        default: Option<Vec<Stmt>>,
+    },
+    /// `return;` / `return e;`
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `{ ... }`
+    Block(Vec<Stmt>),
+}
+
+/// A global variable definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GlobalDecl {
+    /// Name.
+    pub name: String,
+    /// Type (scalar or array).
+    pub ty: Ty,
+    /// Flattened initializer values (missing entries are zero).
+    pub init: Vec<i64>,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FuncDecl {
+    /// Name.
+    pub name: String,
+    /// Return type.
+    pub ret: Ty,
+    /// Parameters (max 4 by the o32-subset convention used here).
+    pub params: Vec<(String, Ty)>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A whole translation unit.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Program {
+    /// Globals in declaration order.
+    pub globals: Vec<GlobalDecl>,
+    /// Functions in declaration order.
+    pub funcs: Vec<FuncDecl>,
+}
+
+impl Program {
+    /// Finds a function by name.
+    pub fn func(&self, name: &str) -> Option<&FuncDecl> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+
+    /// Finds a global by name.
+    pub fn global(&self, name: &str) -> Option<&GlobalDecl> {
+        self.globals.iter().find(|g| g.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_sizes_and_alignment() {
+        assert_eq!(Ty::Char.size(), 1);
+        assert_eq!(Ty::UShort.size(), 2);
+        assert_eq!(Ty::Int.size(), 4);
+        assert_eq!(Ty::Ptr(Box::new(Ty::Char)).size(), 4);
+        let arr = Ty::Array(Box::new(Ty::Short), 10);
+        assert_eq!(arr.size(), 20);
+        assert_eq!(arr.align(), 2);
+        assert_eq!(arr.decayed(), Ty::Ptr(Box::new(Ty::Short)));
+    }
+
+    #[test]
+    fn signedness() {
+        assert!(Ty::Char.is_signed());
+        assert!(!Ty::UChar.is_signed());
+        assert!(Ty::Int.is_integer());
+        assert!(!Ty::Ptr(Box::new(Ty::Int)).is_integer());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Ty::UInt.to_string(), "unsigned int");
+        assert_eq!(Ty::Ptr(Box::new(Ty::Int)).to_string(), "int*");
+        assert_eq!(Ty::Array(Box::new(Ty::Char), 3).to_string(), "char[3]");
+    }
+}

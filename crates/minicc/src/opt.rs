@@ -1,0 +1,647 @@
+//! TIR optimization passes, grouped into gcc-like `-O` levels.
+//!
+//! * `-O0`: nothing — every variable keeps its frame slot in codegen.
+//! * `-O1`: constant folding, copy propagation, dead-code elimination,
+//!   CFG simplification.
+//! * `-O2`: `-O1` plus local common-subexpression elimination and strength
+//!   reduction (multiply/divide by constants become shifts and adds — the
+//!   artifact the decompiler's *strength promotion* undoes). Code
+//!   generation additionally fills branch delay slots and emits jump tables.
+//! * `-O3`: `-O2` plus AST-level loop unrolling and inlining (see
+//!   [`crate::ast_opt`]).
+
+use crate::tir::{BlockId, Opnd, TBinOp, TFunc, TInst, TTerm, TUnOp, VarId};
+use std::collections::HashMap;
+
+/// Compiler optimization level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum OptLevel {
+    /// No optimization; all variables in memory.
+    O0,
+    /// Basic scalar cleanups and register allocation.
+    #[default]
+    O1,
+    /// `-O1` + CSE, strength reduction, delay-slot filling, jump tables.
+    O2,
+    /// `-O2` + loop unrolling and inlining.
+    O3,
+}
+
+impl OptLevel {
+    /// All levels, lowest first.
+    pub const ALL: [OptLevel; 4] = [OptLevel::O0, OptLevel::O1, OptLevel::O2, OptLevel::O3];
+
+    /// Conventional `-Ox` spelling.
+    pub fn flag(self) -> &'static str {
+        match self {
+            OptLevel::O0 => "-O0",
+            OptLevel::O1 => "-O1",
+            OptLevel::O2 => "-O2",
+            OptLevel::O3 => "-O3",
+        }
+    }
+}
+
+impl std::fmt::Display for OptLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.flag())
+    }
+}
+
+/// Optimizes `f` in place at `level`.
+pub fn optimize(f: &mut TFunc, level: OptLevel) {
+    if level == OptLevel::O0 {
+        return;
+    }
+    for _ in 0..3 {
+        let mut changed = false;
+        changed |= const_fold(f);
+        changed |= copy_propagate(f);
+        changed |= dce(f);
+        changed |= simplify_cfg(f);
+        if level >= OptLevel::O2 {
+            changed |= local_cse(f);
+            changed |= strength_reduce(f);
+        }
+        if !changed {
+            break;
+        }
+    }
+}
+
+/// Folds constant expressions and algebraic identities. Returns `true` on
+/// change.
+pub fn const_fold(f: &mut TFunc) -> bool {
+    let mut changed = false;
+    for b in &mut f.blocks {
+        for inst in &mut b.insts {
+            let new = match inst {
+                TInst::Bin { op, dst, a, b } => match (*a, *b) {
+                    (Opnd::Const(x), Opnd::Const(y)) => {
+                        op.fold(x, y).map(|v| TInst::Copy {
+                            dst: *dst,
+                            src: Opnd::Const(v),
+                        })
+                    }
+                    (x, Opnd::Const(0)) if matches!(op, TBinOp::Add | TBinOp::Sub | TBinOp::Or | TBinOp::Xor | TBinOp::Shl | TBinOp::ShrA | TBinOp::ShrL) => {
+                        Some(TInst::Copy { dst: *dst, src: x })
+                    }
+                    (Opnd::Const(0), y) if matches!(op, TBinOp::Add | TBinOp::Or | TBinOp::Xor) => {
+                        Some(TInst::Copy { dst: *dst, src: y })
+                    }
+                    (x, Opnd::Const(1)) if matches!(op, TBinOp::Mul) => {
+                        Some(TInst::Copy { dst: *dst, src: x })
+                    }
+                    (Opnd::Const(1), y) if matches!(op, TBinOp::Mul) => {
+                        Some(TInst::Copy { dst: *dst, src: y })
+                    }
+                    (_, Opnd::Const(0)) | (Opnd::Const(0), _) if matches!(op, TBinOp::Mul | TBinOp::And) => {
+                        Some(TInst::Copy {
+                            dst: *dst,
+                            src: Opnd::Const(0),
+                        })
+                    }
+                    _ => None,
+                },
+                TInst::Un { op, dst, a: Opnd::Const(c) } => Some(TInst::Copy {
+                    dst: *dst,
+                    src: Opnd::Const(op.fold(*c)),
+                }),
+                _ => None,
+            };
+            if let Some(n) = new {
+                *inst = n;
+                changed = true;
+            }
+        }
+        // Fold constant branches.
+        match &b.term {
+            TTerm::Br { cond: Opnd::Const(c), t, f: fl } => {
+                b.term = TTerm::Jump(if *c != 0 { *t } else { *fl });
+                changed = true;
+            }
+            TTerm::Switch { val: Opnd::Const(c), cases, default } => {
+                let target = cases
+                    .iter()
+                    .find(|(l, _)| l == c)
+                    .map(|(_, b)| *b)
+                    .unwrap_or(*default);
+                b.term = TTerm::Jump(target);
+                changed = true;
+            }
+            _ => {}
+        }
+    }
+    changed
+}
+
+/// Propagates single-def copies (`x = y` / `x = const`). Returns `true` on
+/// change.
+pub fn copy_propagate(f: &mut TFunc) -> bool {
+    // Count static defs per var.
+    let mut def_count: HashMap<VarId, usize> = HashMap::new();
+    for b in &f.blocks {
+        for i in &b.insts {
+            if let Some(d) = i.dst() {
+                *def_count.entry(d).or_insert(0) += 1;
+            }
+        }
+    }
+    // Single-def copies of constants or single-def variables.
+    let mut value: HashMap<VarId, Opnd> = HashMap::new();
+    for b in &f.blocks {
+        for i in &b.insts {
+            if let TInst::Copy { dst, src } = i {
+                if def_count.get(dst) == Some(&1) {
+                    let ok = match src {
+                        Opnd::Const(_) => true,
+                        Opnd::Var(s) => def_count.get(s) == Some(&1),
+                    };
+                    if ok {
+                        value.insert(*dst, *src);
+                    }
+                }
+            }
+        }
+    }
+    if value.is_empty() {
+        return false;
+    }
+    // Resolve chains.
+    let resolve = |mut o: Opnd| -> Opnd {
+        for _ in 0..8 {
+            match o {
+                Opnd::Var(v) => match value.get(&v) {
+                    Some(&n) if n != o => o = n,
+                    _ => break,
+                },
+                Opnd::Const(_) => break,
+            }
+        }
+        o
+    };
+    let mut changed = false;
+    for b in &mut f.blocks {
+        for i in &mut b.insts {
+            i.for_each_use_mut(|o| {
+                let n = resolve(*o);
+                if n != *o {
+                    *o = n;
+                    changed = true;
+                }
+            });
+        }
+        b.term.for_each_use_mut(|o| {
+            let n = resolve(*o);
+            if n != *o {
+                *o = n;
+                changed = true;
+            }
+        });
+    }
+    changed
+}
+
+/// Removes instructions whose results are never used. Returns `true` on
+/// change.
+pub fn dce(f: &mut TFunc) -> bool {
+    let mut used: HashMap<VarId, bool> = HashMap::new();
+    for b in &f.blocks {
+        for i in &b.insts {
+            i.for_each_use(|o| {
+                if let Opnd::Var(v) = o {
+                    used.insert(*v, true);
+                }
+            });
+            // frame bases referenced by AddrFrame must stay allocated, but
+            // the *instruction* can still die if its dst is unused.
+        }
+        b.term.for_each_use(|o| {
+            if let Opnd::Var(v) = o {
+                used.insert(*v, true);
+            }
+        });
+    }
+    let mut changed = false;
+    for b in &mut f.blocks {
+        let before = b.insts.len();
+        b.insts.retain(|i| {
+            if i.has_side_effects() {
+                return true;
+            }
+            match i.dst() {
+                Some(d) => used.get(&d).copied().unwrap_or(false),
+                None => true,
+            }
+        });
+        changed |= b.insts.len() != before;
+    }
+    changed
+}
+
+/// Removes unreachable blocks and threads trivial jumps. Returns `true` on
+/// change.
+pub fn simplify_cfg(f: &mut TFunc) -> bool {
+    let n = f.blocks.len();
+    // Thread jumps through empty blocks.
+    let mut forward: Vec<Option<BlockId>> = vec![None; n];
+    for (i, b) in f.blocks.iter().enumerate() {
+        if b.insts.is_empty() {
+            if let TTerm::Jump(t) = b.term {
+                if t.index() != i {
+                    forward[i] = Some(t);
+                }
+            }
+        }
+    }
+    let resolve = |mut b: BlockId| -> BlockId {
+        for _ in 0..n {
+            match forward[b.index()] {
+                Some(t) if t != b => b = t,
+                _ => break,
+            }
+        }
+        b
+    };
+    let mut changed = false;
+    for b in &mut f.blocks {
+        let mut term = b.term.clone();
+        let map = |x: &mut BlockId, changed: &mut bool| {
+            let r = resolve(*x);
+            if r != *x {
+                *x = r;
+                *changed = true;
+            }
+        };
+        match &mut term {
+            TTerm::Jump(t) => map(t, &mut changed),
+            TTerm::Br { t, f, .. } => {
+                map(t, &mut changed);
+                map(f, &mut changed);
+            }
+            TTerm::Switch { cases, default, .. } => {
+                for (_, t) in cases {
+                    map(t, &mut changed);
+                }
+                map(default, &mut changed);
+            }
+            TTerm::Ret(_) => {}
+        }
+        // Degenerate branch.
+        if let TTerm::Br { t, f: fl, cond: _ } = &term {
+            if t == fl {
+                term = TTerm::Jump(*t);
+                changed = true;
+            }
+        }
+        b.term = term;
+    }
+    changed
+}
+
+/// Local value numbering within each block. Returns `true` on change.
+pub fn local_cse(f: &mut TFunc) -> bool {
+    #[derive(PartialEq, Eq, Hash, Clone)]
+    enum Key {
+        Bin(TBinOp, Opnd, Opnd),
+        Un(TUnOp, Opnd),
+        AddrGlobal(usize, i64),
+        AddrFrame(VarId, i64),
+        Load(Opnd, crate::tir::MemW, bool),
+    }
+    let mut changed = false;
+    // vars redefined later in the block would invalidate; only CSE over
+    // operands whose vars are not redefined between def and reuse. For
+    // simplicity require operand vars to be single-def in the function.
+    let mut def_count: HashMap<VarId, usize> = HashMap::new();
+    for b in &f.blocks {
+        for i in &b.insts {
+            if let Some(d) = i.dst() {
+                *def_count.entry(d).or_insert(0) += 1;
+            }
+        }
+    }
+    let single = |o: &Opnd, def_count: &HashMap<VarId, usize>| match o {
+        Opnd::Const(_) => true,
+        Opnd::Var(v) => def_count.get(v) == Some(&1),
+    };
+    for b in &mut f.blocks {
+        let mut table: HashMap<Key, VarId> = HashMap::new();
+        for inst in &mut b.insts {
+            // Calls and stores invalidate memory.
+            if matches!(inst, TInst::Call { .. } | TInst::Store { .. }) {
+                table.retain(|k, _| !matches!(k, Key::Load(..)));
+                continue;
+            }
+            let key = match inst {
+                TInst::Bin { op, a, b, .. }
+                    if single(a, &def_count) && single(b, &def_count) =>
+                {
+                    let (a2, b2) = if op.is_commutative() && format!("{a:?}") > format!("{b:?}") {
+                        (*b, *a)
+                    } else {
+                        (*a, *b)
+                    };
+                    Some(Key::Bin(*op, a2, b2))
+                }
+                TInst::Un { op, a, .. } if single(a, &def_count) => Some(Key::Un(*op, *a)),
+                TInst::AddrGlobal { global, offset, .. } => {
+                    Some(Key::AddrGlobal(*global, *offset))
+                }
+                TInst::AddrFrame { var, offset, .. } => Some(Key::AddrFrame(*var, *offset)),
+                TInst::Load { addr, width, signed, .. } if single(addr, &def_count) => {
+                    Some(Key::Load(*addr, *width, *signed))
+                }
+                _ => None,
+            };
+            let (Some(key), Some(dst)) = (key, inst.dst()) else {
+                continue;
+            };
+            // dst must itself be single-def for the replacement to be safe.
+            if def_count.get(&dst) != Some(&1) {
+                continue;
+            }
+            match table.get(&key) {
+                Some(&prev) => {
+                    *inst = TInst::Copy {
+                        dst,
+                        src: Opnd::Var(prev),
+                    };
+                    changed = true;
+                }
+                None => {
+                    table.insert(key, dst);
+                }
+            }
+        }
+    }
+    changed
+}
+
+/// Rewrites multiplies/divides by constants into shift/add sequences — the
+/// strength reduction the decompiler's *strength promotion* later reverses.
+/// Returns `true` on change.
+pub fn strength_reduce(f: &mut TFunc) -> bool {
+    let mut changed = false;
+    for bi in 0..f.blocks.len() {
+        let mut k = 0;
+        while k < f.blocks[bi].insts.len() {
+            let inst = f.blocks[bi].insts[k].clone();
+            let replaced: Option<Vec<TInst>> = match inst {
+                TInst::Bin {
+                    op: TBinOp::Mul,
+                    dst,
+                    a,
+                    b: Opnd::Const(c),
+                }
+                | TInst::Bin {
+                    op: TBinOp::Mul,
+                    dst,
+                    a: Opnd::Const(c),
+                    b: a,
+                } => reduce_mul(f, dst, a, c),
+                TInst::Bin {
+                    op: TBinOp::DivU,
+                    dst,
+                    a,
+                    b: Opnd::Const(c),
+                } if c > 0 && (c as u64).is_power_of_two() => Some(vec![TInst::Bin {
+                    op: TBinOp::ShrL,
+                    dst,
+                    a,
+                    b: Opnd::Const(c.trailing_zeros() as i64),
+                }]),
+                TInst::Bin {
+                    op: TBinOp::RemU,
+                    dst,
+                    a,
+                    b: Opnd::Const(c),
+                } if c > 0 && (c as u64).is_power_of_two() => Some(vec![TInst::Bin {
+                    op: TBinOp::And,
+                    dst,
+                    a,
+                    b: Opnd::Const(c - 1),
+                }]),
+                TInst::Bin {
+                    op: TBinOp::DivS,
+                    dst,
+                    a,
+                    b: Opnd::Const(c),
+                } if c > 1 && (c as u64).is_power_of_two() => {
+                    // gcc's signed power-of-two division sequence:
+                    //   t1 = a >> 31; t2 = t1 >>> (32-k); t3 = a + t2; d = t3 >> k
+                    let kk = c.trailing_zeros() as i64;
+                    let t1 = f.new_temp(crate::ast::Ty::Int);
+                    let t2 = f.new_temp(crate::ast::Ty::Int);
+                    let t3 = f.new_temp(crate::ast::Ty::Int);
+                    Some(vec![
+                        TInst::Bin {
+                            op: TBinOp::ShrA,
+                            dst: t1,
+                            a,
+                            b: Opnd::Const(31),
+                        },
+                        TInst::Bin {
+                            op: TBinOp::ShrL,
+                            dst: t2,
+                            a: Opnd::Var(t1),
+                            b: Opnd::Const(32 - kk),
+                        },
+                        TInst::Bin {
+                            op: TBinOp::Add,
+                            dst: t3,
+                            a,
+                            b: Opnd::Var(t2),
+                        },
+                        TInst::Bin {
+                            op: TBinOp::ShrA,
+                            dst,
+                            a: Opnd::Var(t3),
+                            b: Opnd::Const(kk),
+                        },
+                    ])
+                }
+                _ => None,
+            };
+            if let Some(seq) = replaced {
+                let n = seq.len();
+                f.blocks[bi].insts.splice(k..=k, seq);
+                k += n;
+                changed = true;
+            } else {
+                k += 1;
+            }
+        }
+    }
+    changed
+}
+
+/// Shift/add expansion for `dst = a * c` when profitable.
+fn reduce_mul(f: &mut TFunc, dst: VarId, a: Opnd, c: i64) -> Option<Vec<TInst>> {
+    if c <= 0 {
+        return None;
+    }
+    let cu = c as u64;
+    if cu.is_power_of_two() {
+        return Some(vec![TInst::Bin {
+            op: TBinOp::Shl,
+            dst,
+            a,
+            b: Opnd::Const(cu.trailing_zeros() as i64),
+        }]);
+    }
+    // Two set bits: (a << k1) + (a << k2)
+    if cu.count_ones() == 2 {
+        let k1 = 63 - cu.leading_zeros() as i64;
+        let k2 = cu.trailing_zeros() as i64;
+        let t1 = f.new_temp(crate::ast::Ty::Int);
+        let t2 = f.new_temp(crate::ast::Ty::Int);
+        return Some(vec![
+            TInst::Bin {
+                op: TBinOp::Shl,
+                dst: t1,
+                a,
+                b: Opnd::Const(k1),
+            },
+            TInst::Bin {
+                op: TBinOp::Shl,
+                dst: t2,
+                a,
+                b: Opnd::Const(k2),
+            },
+            TInst::Bin {
+                op: TBinOp::Add,
+                dst,
+                a: Opnd::Var(t1),
+                b: Opnd::Var(t2),
+            },
+        ]);
+    }
+    // 2^k - 1 pattern: (a << k) - a
+    if (cu + 1).is_power_of_two() {
+        let k = (cu + 1).trailing_zeros() as i64;
+        let t1 = f.new_temp(crate::ast::Ty::Int);
+        return Some(vec![
+            TInst::Bin {
+                op: TBinOp::Shl,
+                dst: t1,
+                a,
+                b: Opnd::Const(k),
+            },
+            TInst::Bin {
+                op: TBinOp::Sub,
+                dst,
+                a: Opnd::Var(t1),
+                b: a,
+            },
+        ]);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower;
+    use crate::parser::parse;
+
+    fn tir(src: &str) -> TFunc {
+        lower(&parse(src).unwrap()).unwrap().funcs.remove(0)
+    }
+
+    fn count_bin(f: &TFunc, op: TBinOp) -> usize {
+        f.blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, TInst::Bin { op: o, .. } if *o == op))
+            .count()
+    }
+
+    #[test]
+    fn const_fold_collapses_arithmetic() {
+        let mut f = tir("int f(void){ return (3 + 4) * 2; }");
+        // lowering already folds consts; ensure a runtime identity folds too
+        let mut g = tir("int f(int x){ return x + 0; }");
+        optimize(&mut f, OptLevel::O1);
+        optimize(&mut g, OptLevel::O1);
+        assert_eq!(count_bin(&g, TBinOp::Add), 0, "{g}");
+    }
+
+    #[test]
+    fn dce_removes_dead_temps() {
+        let mut f = tir("int f(int x){ int dead = x * 99; return x; }");
+        optimize(&mut f, OptLevel::O1);
+        assert_eq!(count_bin(&f, TBinOp::Mul), 0, "{f}");
+    }
+
+    #[test]
+    fn strength_reduce_pow2_mul() {
+        let mut f = tir("int f(int x){ return x * 8; }");
+        optimize(&mut f, OptLevel::O2);
+        assert_eq!(count_bin(&f, TBinOp::Mul), 0, "{f}");
+        assert_eq!(count_bin(&f, TBinOp::Shl), 1, "{f}");
+    }
+
+    #[test]
+    fn strength_reduce_two_bit_mul() {
+        let mut f = tir("int f(int x){ return x * 10; }"); // 8 + 2
+        optimize(&mut f, OptLevel::O2);
+        assert_eq!(count_bin(&f, TBinOp::Mul), 0, "{f}");
+        assert_eq!(count_bin(&f, TBinOp::Shl), 2, "{f}");
+        assert!(count_bin(&f, TBinOp::Add) >= 1, "{f}");
+    }
+
+    #[test]
+    fn strength_reduce_signed_div() {
+        let mut f = tir("int f(int x){ return x / 4; }");
+        optimize(&mut f, OptLevel::O2);
+        assert_eq!(count_bin(&f, TBinOp::DivS), 0, "{f}");
+        assert!(count_bin(&f, TBinOp::ShrA) >= 2, "{f}");
+    }
+
+    #[test]
+    fn o1_does_not_strength_reduce() {
+        let mut f = tir("int f(int x){ return x * 8; }");
+        optimize(&mut f, OptLevel::O1);
+        assert_eq!(count_bin(&f, TBinOp::Mul), 1, "{f}");
+    }
+
+    #[test]
+    fn unsigned_rem_becomes_mask() {
+        let mut f = tir("unsigned int f(unsigned int x){ return x % 16; }");
+        optimize(&mut f, OptLevel::O2);
+        assert_eq!(count_bin(&f, TBinOp::RemU), 0, "{f}");
+        assert_eq!(count_bin(&f, TBinOp::And), 1, "{f}");
+    }
+
+    #[test]
+    fn cse_merges_repeated_loads_of_same_address() {
+        let mut f = tir("int g; int f(void){ return g + g; }");
+        let loads_before = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, TInst::Load { .. }))
+            .count();
+        optimize(&mut f, OptLevel::O2);
+        let loads_after = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.insts)
+            .filter(|i| matches!(i, TInst::Load { .. }))
+            .count();
+        assert!(loads_after <= loads_before, "{f}");
+    }
+
+    #[test]
+    fn constant_branch_folds() {
+        let mut f = tir("int f(void){ if (1) return 5; return 6; }");
+        optimize(&mut f, OptLevel::O1);
+        let brs = f
+            .blocks
+            .iter()
+            .filter(|b| matches!(b.term, TTerm::Br { .. }))
+            .count();
+        assert_eq!(brs, 0, "{f}");
+    }
+}

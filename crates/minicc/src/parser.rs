@@ -1,0 +1,833 @@
+//! Recursive-descent parser for mini-C.
+//!
+//! Deviations from C, chosen to keep benchmark kernels expressible while
+//! keeping the front-end small: `switch` cases do not fall through (a
+//! trailing `break` is accepted and consumed), at most four parameters per
+//! function, and declarations use the simple `type name [size]` form.
+
+use crate::ast::*;
+use crate::lexer::{lex, Kw, LexError, Tok, Token};
+use std::fmt;
+
+/// Parse failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable message.
+    pub msg: String,
+    /// Line number.
+    pub line: u32,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error on line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError {
+            msg: e.to_string(),
+            line: e.line,
+        }
+    }
+}
+
+/// Parses a translation unit.
+///
+/// # Errors
+///
+/// Returns [`ParseError`] with a line number on any syntax error.
+///
+/// # Example
+///
+/// ```
+/// let src = "int g[4]; int main(void) { int i; for (i = 0; i < 4; i++) g[i] = i; return g[3]; }";
+/// let prog = binpart_minicc::parser::parse(src).unwrap();
+/// assert_eq!(prog.funcs.len(), 1);
+/// assert_eq!(prog.globals.len(), 1);
+/// ```
+pub fn parse(src: &str) -> Result<Program, ParseError> {
+    let tokens = lex(src)?;
+    let mut p = Parser { tokens, pos: 0 };
+    p.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.tokens[self.pos].tok
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.tokens[(self.pos + 1).min(self.tokens.len() - 1)].tok
+    }
+
+    fn line(&self) -> u32 {
+        self.tokens[self.pos].line
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.tokens[self.pos].tok.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T, ParseError> {
+        Err(ParseError {
+            msg: msg.into(),
+            line: self.line(),
+        })
+    }
+
+    fn expect_punct(&mut self, s: &str) -> Result<(), ParseError> {
+        match self.peek() {
+            Tok::Punct(p) if *p == s => {
+                self.bump();
+                Ok(())
+            }
+            other => self.err(format!("expected `{s}`, found {other:?}")),
+        }
+    }
+
+    fn eat_punct(&mut self, s: &str) -> bool {
+        matches!(self.peek(), Tok::Punct(p) if *p == s) && {
+            self.bump();
+            true
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String, ParseError> {
+        match self.bump() {
+            Tok::Ident(s) => Ok(s),
+            other => self.err(format!("expected identifier, found {other:?}")),
+        }
+    }
+
+    fn at_type(&self) -> bool {
+        matches!(
+            self.peek(),
+            Tok::Kw(Kw::Void | Kw::Char | Kw::Short | Kw::Int | Kw::Unsigned | Kw::Signed | Kw::Const)
+        )
+    }
+
+    fn parse_type(&mut self) -> Result<Ty, ParseError> {
+        // strip const
+        while matches!(self.peek(), Tok::Kw(Kw::Const)) {
+            self.bump();
+        }
+        let mut unsigned = false;
+        let mut signed = false;
+        loop {
+            match self.peek() {
+                Tok::Kw(Kw::Unsigned) => {
+                    unsigned = true;
+                    self.bump();
+                }
+                Tok::Kw(Kw::Signed) => {
+                    signed = true;
+                    self.bump();
+                }
+                Tok::Kw(Kw::Const) => {
+                    self.bump();
+                }
+                _ => break,
+            }
+        }
+        let base = match self.peek() {
+            Tok::Kw(Kw::Void) => {
+                self.bump();
+                Ty::Void
+            }
+            Tok::Kw(Kw::Char) => {
+                self.bump();
+                if unsigned {
+                    Ty::UChar
+                } else {
+                    Ty::Char
+                }
+            }
+            Tok::Kw(Kw::Short) => {
+                self.bump();
+                // accept "short int"
+                if matches!(self.peek(), Tok::Kw(Kw::Int)) {
+                    self.bump();
+                }
+                if unsigned {
+                    Ty::UShort
+                } else {
+                    Ty::Short
+                }
+            }
+            Tok::Kw(Kw::Int) => {
+                self.bump();
+                if unsigned {
+                    Ty::UInt
+                } else {
+                    Ty::Int
+                }
+            }
+            _ if unsigned || signed => Ty::Int, // bare `unsigned x`
+            other => return self.err(format!("expected type, found {other:?}")),
+        };
+        let base = if unsigned && base == Ty::Int {
+            Ty::UInt
+        } else {
+            base
+        };
+        let mut ty = base;
+        while self.eat_punct("*") {
+            ty = Ty::Ptr(Box::new(ty));
+        }
+        Ok(ty)
+    }
+
+    fn program(&mut self) -> Result<Program, ParseError> {
+        let mut prog = Program::default();
+        while !matches!(self.peek(), Tok::Eof) {
+            let ty = self.parse_type()?;
+            let name = self.expect_ident()?;
+            if matches!(self.peek(), Tok::Punct("(")) {
+                prog.funcs.push(self.func_rest(ty, name)?);
+            } else {
+                prog.globals.push(self.global_rest(ty, name)?);
+            }
+        }
+        Ok(prog)
+    }
+
+    fn const_expr(&mut self) -> Result<i64, ParseError> {
+        let e = self.expr_ternary()?;
+        eval_const(&e).ok_or_else(|| ParseError {
+            msg: "expected constant expression".into(),
+            line: self.line(),
+        })
+    }
+
+    fn global_rest(&mut self, mut ty: Ty, name: String) -> Result<GlobalDecl, ParseError> {
+        if self.eat_punct("[") {
+            let n = self.const_expr()?;
+            self.expect_punct("]")?;
+            if n <= 0 {
+                return self.err("array size must be positive");
+            }
+            ty = Ty::Array(Box::new(ty), n as usize);
+        }
+        let mut init = Vec::new();
+        if self.eat_punct("=") {
+            if self.eat_punct("{") {
+                loop {
+                    init.push(self.const_expr()?);
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                    if matches!(self.peek(), Tok::Punct("}")) {
+                        break; // trailing comma
+                    }
+                }
+                self.expect_punct("}")?;
+            } else {
+                init.push(self.const_expr()?);
+            }
+        }
+        self.expect_punct(";")?;
+        Ok(GlobalDecl { name, ty, init })
+    }
+
+    fn func_rest(&mut self, ret: Ty, name: String) -> Result<FuncDecl, ParseError> {
+        self.expect_punct("(")?;
+        let mut params = Vec::new();
+        if !self.eat_punct(")") {
+            if matches!(self.peek(), Tok::Kw(Kw::Void)) && matches!(self.peek2(), Tok::Punct(")"))
+            {
+                self.bump();
+                self.expect_punct(")")?;
+            } else {
+                loop {
+                    let pty = self.parse_type()?;
+                    let pname = self.expect_ident()?;
+                    let pty = if self.eat_punct("[") {
+                        // `int a[]` parameter: pointer
+                        if !matches!(self.peek(), Tok::Punct("]")) {
+                            let _ = self.const_expr()?;
+                        }
+                        self.expect_punct("]")?;
+                        Ty::Ptr(Box::new(pty))
+                    } else {
+                        pty
+                    };
+                    params.push((pname, pty));
+                    if !self.eat_punct(",") {
+                        break;
+                    }
+                }
+                self.expect_punct(")")?;
+            }
+        }
+        if params.len() > 4 {
+            return self.err("at most 4 parameters are supported");
+        }
+        self.expect_punct("{")?;
+        let mut body = Vec::new();
+        while !self.eat_punct("}") {
+            body.push(self.stmt()?);
+        }
+        Ok(FuncDecl {
+            name,
+            ret,
+            params,
+            body,
+        })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match self.peek().clone() {
+            Tok::Punct("{") => {
+                self.bump();
+                let mut v = Vec::new();
+                while !self.eat_punct("}") {
+                    v.push(self.stmt()?);
+                }
+                Ok(Stmt::Block(v))
+            }
+            Tok::Kw(Kw::If) => {
+                self.bump();
+                self.expect_punct("(")?;
+                let cond = self.expr()?;
+                self.expect_punct(")")?;
+                let then = Box::new(self.stmt()?);
+                let els = if matches!(self.peek(), Tok::Kw(Kw::Else)) {
+                    self.bump();
+                    Some(Box::new(self.stmt()?))
+                } else {
+                    None
+                };
+                Ok(Stmt::If { cond, then, els })
+            }
+            Tok::Kw(Kw::While) => {
+                self.bump();
+                self.expect_punct("(")?;
+                let cond = self.expr()?;
+                self.expect_punct(")")?;
+                let body = Box::new(self.stmt()?);
+                Ok(Stmt::While { cond, body })
+            }
+            Tok::Kw(Kw::Do) => {
+                self.bump();
+                let body = Box::new(self.stmt()?);
+                match self.peek() {
+                    Tok::Kw(Kw::While) => {
+                        self.bump();
+                    }
+                    other => return self.err(format!("expected `while`, found {other:?}")),
+                }
+                self.expect_punct("(")?;
+                let cond = self.expr()?;
+                self.expect_punct(")")?;
+                self.expect_punct(";")?;
+                Ok(Stmt::DoWhile { body, cond })
+            }
+            Tok::Kw(Kw::For) => {
+                self.bump();
+                self.expect_punct("(")?;
+                let init = if self.eat_punct(";") {
+                    None
+                } else if self.at_type() {
+                    Some(Box::new(self.decl_stmt()?))
+                } else {
+                    let e = self.expr()?;
+                    self.expect_punct(";")?;
+                    Some(Box::new(Stmt::Expr(e)))
+                };
+                let cond = if matches!(self.peek(), Tok::Punct(";")) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect_punct(";")?;
+                let step = if matches!(self.peek(), Tok::Punct(")")) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect_punct(")")?;
+                let body = Box::new(self.stmt()?);
+                Ok(Stmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                })
+            }
+            Tok::Kw(Kw::Switch) => {
+                self.bump();
+                self.expect_punct("(")?;
+                let scrutinee = self.expr()?;
+                self.expect_punct(")")?;
+                self.expect_punct("{")?;
+                let mut cases = Vec::new();
+                let mut default = None;
+                loop {
+                    match self.peek().clone() {
+                        Tok::Kw(Kw::Case) => {
+                            self.bump();
+                            let label = self.const_expr()?;
+                            self.expect_punct(":")?;
+                            let body = self.case_body()?;
+                            cases.push((label, body));
+                        }
+                        Tok::Kw(Kw::Default) => {
+                            self.bump();
+                            self.expect_punct(":")?;
+                            default = Some(self.case_body()?);
+                        }
+                        Tok::Punct("}") => {
+                            self.bump();
+                            break;
+                        }
+                        other => return self.err(format!("expected case/default, found {other:?}")),
+                    }
+                }
+                Ok(Stmt::Switch {
+                    scrutinee,
+                    cases,
+                    default,
+                })
+            }
+            Tok::Kw(Kw::Return) => {
+                self.bump();
+                if self.eat_punct(";") {
+                    Ok(Stmt::Return(None))
+                } else {
+                    let e = self.expr()?;
+                    self.expect_punct(";")?;
+                    Ok(Stmt::Return(Some(e)))
+                }
+            }
+            Tok::Kw(Kw::Break) => {
+                self.bump();
+                self.expect_punct(";")?;
+                Ok(Stmt::Break)
+            }
+            Tok::Kw(Kw::Continue) => {
+                self.bump();
+                self.expect_punct(";")?;
+                Ok(Stmt::Continue)
+            }
+            _ if self.at_type() => self.decl_stmt(),
+            _ => {
+                let e = self.expr()?;
+                self.expect_punct(";")?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    fn case_body(&mut self) -> Result<Vec<Stmt>, ParseError> {
+        let mut v = Vec::new();
+        loop {
+            match self.peek() {
+                Tok::Kw(Kw::Case) | Tok::Kw(Kw::Default) | Tok::Punct("}") => break,
+                Tok::Kw(Kw::Break) if matches!(self.peek2(), Tok::Punct(";")) => {
+                    // consume `break;` ending the case (no fallthrough model)
+                    self.bump();
+                    self.bump();
+                    break;
+                }
+                _ => v.push(self.stmt()?),
+            }
+        }
+        Ok(v)
+    }
+
+    fn decl_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let ty = self.parse_type()?;
+        let name = self.expect_ident()?;
+        let mut ty = ty;
+        if self.eat_punct("[") {
+            let n = self.const_expr()?;
+            self.expect_punct("]")?;
+            if n <= 0 {
+                return self.err("array size must be positive");
+            }
+            ty = Ty::Array(Box::new(ty), n as usize);
+        }
+        let init = if self.eat_punct("=") {
+            Some(self.expr()?)
+        } else {
+            None
+        };
+        self.expect_punct(";")?;
+        Ok(Stmt::Decl { name, ty, init })
+    }
+
+    // ---- expressions (precedence climbing) ----
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.expr_assign()
+    }
+
+    fn expr_assign(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.expr_ternary()?;
+        let op = match self.peek() {
+            Tok::Punct("=") => None,
+            Tok::Punct("+=") => Some(BinOp::Add),
+            Tok::Punct("-=") => Some(BinOp::Sub),
+            Tok::Punct("*=") => Some(BinOp::Mul),
+            Tok::Punct("/=") => Some(BinOp::Div),
+            Tok::Punct("%=") => Some(BinOp::Rem),
+            Tok::Punct("&=") => Some(BinOp::And),
+            Tok::Punct("|=") => Some(BinOp::Or),
+            Tok::Punct("^=") => Some(BinOp::Xor),
+            Tok::Punct("<<=") => Some(BinOp::Shl),
+            Tok::Punct(">>=") => Some(BinOp::Shr),
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.expr_assign()?;
+        Ok(Expr::Assign {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        })
+    }
+
+    fn expr_ternary(&mut self) -> Result<Expr, ParseError> {
+        let cond = self.binary(0)?;
+        if self.eat_punct("?") {
+            let then = self.expr()?;
+            self.expect_punct(":")?;
+            let els = self.expr_ternary()?;
+            Ok(Expr::Ternary {
+                cond: Box::new(cond),
+                then: Box::new(then),
+                els: Box::new(els),
+            })
+        } else {
+            Ok(cond)
+        }
+    }
+
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let (op, prec) = match self.peek() {
+                Tok::Punct("||") => (BinOp::LOr, 1),
+                Tok::Punct("&&") => (BinOp::LAnd, 2),
+                Tok::Punct("|") => (BinOp::Or, 3),
+                Tok::Punct("^") => (BinOp::Xor, 4),
+                Tok::Punct("&") => (BinOp::And, 5),
+                Tok::Punct("==") => (BinOp::Eq, 6),
+                Tok::Punct("!=") => (BinOp::Ne, 6),
+                Tok::Punct("<") => (BinOp::Lt, 7),
+                Tok::Punct("<=") => (BinOp::Le, 7),
+                Tok::Punct(">") => (BinOp::Gt, 7),
+                Tok::Punct(">=") => (BinOp::Ge, 7),
+                Tok::Punct("<<") => (BinOp::Shl, 8),
+                Tok::Punct(">>") => (BinOp::Shr, 8),
+                Tok::Punct("+") => (BinOp::Add, 9),
+                Tok::Punct("-") => (BinOp::Sub, 9),
+                Tok::Punct("*") => (BinOp::Mul, 10),
+                Tok::Punct("/") => (BinOp::Div, 10),
+                Tok::Punct("%") => (BinOp::Rem, 10),
+                _ => break,
+            };
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().clone() {
+            Tok::Punct("-") => {
+                self.bump();
+                Ok(Expr::Unary {
+                    op: UnOp::Neg,
+                    expr: Box::new(self.unary()?),
+                })
+            }
+            Tok::Punct("~") => {
+                self.bump();
+                Ok(Expr::Unary {
+                    op: UnOp::Not,
+                    expr: Box::new(self.unary()?),
+                })
+            }
+            Tok::Punct("!") => {
+                self.bump();
+                Ok(Expr::Unary {
+                    op: UnOp::LNot,
+                    expr: Box::new(self.unary()?),
+                })
+            }
+            Tok::Punct("*") => {
+                self.bump();
+                Ok(Expr::Deref(Box::new(self.unary()?)))
+            }
+            Tok::Punct("&") => {
+                self.bump();
+                Ok(Expr::AddrOf(Box::new(self.unary()?)))
+            }
+            Tok::Punct("++") => {
+                self.bump();
+                Ok(Expr::PreInc {
+                    inc: true,
+                    expr: Box::new(self.unary()?),
+                })
+            }
+            Tok::Punct("--") => {
+                self.bump();
+                Ok(Expr::PreInc {
+                    inc: false,
+                    expr: Box::new(self.unary()?),
+                })
+            }
+            Tok::Punct("(") => {
+                // cast or parenthesized expression
+                let save = self.pos;
+                self.bump();
+                if self.at_type() {
+                    let ty = self.parse_type()?;
+                    self.expect_punct(")")?;
+                    let e = self.unary()?;
+                    return Ok(Expr::Cast {
+                        ty,
+                        expr: Box::new(e),
+                    });
+                }
+                self.pos = save;
+                self.postfix()
+            }
+            _ => self.postfix(),
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.primary()?;
+        loop {
+            match self.peek() {
+                Tok::Punct("[") => {
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect_punct("]")?;
+                    e = Expr::Index {
+                        base: Box::new(e),
+                        index: Box::new(idx),
+                    };
+                }
+                Tok::Punct("(") => {
+                    let name = match &e {
+                        Expr::Ident(n) => n.clone(),
+                        _ => return self.err("only direct calls are supported"),
+                    };
+                    self.bump();
+                    let mut args = Vec::new();
+                    if !self.eat_punct(")") {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat_punct(",") {
+                                break;
+                            }
+                        }
+                        self.expect_punct(")")?;
+                    }
+                    e = Expr::Call { name, args };
+                }
+                Tok::Punct("++") => {
+                    self.bump();
+                    e = Expr::PostInc {
+                        inc: true,
+                        expr: Box::new(e),
+                    };
+                }
+                Tok::Punct("--") => {
+                    self.bump();
+                    e = Expr::PostInc {
+                        inc: false,
+                        expr: Box::new(e),
+                    };
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.bump() {
+            Tok::Num(v) => Ok(Expr::Num(v)),
+            Tok::Ident(s) => Ok(Expr::Ident(s)),
+            Tok::Punct("(") => {
+                let e = self.expr()?;
+                self.expect_punct(")")?;
+                Ok(e)
+            }
+            other => self.err(format!("expected expression, found {other:?}")),
+        }
+    }
+}
+
+/// Evaluates constant expressions (literals combined with arithmetic).
+pub fn eval_const(e: &Expr) -> Option<i64> {
+    match e {
+        Expr::Num(v) => Some(*v),
+        Expr::Unary { op, expr } => {
+            let v = eval_const(expr)?;
+            Some(match op {
+                UnOp::Neg => v.wrapping_neg(),
+                UnOp::Not => !(v as i32) as i64,
+                UnOp::LNot => (v == 0) as i64,
+            })
+        }
+        Expr::Binary { op, lhs, rhs } => {
+            let a = eval_const(lhs)? as i32;
+            let b = eval_const(rhs)? as i32;
+            let r: i32 = match op {
+                BinOp::Add => a.wrapping_add(b),
+                BinOp::Sub => a.wrapping_sub(b),
+                BinOp::Mul => a.wrapping_mul(b),
+                BinOp::Div => a.checked_div(b)?,
+                BinOp::Rem => a.checked_rem(b)?,
+                BinOp::And => a & b,
+                BinOp::Or => a | b,
+                BinOp::Xor => a ^ b,
+                BinOp::Shl => a.wrapping_shl(b as u32),
+                BinOp::Shr => a.wrapping_shr(b as u32),
+                BinOp::Eq => (a == b) as i32,
+                BinOp::Ne => (a != b) as i32,
+                BinOp::Lt => (a < b) as i32,
+                BinOp::Le => (a <= b) as i32,
+                BinOp::Gt => (a > b) as i32,
+                BinOp::Ge => (a >= b) as i32,
+                BinOp::LAnd => ((a != 0) && (b != 0)) as i32,
+                BinOp::LOr => ((a != 0) || (b != 0)) as i32,
+            };
+            Some(r as i64)
+        }
+        Expr::Cast { expr, .. } => eval_const(expr),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_globals_and_functions() {
+        let p = parse(
+            "int table[3] = {1, 2, 3};\n\
+             unsigned short flags = 0x10;\n\
+             int add(int a, int b) { return a + b; }",
+        )
+        .unwrap();
+        assert_eq!(p.globals.len(), 2);
+        assert_eq!(p.globals[0].init, vec![1, 2, 3]);
+        assert_eq!(p.globals[1].ty, Ty::UShort);
+        assert_eq!(p.funcs[0].params.len(), 2);
+    }
+
+    #[test]
+    fn precedence_shapes_tree() {
+        let p = parse("int f(void) { return 1 + 2 * 3; }").unwrap();
+        let Stmt::Return(Some(Expr::Binary { op, rhs, .. })) = &p.funcs[0].body[0] else {
+            panic!("expected return of binary expr");
+        };
+        assert_eq!(*op, BinOp::Add);
+        assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn parses_all_statement_forms() {
+        let src = "
+            int f(int n) {
+                int i; int acc = 0;
+                for (i = 0; i < n; i++) { acc += i; }
+                while (acc > 100) acc -= 7;
+                do { acc++; } while (acc < 10);
+                if (acc == 3) acc = 4; else acc = 5;
+                switch (acc) {
+                    case 4: acc = 40; break;
+                    case 5: acc = 50; break;
+                    default: acc = 0;
+                }
+                return acc;
+            }";
+        let p = parse(src).unwrap();
+        assert_eq!(p.funcs[0].body.len(), 8);
+        let Stmt::Switch { cases, default, .. } = &p.funcs[0].body[6] else {
+            panic!("switch expected");
+        };
+        assert_eq!(cases.len(), 2);
+        assert!(default.is_some());
+    }
+
+    #[test]
+    fn casts_and_pointers() {
+        let p = parse("int f(int* p) { return *(p + 1) + (int)(char)255; }").unwrap();
+        assert_eq!(p.funcs[0].params[0].1, Ty::Ptr(Box::new(Ty::Int)));
+        let Stmt::Return(Some(e)) = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        assert!(matches!(e, Expr::Binary { .. }));
+    }
+
+    #[test]
+    fn array_param_decays() {
+        let p = parse("int f(int a[], int n) { return a[n]; }").unwrap();
+        assert_eq!(p.funcs[0].params[0].1, Ty::Ptr(Box::new(Ty::Int)));
+    }
+
+    #[test]
+    fn error_reports_line() {
+        let err = parse("int f(void) {\n  return $;\n}").unwrap_err();
+        assert_eq!(err.line, 2);
+    }
+
+    #[test]
+    fn too_many_params_rejected() {
+        let err = parse("int f(int a, int b, int c, int d, int e) { return 0; }").unwrap_err();
+        assert!(err.msg.contains("4 parameters"));
+    }
+
+    #[test]
+    fn const_expr_arithmetic() {
+        let p = parse("int a[2*4]; int f(void){ switch(1){ case 2+3: return 1; } return 0; }")
+            .unwrap();
+        assert_eq!(p.globals[0].ty, Ty::Array(Box::new(Ty::Int), 8));
+        let Stmt::Switch { cases, .. } = &p.funcs[0].body[0] else {
+            panic!()
+        };
+        assert_eq!(cases[0].0, 5);
+    }
+
+    #[test]
+    fn increments_parse() {
+        let p = parse("int f(void){ int i=0; i++; ++i; i--; --i; return i; }").unwrap();
+        assert!(matches!(
+            p.funcs[0].body[1],
+            Stmt::Expr(Expr::PostInc { inc: true, .. })
+        ));
+        assert!(matches!(
+            p.funcs[0].body[2],
+            Stmt::Expr(Expr::PreInc { inc: true, .. })
+        ));
+    }
+}

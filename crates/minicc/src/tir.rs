@@ -1,0 +1,498 @@
+//! Three-address intermediate representation of the compiler middle-end.
+//!
+//! Scalar variables live in virtual registers (widened to 32 bits, kept in
+//! canonical sign-/zero-extended form per their declared type); arrays and
+//! address-taken locals live in the frame and are accessed through explicit
+//! address computations and loads/stores. This mirrors how a small C
+//! compiler of the era structured its IR, and is what the optimization
+//! levels transform before MIPS code generation.
+
+use crate::ast::Ty;
+use std::fmt;
+
+/// A virtual variable (scalar register or frame object handle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VarId(pub u32);
+
+impl VarId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VarId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// A basic-block id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// Dense index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{}", self.0)
+    }
+}
+
+/// An operand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Opnd {
+    /// Variable.
+    Var(VarId),
+    /// Immediate.
+    Const(i64),
+}
+
+impl Opnd {
+    /// The variable, if any.
+    pub fn as_var(self) -> Option<VarId> {
+        match self {
+            Opnd::Var(v) => Some(v),
+            Opnd::Const(_) => None,
+        }
+    }
+
+    /// The constant, if any.
+    pub fn as_const(self) -> Option<i64> {
+        match self {
+            Opnd::Const(c) => Some(c),
+            Opnd::Var(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for Opnd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Opnd::Var(v) => write!(f, "{v}"),
+            Opnd::Const(c) => write!(f, "{c}"),
+        }
+    }
+}
+
+/// Binary operators (signedness explicit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum TBinOp {
+    Add,
+    Sub,
+    Mul,
+    DivS,
+    DivU,
+    RemS,
+    RemU,
+    And,
+    Or,
+    Xor,
+    Shl,
+    ShrL,
+    ShrA,
+    Eq,
+    Ne,
+    LtS,
+    LtU,
+    LeS,
+    LeU,
+    GtS,
+    GtU,
+    GeS,
+    GeU,
+}
+
+impl TBinOp {
+    /// Constant folding with 32-bit semantics; `None` for division by zero
+    /// (left to runtime).
+    pub fn fold(self, a: i64, b: i64) -> Option<i64> {
+        let x = a as i32;
+        let y = b as i32;
+        let xu = x as u32;
+        let yu = y as u32;
+        let r: i32 = match self {
+            TBinOp::Add => x.wrapping_add(y),
+            TBinOp::Sub => x.wrapping_sub(y),
+            TBinOp::Mul => x.wrapping_mul(y),
+            TBinOp::DivS => x.checked_div(y)?,
+            TBinOp::DivU => {
+                if yu == 0 {
+                    return None;
+                } else {
+                    (xu / yu) as i32
+                }
+            }
+            TBinOp::RemS => x.checked_rem(y)?,
+            TBinOp::RemU => {
+                if yu == 0 {
+                    return None;
+                } else {
+                    (xu % yu) as i32
+                }
+            }
+            TBinOp::And => x & y,
+            TBinOp::Or => x | y,
+            TBinOp::Xor => x ^ y,
+            TBinOp::Shl => ((xu) << (yu & 31)) as i32,
+            TBinOp::ShrL => (xu >> (yu & 31)) as i32,
+            TBinOp::ShrA => x >> (yu & 31),
+            TBinOp::Eq => (x == y) as i32,
+            TBinOp::Ne => (x != y) as i32,
+            TBinOp::LtS => (x < y) as i32,
+            TBinOp::LtU => (xu < yu) as i32,
+            TBinOp::LeS => (x <= y) as i32,
+            TBinOp::LeU => (xu <= yu) as i32,
+            TBinOp::GtS => (x > y) as i32,
+            TBinOp::GtU => (xu > yu) as i32,
+            TBinOp::GeS => (x >= y) as i32,
+            TBinOp::GeU => (xu >= yu) as i32,
+        };
+        Some(r as i64)
+    }
+
+    /// `true` for commutative ops.
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            TBinOp::Add | TBinOp::Mul | TBinOp::And | TBinOp::Or | TBinOp::Xor | TBinOp::Eq | TBinOp::Ne
+        )
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum TUnOp {
+    Neg,
+    Not,
+    SextB,
+    SextH,
+    ZextB,
+    ZextH,
+}
+
+impl TUnOp {
+    /// Constant folding with 32-bit semantics.
+    pub fn fold(self, a: i64) -> i64 {
+        let x = a as i32;
+        let r: i32 = match self {
+            TUnOp::Neg => x.wrapping_neg(),
+            TUnOp::Not => !x,
+            TUnOp::SextB => x as u8 as i8 as i32,
+            TUnOp::SextH => x as u16 as i16 as i32,
+            TUnOp::ZextB => (x as u8) as i32,
+            TUnOp::ZextH => (x as u16) as i32,
+        };
+        r as i64
+    }
+}
+
+/// Memory access width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemW {
+    /// 1 byte.
+    B,
+    /// 2 bytes.
+    H,
+    /// 4 bytes.
+    W,
+}
+
+impl MemW {
+    /// Width for a scalar type.
+    pub fn for_ty(ty: &Ty) -> MemW {
+        match ty.size() {
+            1 => MemW::B,
+            2 => MemW::H,
+            _ => MemW::W,
+        }
+    }
+}
+
+/// An instruction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum TInst {
+    Copy { dst: VarId, src: Opnd },
+    Bin { op: TBinOp, dst: VarId, a: Opnd, b: Opnd },
+    Un { op: TUnOp, dst: VarId, a: Opnd },
+    /// Address of a program global plus a byte offset.
+    AddrGlobal { dst: VarId, global: usize, offset: i64 },
+    /// Address of a frame-resident local plus a byte offset.
+    AddrFrame { dst: VarId, var: VarId, offset: i64 },
+    Load { dst: VarId, addr: Opnd, width: MemW, signed: bool },
+    Store { addr: Opnd, src: Opnd, width: MemW },
+    Call { dst: Option<VarId>, callee: String, args: Vec<Opnd> },
+}
+
+impl TInst {
+    /// Defined variable, if any.
+    pub fn dst(&self) -> Option<VarId> {
+        match self {
+            TInst::Copy { dst, .. }
+            | TInst::Bin { dst, .. }
+            | TInst::Un { dst, .. }
+            | TInst::AddrGlobal { dst, .. }
+            | TInst::AddrFrame { dst, .. }
+            | TInst::Load { dst, .. } => Some(*dst),
+            TInst::Call { dst, .. } => *dst,
+            TInst::Store { .. } => None,
+        }
+    }
+
+    /// Visits used operands.
+    pub fn for_each_use(&self, mut f: impl FnMut(&Opnd)) {
+        match self {
+            TInst::Copy { src, .. } => f(src),
+            TInst::Bin { a, b, .. } => {
+                f(a);
+                f(b);
+            }
+            TInst::Un { a, .. } => f(a),
+            TInst::AddrGlobal { .. } => {}
+            TInst::AddrFrame { .. } => {}
+            TInst::Load { addr, .. } => f(addr),
+            TInst::Store { addr, src, .. } => {
+                f(addr);
+                f(src);
+            }
+            TInst::Call { args, .. } => args.iter().for_each(f),
+        }
+    }
+
+    /// Mutably visits used operands.
+    pub fn for_each_use_mut(&mut self, mut f: impl FnMut(&mut Opnd)) {
+        match self {
+            TInst::Copy { src, .. } => f(src),
+            TInst::Bin { a, b, .. } => {
+                f(a);
+                f(b);
+            }
+            TInst::Un { a, .. } => f(a),
+            TInst::AddrGlobal { .. } => {}
+            TInst::AddrFrame { .. } => {}
+            TInst::Load { addr, .. } => f(addr),
+            TInst::Store { addr, src, .. } => {
+                f(addr);
+                f(src);
+            }
+            TInst::Call { args, .. } => args.iter_mut().for_each(f),
+        }
+    }
+
+    /// `true` if the instruction must be kept even when its result is dead.
+    pub fn has_side_effects(&self) -> bool {
+        matches!(self, TInst::Store { .. } | TInst::Call { .. })
+    }
+}
+
+/// Block terminator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum TTerm {
+    Jump(BlockId),
+    Br { cond: Opnd, t: BlockId, f: BlockId },
+    Ret(Option<Opnd>),
+    Switch { val: Opnd, cases: Vec<(i64, BlockId)>, default: BlockId },
+}
+
+impl TTerm {
+    /// Successor blocks.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            TTerm::Jump(b) => vec![*b],
+            TTerm::Br { t, f, .. } => vec![*t, *f],
+            TTerm::Ret(_) => vec![],
+            TTerm::Switch { cases, default, .. } => {
+                let mut v: Vec<BlockId> = cases.iter().map(|(_, b)| *b).collect();
+                v.push(*default);
+                v
+            }
+        }
+    }
+
+    /// Visits used operands.
+    pub fn for_each_use(&self, mut f: impl FnMut(&Opnd)) {
+        match self {
+            TTerm::Br { cond, .. } => f(cond),
+            TTerm::Ret(Some(v)) => f(v),
+            TTerm::Switch { val, .. } => f(val),
+            _ => {}
+        }
+    }
+
+    /// Mutably visits used operands.
+    pub fn for_each_use_mut(&mut self, mut f: impl FnMut(&mut Opnd)) {
+        match self {
+            TTerm::Br { cond, .. } => f(cond),
+            TTerm::Ret(Some(v)) => f(v),
+            TTerm::Switch { val, .. } => f(val),
+            _ => {}
+        }
+    }
+}
+
+/// Storage class of a variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VarKind {
+    /// Scalar held in a virtual register.
+    Scalar,
+    /// Frame-resident object (array or address-taken scalar).
+    Frame {
+        /// Object size in bytes.
+        size: u32,
+        /// Alignment in bytes.
+        align: u32,
+    },
+}
+
+/// Variable metadata.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarInfo {
+    /// Source name (`%tmpN` for temporaries).
+    pub name: String,
+    /// Declared type (element type for frame arrays).
+    pub ty: Ty,
+    /// Storage class.
+    pub kind: VarKind,
+}
+
+/// A function in TIR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TFunc {
+    /// Name.
+    pub name: String,
+    /// Return type.
+    pub ret: Ty,
+    /// Parameter variables (all scalars).
+    pub params: Vec<VarId>,
+    /// All variables.
+    pub vars: Vec<VarInfo>,
+    /// Blocks (entry is block 0).
+    pub blocks: Vec<TBlockData>,
+}
+
+/// Data of one block.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TBlockData {
+    /// Instructions.
+    pub insts: Vec<TInst>,
+    /// Terminator.
+    pub term: TTerm,
+}
+
+impl TFunc {
+    /// Entry block id.
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Allocates a new temporary scalar of type `ty`.
+    pub fn new_temp(&mut self, ty: Ty) -> VarId {
+        let id = VarId(self.vars.len() as u32);
+        self.vars.push(VarInfo {
+            name: format!("%t{}", id.0),
+            ty,
+            kind: VarKind::Scalar,
+        });
+        id
+    }
+
+    /// Appends a new empty block.
+    pub fn new_block(&mut self) -> BlockId {
+        self.blocks.push(TBlockData {
+            insts: Vec::new(),
+            term: TTerm::Ret(None),
+        });
+        BlockId(self.blocks.len() as u32 - 1)
+    }
+
+    /// Emits `inst` at the end of `b`.
+    pub fn emit(&mut self, b: BlockId, inst: TInst) {
+        self.blocks[b.index()].insts.push(inst);
+    }
+
+    /// Sets the terminator of `b`.
+    pub fn set_term(&mut self, b: BlockId, term: TTerm) {
+        self.blocks[b.index()].term = term;
+    }
+
+    /// Total instruction count.
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+}
+
+impl fmt::Display for TFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "func {}:", self.name)?;
+        for (i, b) in self.blocks.iter().enumerate() {
+            writeln!(f, "L{i}:")?;
+            for inst in &b.insts {
+                writeln!(f, "    {inst:?}")?;
+            }
+            writeln!(f, "    {:?}", b.term)?;
+        }
+        Ok(())
+    }
+}
+
+/// A whole program in TIR.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TProgram {
+    /// Global variables (AST form retained for layout).
+    pub globals: Vec<crate::ast::GlobalDecl>,
+    /// Functions.
+    pub funcs: Vec<TFunc>,
+}
+
+impl TProgram {
+    /// Finds a function by name.
+    pub fn func(&self, name: &str) -> Option<&TFunc> {
+        self.funcs.iter().find(|f| f.name == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fold_signed_vs_unsigned() {
+        assert_eq!(TBinOp::LtS.fold(-1, 0), Some(1));
+        assert_eq!(TBinOp::LtU.fold(-1, 0), Some(0));
+        assert_eq!(TBinOp::ShrA.fold(-4, 1), Some(-2));
+        assert_eq!(TBinOp::ShrL.fold(-4, 1), Some(0x7fff_fffe));
+        assert_eq!(TBinOp::DivS.fold(9, 0), None);
+    }
+
+    #[test]
+    fn temp_allocation_and_emission() {
+        let mut f = TFunc {
+            name: "t".into(),
+            ret: Ty::Int,
+            params: vec![],
+            vars: vec![],
+            blocks: vec![],
+        };
+        let b = f.new_block();
+        let v = f.new_temp(Ty::Int);
+        f.emit(
+            b,
+            TInst::Copy {
+                dst: v,
+                src: Opnd::Const(1),
+            },
+        );
+        f.set_term(b, TTerm::Ret(Some(Opnd::Var(v))));
+        assert_eq!(f.inst_count(), 1);
+        assert_eq!(f.blocks[0].term.successors(), vec![]);
+    }
+}

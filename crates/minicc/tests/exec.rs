@@ -1,0 +1,444 @@
+//! End-to-end execution tests: compile at every optimization level, run on
+//! the MIPS simulator, and check the returned value. These tests gate the
+//! whole downstream flow — the decompiler consumes exactly these binaries.
+
+use binpart_minicc::{compile, OptLevel};
+use binpart_mips::sim::Machine;
+use binpart_mips::Reg;
+
+/// Compiles and runs `src` at `level`, returning `main`'s return value.
+fn run_at(src: &str, level: OptLevel) -> u32 {
+    let binary = compile(src, level)
+        .unwrap_or_else(|e| panic!("compile failed at {level}: {e}\nsource:\n{src}"));
+    let mut m = Machine::new(&binary).expect("load");
+    let exit = m
+        .run()
+        .unwrap_or_else(|e| panic!("run failed at {level}: {e}\nsource:\n{src}"));
+    exit.reg(Reg::V0)
+}
+
+/// Asserts `src` returns `expected` at every optimization level.
+fn check_all_levels(src: &str, expected: u32) {
+    for level in OptLevel::ALL {
+        let got = run_at(src, level);
+        assert_eq!(
+            got, expected,
+            "wrong result at {level}: got {got}, want {expected}\nsource:\n{src}"
+        );
+    }
+}
+
+#[test]
+fn returns_constant() {
+    check_all_levels("int main(void) { return 42; }", 42);
+}
+
+#[test]
+fn arithmetic_operators() {
+    check_all_levels(
+        "int main(void) { int a = 7; int b = 3; return a + b * 2 - a / b + a % b; }",
+        7 + 6 - 2 + 1,
+    );
+}
+
+#[test]
+fn bitwise_and_shifts() {
+    check_all_levels(
+        "int main(void) { int x = 0xf0; return ((x | 0x0f) ^ 0x3c) + (x << 2) + (x >> 3); }",
+        (0xff ^ 0x3c) + (0xf0 << 2) + (0xf0 >> 3),
+    );
+}
+
+#[test]
+fn signed_right_shift() {
+    check_all_levels(
+        "int main(void) { int x = -64; return (x >> 3) + 100; }",
+        92,
+    );
+}
+
+#[test]
+fn unsigned_right_shift_and_compare() {
+    check_all_levels(
+        "int main(void) { unsigned int x = 0x80000000u; if (x > 0x7fffffff) return (int)(x >> 28); return 0; }",
+        8,
+    );
+}
+
+#[test]
+fn for_loop_sum() {
+    check_all_levels(
+        "int main(void) { int i; int s = 0; for (i = 1; i <= 100; i++) s += i; return s; }",
+        5050,
+    );
+}
+
+#[test]
+fn while_and_do_while() {
+    check_all_levels(
+        "int main(void) { int n = 10; int s = 0; while (n > 0) { s += n; n--; } do { s++; } while (s < 60); return s; }",
+        60,
+    );
+}
+
+#[test]
+fn nested_loops() {
+    check_all_levels(
+        "int main(void) { int i; int j; int s = 0; for (i = 0; i < 8; i++) for (j = 0; j < 8; j++) s += i * j; return s; }",
+        (0..8).map(|i| (0..8).map(|j| i * j).sum::<u32>()).sum(),
+    );
+}
+
+#[test]
+fn if_else_chains() {
+    check_all_levels(
+        "int main(void) { int x = 5; if (x < 3) return 1; else if (x < 7) return 2; else return 3; }",
+        2,
+    );
+}
+
+#[test]
+fn global_array_sum() {
+    check_all_levels(
+        "int tab[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+         int main(void) { int i; int s = 0; for (i = 0; i < 8; i++) s += tab[i]; return s; }",
+        36,
+    );
+}
+
+#[test]
+fn global_scalar_update() {
+    check_all_levels(
+        "int counter = 10;
+         int main(void) { counter = counter + 5; return counter; }",
+        15,
+    );
+}
+
+#[test]
+fn local_array_and_pointers() {
+    check_all_levels(
+        "int main(void) { int a[4]; int* p = a; int i; for (i = 0; i < 4; i++) a[i] = i * i; return *(p + 3) + a[1]; }",
+        10,
+    );
+}
+
+#[test]
+fn address_of_local() {
+    check_all_levels(
+        "int main(void) { int x = 3; int* p = &x; *p = 11; return x; }",
+        11,
+    );
+}
+
+#[test]
+fn char_truncation_and_sign_extension() {
+    check_all_levels(
+        "int main(void) { char c = 200; return c + 300; }",
+        // (char)200 == -56; -56 + 300 == 244
+        244,
+    );
+}
+
+#[test]
+fn short_arithmetic() {
+    check_all_levels(
+        "int main(void) { short s = 40000; return s + 50000; }",
+        // (short)40000 == -25536; sum = 24464
+        24464,
+    );
+}
+
+#[test]
+fn unsigned_char_stays_zero_extended() {
+    check_all_levels(
+        "int main(void) { unsigned char c = 200; return c + 1; }",
+        201,
+    );
+}
+
+#[test]
+fn byte_array_access() {
+    check_all_levels(
+        "unsigned char buf[4] = {0xff, 0x01, 0x80, 0x7f};
+         int main(void) { return buf[0] + buf[1] + buf[2] + buf[3]; }",
+        0xff + 0x01 + 0x80 + 0x7f,
+    );
+}
+
+#[test]
+fn short_array_access() {
+    check_all_levels(
+        "short vals[3] = {-1, 300, -300};
+         int main(void) { return vals[0] + vals[1] + vals[2] + 1000; }",
+        999,
+    );
+}
+
+#[test]
+fn function_calls_and_recursion() {
+    check_all_levels(
+        "int fib(int n) { if (n < 2) return n; return fib(n - 1) + fib(n - 2); }
+         int main(void) { return fib(12); }",
+        144,
+    );
+}
+
+#[test]
+fn multi_arg_calls() {
+    check_all_levels(
+        "int mix(int a, int b, int c, int d) { return a * 1000 + b * 100 + c * 10 + d; }
+         int main(void) { return mix(1, 2, 3, 4); }",
+        1234,
+    );
+}
+
+#[test]
+fn call_preserves_locals() {
+    check_all_levels(
+        "int bump(int x) { return x + 1; }
+         int main(void) { int a = 5; int b = bump(10); return a + b; }",
+        16,
+    );
+}
+
+#[test]
+fn short_circuit_evaluation() {
+    check_all_levels(
+        "int g = 0;
+         int touch(void) { g = g + 1; return 1; }
+         int main(void) { int a = 0; if (a && touch()) { } if (a || touch()) { } return g * 10 + (a || 1); }",
+        11,
+    );
+}
+
+#[test]
+fn ternary_expression() {
+    check_all_levels(
+        "int main(void) { int x = 7; return x > 5 ? x * 2 : x * 3; }",
+        14,
+    );
+}
+
+#[test]
+fn switch_sparse() {
+    check_all_levels(
+        "int main(void) { int x = 40; int r = 0;
+           switch (x) { case 1: r = 10; break; case 40: r = 77; break; case 100: r = 3; break; default: r = 9; }
+           return r; }",
+        77,
+    );
+}
+
+#[test]
+fn switch_dense_jump_table() {
+    // 6 dense cases: becomes a jump table at -O2/-O3.
+    let src = "int main(void) { int i; int acc = 0;
+        for (i = 0; i < 6; i++) {
+          switch (i) {
+            case 0: acc += 1; break;
+            case 1: acc += 2; break;
+            case 2: acc += 4; break;
+            case 3: acc += 8; break;
+            case 4: acc += 16; break;
+            case 5: acc += 32; break;
+          }
+        }
+        return acc; }";
+    check_all_levels(src, 63);
+}
+
+#[test]
+fn switch_default_only_path() {
+    check_all_levels(
+        "int main(void) { switch (9) { case 1: return 1; case 2: return 2; case 3: return 3; case 4: return 4; } return 42; }",
+        42,
+    );
+}
+
+#[test]
+fn multiplication_strength_patterns() {
+    // x*8 (pow2), x*10 (two bits), x*7 (2^3-1): all strength-reduced at O2.
+    check_all_levels(
+        "int main(void) { int x = 9; return x * 8 + x * 10 + x * 7; }",
+        9 * 25,
+    );
+}
+
+#[test]
+fn signed_division_by_pow2() {
+    check_all_levels(
+        "int main(void) { int a = -37; int b = 37; return (a / 4) * 1000 + b / 4; }",
+        // C truncates toward zero: -37/4 == -9
+        (-9i32 * 1000 + 9) as u32,
+    );
+}
+
+#[test]
+fn unsigned_div_rem() {
+    check_all_levels(
+        "int main(void) { unsigned int a = 0xfffffff0u; return (int)(a / 16u % 256u); }",
+        ((0xfffffff0u32 / 16) % 256) as u32,
+    );
+}
+
+#[test]
+fn unrollable_loop_is_correct_at_o3() {
+    check_all_levels(
+        "int a[16];
+         int main(void) { int i; int s = 0;
+           for (i = 0; i < 16; i++) a[i] = i;
+           for (i = 0; i < 16; i++) s += a[i] * 3;
+           return s; }",
+        (0..16).map(|i| i * 3).sum(),
+    );
+}
+
+#[test]
+fn increments_in_expressions() {
+    check_all_levels(
+        "int main(void) { int i = 0; int a[4]; a[i++] = 5; a[i++] = 6; return a[0] * 10 + a[1] + i; }",
+        58,
+    );
+}
+
+#[test]
+fn comparison_materialization() {
+    check_all_levels(
+        "int main(void) { int a = 3; int b = 7;
+           return (a < b) + (a > b) * 2 + (a == 3) * 4 + (b != 7) * 8 + (a <= 3) * 16 + (b >= 8) * 32; }",
+        1 + 4 + 16,
+    );
+}
+
+#[test]
+fn crc_like_kernel() {
+    // Exercises xor/shift/conditional inside a loop, like the CRC benchmark.
+    let src = "unsigned int main_helper(unsigned int crc, unsigned int data) {
+          int k;
+          crc = crc ^ data;
+          for (k = 0; k < 8; k++) {
+            if (crc & 1) crc = (crc >> 1) ^ 0xEDB88320u;
+            else crc = crc >> 1;
+          }
+          return crc;
+        }
+        int main(void) {
+          unsigned int crc = 0xFFFFFFFFu;
+          int i;
+          for (i = 0; i < 4; i++) crc = main_helper(crc, (unsigned int)i);
+          return (int)(crc & 0xFFFF);
+        }";
+    let expected = {
+        let mut crc: u32 = 0xffff_ffff;
+        for i in 0..4u32 {
+            crc ^= i;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ 0xedb8_8320
+                } else {
+                    crc >> 1
+                };
+            }
+        }
+        crc & 0xffff
+    };
+    check_all_levels(src, expected);
+}
+
+#[test]
+fn matrix_multiply_kernel() {
+    let src = "int a[16]; int b[16]; int c[16];
+        int main(void) {
+          int i; int j; int k;
+          for (i = 0; i < 16; i++) { a[i] = i + 1; b[i] = 16 - i; }
+          for (i = 0; i < 4; i++)
+            for (j = 0; j < 4; j++) {
+              int acc = 0;
+              for (k = 0; k < 4; k++) acc += a[i * 4 + k] * b[k * 4 + j];
+              c[i * 4 + j] = acc;
+            }
+          return c[0] + c[5] + c[10] + c[15];
+        }";
+    let expected = {
+        let a: Vec<i32> = (0..16).map(|i| i + 1).collect();
+        let b: Vec<i32> = (0..16).map(|i| 16 - i).collect();
+        let mut c = vec![0i32; 16];
+        for i in 0..4 {
+            for j in 0..4 {
+                c[i * 4 + j] = (0..4).map(|k| a[i * 4 + k] * b[k * 4 + j]).sum();
+            }
+        }
+        (c[0] + c[5] + c[10] + c[15]) as u32
+    };
+    check_all_levels(src, expected);
+}
+
+#[test]
+fn pointer_walk_through_global() {
+    check_all_levels(
+        "int data[5] = {3, 1, 4, 1, 5};
+         int sum(int* p, int n) { int s = 0; int i; for (i = 0; i < n; i++) s += p[i]; return s; }
+         int main(void) { return sum(data, 5); }",
+        14,
+    );
+}
+
+#[test]
+fn o0_heavier_than_o2() {
+    // Sanity: -O0 should execute measurably more instructions than -O2.
+    let src = "int main(void) { int i; int s = 0; for (i = 0; i < 50; i++) s += i * 3; return s; }";
+    let run = |level| {
+        let b = compile(src, level).unwrap();
+        let mut m = Machine::new(&b).unwrap();
+        m.run().unwrap().instrs
+    };
+    let o0 = run(OptLevel::O0);
+    let o2 = run(OptLevel::O2);
+    assert!(
+        o0 * 2 > o2 * 3,
+        "expected -O0 ({o0} instrs) to be at least 1.5x slower than -O2 ({o2} instrs)"
+    );
+}
+
+#[test]
+fn higher_levels_do_not_regress_speed() {
+    let src = "int a[32];
+        int main(void) { int i; int s = 0;
+          for (i = 0; i < 32; i++) a[i] = i * 5;
+          for (i = 0; i < 32; i++) s += a[i];
+          return s; }";
+    let cycles = |level| {
+        let b = compile(src, level).unwrap();
+        let mut m = Machine::new(&b).unwrap();
+        m.run().unwrap().cycles
+    };
+    let c0 = cycles(OptLevel::O0);
+    let c1 = cycles(OptLevel::O1);
+    let c2 = cycles(OptLevel::O2);
+    let c3 = cycles(OptLevel::O3);
+    assert!(c1 <= c0, "O1 {c1} vs O0 {c0}");
+    assert!(c2 <= c1, "O2 {c2} vs O1 {c1}");
+    assert!(c3 <= c2 + c2 / 4, "O3 {c3} much worse than O2 {c2}");
+}
+
+#[test]
+fn deep_spill_pressure() {
+    // More than 16 simultaneously-live values forces spilling at -O1+.
+    let src = "int main(void) {
+        int a=1; int b=2; int c=3; int d=4; int e=5; int f=6; int g=7; int h=8;
+        int i=9; int j=10; int k=11; int l=12; int m=13; int n=14; int o=15; int p=16;
+        int q=17; int r=18; int s=19; int t=20;
+        int x = a+b+c+d+e+f+g+h+i+j+k+l+m+n+o+p+q+r+s+t;
+        return x + a*b + s*t; }";
+    check_all_levels(src, 210 + 2 + 380);
+}
+
+#[test]
+fn comments_and_formats_accepted() {
+    check_all_levels(
+        "/* block */ int main(void) { // line
+           return 0x10 + 010 + 'A'; }",
+        16 + 8 + 65,
+    );
+}

@@ -1,0 +1,387 @@
+//! The software binary image ("SBF") the partitioning flow operates on.
+//!
+//! A [`Binary`] is what a compiler hands to the platform tool chain: encoded
+//! text words, an initialized data section, a BSS size, an entry point, and
+//! an *optional* symbol table. The decompiler deliberately ignores symbols —
+//! the whole point of the paper is working from the binary alone — but tests
+//! and reports use them.
+
+use crate::{encode, Instr};
+use std::fmt;
+
+/// Kind of a [`Symbol`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SymbolKind {
+    /// Function entry point in the text section.
+    Func,
+    /// Data object (e.g. a global array).
+    Object,
+}
+
+/// A named address, carried for reporting/debugging only.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Symbol {
+    /// Symbol name.
+    pub name: String,
+    /// Absolute address.
+    pub addr: u32,
+    /// Size in bytes (0 when unknown).
+    pub size: u32,
+    /// Function or object.
+    pub kind: SymbolKind,
+}
+
+/// A loaded program image.
+///
+/// # Example
+///
+/// ```
+/// use binpart_mips::{Binary, BinaryBuilder, Instr, Reg};
+/// let b = BinaryBuilder::new()
+///     .text(vec![Instr::Jr { rs: Reg::Ra }, Instr::NOP])
+///     .data(vec![1, 2, 3, 4])
+///     .build();
+/// let bytes = b.to_bytes();
+/// let back = Binary::from_bytes(&bytes).unwrap();
+/// assert_eq!(b, back);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Binary {
+    /// Entry-point address (must lie within the text section).
+    pub entry: u32,
+    /// Base address of the text section.
+    pub text_base: u32,
+    /// Encoded instruction words.
+    pub text: Vec<u32>,
+    /// Base address of the data section.
+    pub data_base: u32,
+    /// Initialized data bytes.
+    pub data: Vec<u8>,
+    /// Zero-initialized bytes following `data`.
+    pub bss_size: u32,
+    /// Optional symbols (not consumed by the decompiler).
+    pub symbols: Vec<Symbol>,
+}
+
+impl Binary {
+    /// Decodes the whole text section.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first undecodable word with its address.
+    pub fn decode_text(&self) -> Result<Vec<Instr>, crate::DecodeError> {
+        self.text.iter().map(|&w| crate::decode(w)).collect()
+    }
+
+    /// Address one past the end of the text section.
+    pub fn text_end(&self) -> u32 {
+        self.text_base + (self.text.len() as u32) * 4
+    }
+
+    /// Address one past the end of data + bss.
+    pub fn data_end(&self) -> u32 {
+        self.data_base + self.data.len() as u32 + self.bss_size
+    }
+
+    /// Looks up a function symbol by name.
+    pub fn find_symbol(&self, name: &str) -> Option<&Symbol> {
+        self.symbols.iter().find(|s| s.name == name)
+    }
+
+    /// Total size in bytes of the text section.
+    pub fn text_bytes(&self) -> usize {
+        self.text.len() * 4
+    }
+
+    /// Serializes to the `SBF1` byte format.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.text.len() * 4 + self.data.len());
+        out.extend_from_slice(b"SBF1");
+        for v in [
+            self.entry,
+            self.text_base,
+            self.text.len() as u32,
+            self.data_base,
+            self.data.len() as u32,
+            self.bss_size,
+            self.symbols.len() as u32,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        for w in &self.text {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out.extend_from_slice(&self.data);
+        for s in &self.symbols {
+            out.extend_from_slice(&(s.name.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.name.as_bytes());
+            out.extend_from_slice(&s.addr.to_le_bytes());
+            out.extend_from_slice(&s.size.to_le_bytes());
+            out.push(match s.kind {
+                SymbolKind::Func => 0,
+                SymbolKind::Object => 1,
+            });
+        }
+        out
+    }
+
+    /// Parses the `SBF1` byte format.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadBinaryError`] on bad magic, truncation, or malformed
+    /// symbol records.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Binary, LoadBinaryError> {
+        let mut r = Reader { bytes, pos: 0 };
+        let magic = r.take(4)?;
+        if magic != b"SBF1" {
+            return Err(LoadBinaryError::BadMagic);
+        }
+        let entry = r.u32()?;
+        let text_base = r.u32()?;
+        let text_len = r.u32()? as usize;
+        let data_base = r.u32()?;
+        let data_len = r.u32()? as usize;
+        let bss_size = r.u32()?;
+        let nsyms = r.u32()? as usize;
+        let mut text = Vec::with_capacity(text_len);
+        for _ in 0..text_len {
+            text.push(r.u32()?);
+        }
+        let data = r.take(data_len)?.to_vec();
+        let mut symbols = Vec::with_capacity(nsyms);
+        for _ in 0..nsyms {
+            let name_len = r.u32()? as usize;
+            let name = String::from_utf8(r.take(name_len)?.to_vec())
+                .map_err(|_| LoadBinaryError::BadSymbol)?;
+            let addr = r.u32()?;
+            let size = r.u32()?;
+            let kind = match r.take(1)?[0] {
+                0 => SymbolKind::Func,
+                1 => SymbolKind::Object,
+                _ => return Err(LoadBinaryError::BadSymbol),
+            };
+            symbols.push(Symbol {
+                name,
+                addr,
+                size,
+                kind,
+            });
+        }
+        Ok(Binary {
+            entry,
+            text_base,
+            text,
+            data_base,
+            data,
+            bss_size,
+            symbols,
+        })
+    }
+}
+
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], LoadBinaryError> {
+        let end = self.pos.checked_add(n).ok_or(LoadBinaryError::Truncated)?;
+        if end > self.bytes.len() {
+            return Err(LoadBinaryError::Truncated);
+        }
+        let s = &self.bytes[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u32(&mut self) -> Result<u32, LoadBinaryError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+}
+
+/// Error parsing an `SBF1` image.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LoadBinaryError {
+    /// The file does not start with `SBF1`.
+    BadMagic,
+    /// The file ends before a declared section.
+    Truncated,
+    /// A symbol record is malformed.
+    BadSymbol,
+}
+
+impl fmt::Display for LoadBinaryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LoadBinaryError::BadMagic => write!(f, "not an SBF1 image"),
+            LoadBinaryError::Truncated => write!(f, "unexpected end of image"),
+            LoadBinaryError::BadSymbol => write!(f, "malformed symbol record"),
+        }
+    }
+}
+
+impl std::error::Error for LoadBinaryError {}
+
+/// Builder for [`Binary`] images.
+#[derive(Debug)]
+pub struct BinaryBuilder {
+    binary: Binary,
+    entry_set: bool,
+}
+
+impl Default for BinaryBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BinaryBuilder {
+    /// Starts a builder with conventional section bases and an empty image.
+    pub fn new() -> BinaryBuilder {
+        BinaryBuilder {
+            binary: Binary {
+                entry: crate::DEFAULT_TEXT_BASE,
+                text_base: crate::DEFAULT_TEXT_BASE,
+                text: Vec::new(),
+                data_base: crate::DEFAULT_DATA_BASE,
+                data: Vec::new(),
+                bss_size: 0,
+                symbols: Vec::new(),
+            },
+            entry_set: false,
+        }
+    }
+
+    /// Sets the text section from already-decoded instructions (encoding them).
+    pub fn text(mut self, instrs: Vec<Instr>) -> Self {
+        self.binary.text = instrs.into_iter().map(encode).collect();
+        self
+    }
+
+    /// Sets the text section from raw words.
+    pub fn text_words(mut self, words: Vec<u32>) -> Self {
+        self.binary.text = words;
+        self
+    }
+
+    /// Sets the text base address (entry defaults to it).
+    pub fn text_base(mut self, base: u32) -> Self {
+        self.binary.text_base = base;
+        if !self.entry_set {
+            self.binary.entry = base;
+        }
+        self
+    }
+
+    /// Sets the entry point.
+    pub fn entry(mut self, entry: u32) -> Self {
+        self.binary.entry = entry;
+        self.entry_set = true;
+        self
+    }
+
+    /// Sets the initialized data section.
+    pub fn data(mut self, data: Vec<u8>) -> Self {
+        self.binary.data = data;
+        self
+    }
+
+    /// Sets the data base address.
+    pub fn data_base(mut self, base: u32) -> Self {
+        self.binary.data_base = base;
+        self
+    }
+
+    /// Sets the BSS size in bytes.
+    pub fn bss(mut self, size: u32) -> Self {
+        self.binary.bss_size = size;
+        self
+    }
+
+    /// Appends a symbol.
+    pub fn symbol(mut self, symbol: Symbol) -> Self {
+        self.binary.symbols.push(symbol);
+        self
+    }
+
+    /// Finishes the image.
+    pub fn build(self) -> Binary {
+        self.binary
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Reg;
+
+    fn sample() -> Binary {
+        BinaryBuilder::new()
+            .text(vec![
+                Instr::Addiu {
+                    rt: Reg::V0,
+                    rs: Reg::Zero,
+                    imm: 7,
+                },
+                Instr::Jr { rs: Reg::Ra },
+                Instr::NOP,
+            ])
+            .data(vec![0xde, 0xad, 0xbe, 0xef])
+            .bss(128)
+            .symbol(Symbol {
+                name: "main".into(),
+                addr: crate::DEFAULT_TEXT_BASE,
+                size: 12,
+                kind: SymbolKind::Func,
+            })
+            .build()
+    }
+
+    #[test]
+    fn roundtrip_bytes() {
+        let b = sample();
+        let bytes = b.to_bytes();
+        let back = Binary::from_bytes(&bytes).unwrap();
+        assert_eq!(b, back);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = sample().to_bytes();
+        bytes[0] = b'X';
+        assert_eq!(Binary::from_bytes(&bytes), Err(LoadBinaryError::BadMagic));
+    }
+
+    #[test]
+    fn truncation_rejected() {
+        let bytes = sample().to_bytes();
+        for cut in [3, 10, bytes.len() - 1] {
+            assert_eq!(
+                Binary::from_bytes(&bytes[..cut]),
+                Err(LoadBinaryError::Truncated),
+                "cut at {cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn decode_text_recovers_instructions() {
+        let b = sample();
+        let instrs = b.decode_text().unwrap();
+        assert_eq!(instrs.len(), 3);
+        assert_eq!(instrs[1], Instr::Jr { rs: Reg::Ra });
+    }
+
+    #[test]
+    fn section_extents() {
+        let b = sample();
+        assert_eq!(b.text_end(), b.text_base + 12);
+        assert_eq!(b.data_end(), b.data_base + 4 + 128);
+        assert_eq!(b.text_bytes(), 12);
+        assert!(b.find_symbol("main").is_some());
+        assert!(b.find_symbol("nope").is_none());
+    }
+}

@@ -1,0 +1,129 @@
+//! Per-instruction cycle cost model for the software side of the platform.
+//!
+//! The paper's platform is a single-issue in-order MIPS; we model it with a
+//! per-class cycle table, the style of model embedded-systems partitioners of
+//! that era used. Multiply and divide use the iterative HI/LO unit and cost
+//! multiple cycles; everything else is near 1 CPI. Cache effects are folded
+//! into the average `load`/`store` costs.
+
+use crate::Instr;
+
+/// Cycle costs by instruction class.
+///
+/// # Example
+///
+/// ```
+/// use binpart_mips::{CycleModel, Instr, Reg};
+/// let m = CycleModel::default();
+/// assert_eq!(m.cycles_for(Instr::NOP), 1);
+/// assert!(m.cycles_for(Instr::Div { rs: Reg::T0, rt: Reg::T1 }) > 8);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleModel {
+    /// Simple ALU / shift / compare / move-from-HI-LO operations.
+    pub alu: u32,
+    /// Loads (average, including cache effects).
+    pub load: u32,
+    /// Stores.
+    pub store: u32,
+    /// `mult`/`multu` issue-to-ready latency.
+    pub mult: u32,
+    /// `div`/`divu` issue-to-ready latency.
+    pub div: u32,
+    /// Taken or not-taken branch (delay slot hides one cycle).
+    pub branch: u32,
+    /// Jumps, calls, and returns.
+    pub jump: u32,
+}
+
+impl Default for CycleModel {
+    /// R3000-flavoured costs: 1-cycle ALU, 12-cycle multiply, 35-cycle
+    /// divide, 1.5-ish cycle memory folded to 2.
+    fn default() -> Self {
+        CycleModel {
+            alu: 1,
+            load: 2,
+            store: 1,
+            mult: 12,
+            div: 35,
+            branch: 1,
+            jump: 1,
+        }
+    }
+}
+
+impl CycleModel {
+    /// An idealized 1-CPI model (every instruction one cycle); useful for
+    /// isolating algorithmic effects in tests.
+    pub fn ideal() -> CycleModel {
+        CycleModel {
+            alu: 1,
+            load: 1,
+            store: 1,
+            mult: 1,
+            div: 1,
+            branch: 1,
+            jump: 1,
+        }
+    }
+
+    /// Cycle cost of one dynamic instance of `instr`.
+    pub fn cycles_for(&self, instr: Instr) -> u32 {
+        use Instr::*;
+        match instr {
+            Mult { .. } | Multu { .. } => self.mult,
+            Div { .. } | Divu { .. } => self.div,
+            Lb { .. } | Lbu { .. } | Lh { .. } | Lhu { .. } | Lw { .. } => self.load,
+            Sb { .. } | Sh { .. } | Sw { .. } => self.store,
+            Beq { .. } | Bne { .. } | Blez { .. } | Bgtz { .. } | Bltz { .. } | Bgez { .. } => {
+                self.branch
+            }
+            J { .. } | Jal { .. } | Jr { .. } | Jalr { .. } => self.jump,
+            _ => self.alu,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Reg;
+
+    #[test]
+    fn default_orders_costs_sensibly() {
+        let m = CycleModel::default();
+        let mul = m.cycles_for(Instr::Mult {
+            rs: Reg::T0,
+            rt: Reg::T1,
+        });
+        let div = m.cycles_for(Instr::Div {
+            rs: Reg::T0,
+            rt: Reg::T1,
+        });
+        let alu = m.cycles_for(Instr::Addu {
+            rd: Reg::T0,
+            rs: Reg::T1,
+            rt: Reg::T2,
+        });
+        assert!(alu < mul && mul < div);
+    }
+
+    #[test]
+    fn ideal_model_is_flat() {
+        let m = CycleModel::ideal();
+        for i in [
+            Instr::NOP,
+            Instr::Div {
+                rs: Reg::T0,
+                rt: Reg::T1,
+            },
+            Instr::Lw {
+                rt: Reg::T0,
+                base: Reg::Sp,
+                offset: 0,
+            },
+        ] {
+            assert_eq!(m.cycles_for(i), 1);
+        }
+    }
+}

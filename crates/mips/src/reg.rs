@@ -1,0 +1,247 @@
+//! MIPS general-purpose register names.
+
+use std::fmt;
+
+/// One of the 32 MIPS general-purpose registers.
+///
+/// The numbering follows the standard o32 ABI convention. `Reg::Zero` is
+/// hard-wired to zero; writes to it are discarded by the simulator.
+///
+/// # Example
+///
+/// ```
+/// use binpart_mips::Reg;
+/// assert_eq!(Reg::Sp.number(), 29);
+/// assert_eq!(Reg::from_number(2), Some(Reg::V0));
+/// assert_eq!(Reg::A0.to_string(), "$a0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Reg {
+    /// `$zero` — hard-wired zero.
+    Zero = 0,
+    /// `$at` — assembler temporary.
+    At = 1,
+    /// `$v0` — function result.
+    V0 = 2,
+    /// `$v1` — function result (second word).
+    V1 = 3,
+    /// `$a0` — first argument.
+    A0 = 4,
+    /// `$a1` — second argument.
+    A1 = 5,
+    /// `$a2` — third argument.
+    A2 = 6,
+    /// `$a3` — fourth argument.
+    A3 = 7,
+    /// `$t0` — caller-saved temporary.
+    T0 = 8,
+    /// `$t1` — caller-saved temporary.
+    T1 = 9,
+    /// `$t2` — caller-saved temporary.
+    T2 = 10,
+    /// `$t3` — caller-saved temporary.
+    T3 = 11,
+    /// `$t4` — caller-saved temporary.
+    T4 = 12,
+    /// `$t5` — caller-saved temporary.
+    T5 = 13,
+    /// `$t6` — caller-saved temporary.
+    T6 = 14,
+    /// `$t7` — caller-saved temporary.
+    T7 = 15,
+    /// `$s0` — callee-saved.
+    S0 = 16,
+    /// `$s1` — callee-saved.
+    S1 = 17,
+    /// `$s2` — callee-saved.
+    S2 = 18,
+    /// `$s3` — callee-saved.
+    S3 = 19,
+    /// `$s4` — callee-saved.
+    S4 = 20,
+    /// `$s5` — callee-saved.
+    S5 = 21,
+    /// `$s6` — callee-saved.
+    S6 = 22,
+    /// `$s7` — callee-saved.
+    S7 = 23,
+    /// `$t8` — caller-saved temporary.
+    T8 = 24,
+    /// `$t9` — caller-saved temporary.
+    T9 = 25,
+    /// `$k0` — reserved for kernel.
+    K0 = 26,
+    /// `$k1` — reserved for kernel.
+    K1 = 27,
+    /// `$gp` — global pointer.
+    Gp = 28,
+    /// `$sp` — stack pointer.
+    Sp = 29,
+    /// `$fp` — frame pointer.
+    Fp = 30,
+    /// `$ra` — return address.
+    Ra = 31,
+}
+
+impl Reg {
+    /// All 32 registers in numeric order.
+    pub const ALL: [Reg; 32] = [
+        Reg::Zero,
+        Reg::At,
+        Reg::V0,
+        Reg::V1,
+        Reg::A0,
+        Reg::A1,
+        Reg::A2,
+        Reg::A3,
+        Reg::T0,
+        Reg::T1,
+        Reg::T2,
+        Reg::T3,
+        Reg::T4,
+        Reg::T5,
+        Reg::T6,
+        Reg::T7,
+        Reg::S0,
+        Reg::S1,
+        Reg::S2,
+        Reg::S3,
+        Reg::S4,
+        Reg::S5,
+        Reg::S6,
+        Reg::S7,
+        Reg::T8,
+        Reg::T9,
+        Reg::K0,
+        Reg::K1,
+        Reg::Gp,
+        Reg::Sp,
+        Reg::Fp,
+        Reg::Ra,
+    ];
+
+    /// The caller-saved temporaries available to a register allocator.
+    pub const TEMPS: [Reg; 10] = [
+        Reg::T0,
+        Reg::T1,
+        Reg::T2,
+        Reg::T3,
+        Reg::T4,
+        Reg::T5,
+        Reg::T6,
+        Reg::T7,
+        Reg::T8,
+        Reg::T9,
+    ];
+
+    /// The callee-saved registers available to a register allocator.
+    pub const SAVED: [Reg; 8] = [
+        Reg::S0,
+        Reg::S1,
+        Reg::S2,
+        Reg::S3,
+        Reg::S4,
+        Reg::S5,
+        Reg::S6,
+        Reg::S7,
+    ];
+
+    /// Argument registers in ABI order.
+    pub const ARGS: [Reg; 4] = [Reg::A0, Reg::A1, Reg::A2, Reg::A3];
+
+    /// Returns the architectural register number (0..=31).
+    pub const fn number(self) -> u8 {
+        self as u8
+    }
+
+    /// Looks up a register by architectural number.
+    ///
+    /// Returns `None` if `n > 31`.
+    pub const fn from_number(n: u8) -> Option<Reg> {
+        if n < 32 {
+            Some(Reg::ALL[n as usize])
+        } else {
+            None
+        }
+    }
+
+    /// Returns `true` for registers the o32 ABI requires a callee to
+    /// preserve (`$s0..$s7`, `$sp`, `$fp`, `$ra`, `$gp`).
+    pub const fn is_callee_saved(self) -> bool {
+        matches!(
+            self,
+            Reg::S0
+                | Reg::S1
+                | Reg::S2
+                | Reg::S3
+                | Reg::S4
+                | Reg::S5
+                | Reg::S6
+                | Reg::S7
+                | Reg::Sp
+                | Reg::Fp
+                | Reg::Ra
+                | Reg::Gp
+        )
+    }
+
+    /// Conventional ABI name without the leading `$`.
+    pub const fn name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3", "t4", "t5",
+            "t6", "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9", "k0", "k1",
+            "gp", "sp", "fp", "ra",
+        ];
+        NAMES[self as usize]
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbering_roundtrips() {
+        for n in 0..32u8 {
+            let r = Reg::from_number(n).expect("valid register number");
+            assert_eq!(r.number(), n);
+        }
+        assert_eq!(Reg::from_number(32), None);
+        assert_eq!(Reg::from_number(255), None);
+    }
+
+    #[test]
+    fn display_uses_abi_names() {
+        assert_eq!(Reg::Zero.to_string(), "$zero");
+        assert_eq!(Reg::T9.to_string(), "$t9");
+        assert_eq!(Reg::Ra.to_string(), "$ra");
+    }
+
+    #[test]
+    fn callee_saved_set_matches_abi() {
+        assert!(Reg::S0.is_callee_saved());
+        assert!(Reg::Sp.is_callee_saved());
+        assert!(Reg::Ra.is_callee_saved());
+        assert!(!Reg::T0.is_callee_saved());
+        assert!(!Reg::V0.is_callee_saved());
+        assert!(!Reg::A3.is_callee_saved());
+    }
+
+    #[test]
+    fn register_classes_are_disjoint() {
+        for t in Reg::TEMPS {
+            assert!(!Reg::SAVED.contains(&t));
+            assert!(!Reg::ARGS.contains(&t));
+        }
+        for s in Reg::SAVED {
+            assert!(!Reg::ARGS.contains(&s));
+        }
+    }
+}

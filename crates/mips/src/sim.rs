@@ -1,0 +1,796 @@
+//! Cycle-approximate MIPS simulator with execution profiling.
+//!
+//! The machine executes decoded text with architecturally correct branch
+//! delay slots, counts cycles via a [`CycleModel`], and accumulates a
+//! [`Profile`] (per-instruction execution counts, per-branch taken counts,
+//! call counts) that later drives the 90-10 partitioner.
+
+use crate::{Binary, CycleModel, DecodeError, Instr, Reg, HALT_PC};
+use std::collections::HashMap;
+use std::fmt;
+
+const PAGE_BITS: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_BITS;
+
+/// Sparse, demand-zeroed flat memory.
+#[derive(Debug, Default)]
+pub struct Memory {
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Memory {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    fn page_mut(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE] {
+        self.pages
+            .entry(addr >> PAGE_BITS)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        match self.pages.get(&(addr >> PAGE_BITS)) {
+            Some(p) => p[(addr as usize) & (PAGE_SIZE - 1)],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u32, value: u8) {
+        self.page_mut(addr)[(addr as usize) & (PAGE_SIZE - 1)] = value;
+    }
+
+    /// Reads a little-endian halfword. Caller must ensure alignment.
+    pub fn read_u16(&self, addr: u32) -> u16 {
+        u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr.wrapping_add(1))])
+    }
+
+    /// Writes a little-endian halfword.
+    pub fn write_u16(&mut self, addr: u32, value: u16) {
+        let b = value.to_le_bytes();
+        self.write_u8(addr, b[0]);
+        self.write_u8(addr.wrapping_add(1), b[1]);
+    }
+
+    /// Reads a little-endian word.
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        u32::from_le_bytes([
+            self.read_u8(addr),
+            self.read_u8(addr.wrapping_add(1)),
+            self.read_u8(addr.wrapping_add(2)),
+            self.read_u8(addr.wrapping_add(3)),
+        ])
+    }
+
+    /// Writes a little-endian word.
+    pub fn write_u32(&mut self, addr: u32, value: u32) {
+        let b = value.to_le_bytes();
+        for (k, byte) in b.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(k as u32), *byte);
+        }
+    }
+
+    /// Bulk-copies `bytes` starting at `addr`.
+    pub fn write_slice(&mut self, addr: u32, bytes: &[u8]) {
+        for (k, byte) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(k as u32), *byte);
+        }
+    }
+
+    /// Reads `len` bytes starting at `addr`.
+    pub fn read_vec(&self, addr: u32, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|k| self.read_u8(addr.wrapping_add(k as u32)))
+            .collect()
+    }
+}
+
+/// Simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// Program counter left the text section without reaching [`HALT_PC`].
+    PcOutOfText {
+        /// Offending program counter.
+        pc: u32,
+    },
+    /// A load/store address violated natural alignment.
+    Unaligned {
+        /// Faulting data address.
+        addr: u32,
+        /// Program counter of the access.
+        pc: u32,
+    },
+    /// The text section contained a word outside the supported subset.
+    BadInstruction(DecodeError),
+    /// The step budget ran out (runaway program).
+    MaxStepsExceeded {
+        /// The configured limit.
+        limit: u64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::PcOutOfText { pc } => write!(f, "pc {pc:#010x} left the text section"),
+            SimError::Unaligned { addr, pc } => {
+                write!(f, "unaligned access to {addr:#010x} at pc {pc:#010x}")
+            }
+            SimError::BadInstruction(e) => write!(f, "{e}"),
+            SimError::MaxStepsExceeded { limit } => {
+                write!(f, "exceeded {limit} instructions without halting")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<DecodeError> for SimError {
+    fn from(e: DecodeError) -> Self {
+        SimError::BadInstruction(e)
+    }
+}
+
+/// Why the machine stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExitReason {
+    /// Control returned to the loader ([`HALT_PC`]).
+    Halt,
+    /// A `break code` instruction executed.
+    Break(u32),
+}
+
+/// Execution profile collected while running.
+///
+/// Counts are indexed by instruction position in the text section; helper
+/// methods translate from absolute addresses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Profile {
+    text_base: u32,
+    /// Dynamic execution count per static instruction.
+    pub counts: Vec<u64>,
+    /// For branch instructions, how many executions were taken.
+    pub taken: Vec<u64>,
+    /// Dynamic call counts per callee entry address.
+    pub calls: HashMap<u32, u64>,
+    /// Total dynamic instructions.
+    pub total_instrs: u64,
+    /// Total cycles under the configured [`CycleModel`].
+    pub total_cycles: u64,
+    /// Dynamic load count.
+    pub loads: u64,
+    /// Dynamic store count.
+    pub stores: u64,
+}
+
+impl Profile {
+    fn new(text_base: u32, text_len: usize) -> Profile {
+        Profile {
+            text_base,
+            counts: vec![0; text_len],
+            taken: vec![0; text_len],
+            calls: HashMap::new(),
+            total_instrs: 0,
+            total_cycles: 0,
+            loads: 0,
+            stores: 0,
+        }
+    }
+
+    fn index(&self, pc: u32) -> Option<usize> {
+        let off = pc.wrapping_sub(self.text_base);
+        if off % 4 == 0 && ((off / 4) as usize) < self.counts.len() {
+            Some((off / 4) as usize)
+        } else {
+            None
+        }
+    }
+
+    /// Execution count of the instruction at `pc` (0 if outside text).
+    pub fn count_at(&self, pc: u32) -> u64 {
+        self.index(pc).map_or(0, |i| self.counts[i])
+    }
+
+    /// Taken count of the branch at `pc` (0 if outside text or never taken).
+    pub fn taken_at(&self, pc: u32) -> u64 {
+        self.index(pc).map_or(0, |i| self.taken[i])
+    }
+
+    /// Dynamic cycles attributed to the half-open pc range `[start, end)`,
+    /// under a flat per-instruction model (used for region weighting).
+    pub fn count_in_range(&self, start: u32, end: u32) -> u64 {
+        let mut total = 0;
+        let mut pc = start;
+        while pc < end {
+            total += self.count_at(pc);
+            pc += 4;
+        }
+        total
+    }
+}
+
+/// Configuration for a [`Machine`].
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Cycle cost table.
+    pub cycles: CycleModel,
+    /// Abort after this many dynamic instructions.
+    pub max_steps: u64,
+    /// Initial stack pointer.
+    pub stack_top: u32,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            cycles: CycleModel::default(),
+            max_steps: 500_000_000,
+            stack_top: crate::DEFAULT_STACK_TOP,
+        }
+    }
+}
+
+/// Final machine state.
+#[derive(Debug, Clone)]
+pub struct Exit {
+    /// Why execution stopped.
+    pub reason: ExitReason,
+    /// Register file at exit.
+    pub regs: [u32; 32],
+    /// Total cycles.
+    pub cycles: u64,
+    /// Total retired instructions.
+    pub instrs: u64,
+    /// Execution profile.
+    pub profile: Profile,
+}
+
+impl Exit {
+    /// Value of `reg` at exit.
+    pub fn reg(&self, reg: Reg) -> u32 {
+        self.regs[reg.number() as usize]
+    }
+}
+
+/// The simulator.
+///
+/// See the [crate-level example](crate) for typical use.
+#[derive(Debug)]
+pub struct Machine {
+    regs: [u32; 32],
+    hi: u32,
+    lo: u32,
+    pc: u32,
+    next_pc: u32,
+    text: Vec<Instr>,
+    text_base: u32,
+    /// Data/stack memory (text is pre-decoded, not stored here).
+    pub mem: Memory,
+    config: SimConfig,
+    profile: Profile,
+    cycles: u64,
+    instrs: u64,
+}
+
+impl Machine {
+    /// Loads `binary` into a fresh machine.
+    ///
+    /// `$sp` is set to the configured stack top, `$ra` to [`HALT_PC`], and
+    /// `$gp` to the data base. Initialized data is copied into memory (so
+    /// jump tables and constants are readable).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::BadInstruction`] if the text section contains a
+    /// word outside the supported subset.
+    pub fn new(binary: &Binary) -> Result<Machine, SimError> {
+        Machine::with_config(binary, SimConfig::default())
+    }
+
+    /// Like [`Machine::new`] with an explicit [`SimConfig`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::new`].
+    pub fn with_config(binary: &Binary, config: SimConfig) -> Result<Machine, SimError> {
+        let text = binary.decode_text()?;
+        let mut mem = Memory::new();
+        mem.write_slice(binary.data_base, &binary.data);
+        let mut regs = [0u32; 32];
+        regs[Reg::Sp.number() as usize] = config.stack_top;
+        regs[Reg::Ra.number() as usize] = HALT_PC;
+        regs[Reg::Gp.number() as usize] = binary.data_base;
+        let profile = Profile::new(binary.text_base, text.len());
+        Ok(Machine {
+            regs,
+            hi: 0,
+            lo: 0,
+            pc: binary.entry,
+            next_pc: binary.entry.wrapping_add(4),
+            text,
+            text_base: binary.text_base,
+            mem,
+            config,
+            profile,
+            cycles: 0,
+            instrs: 0,
+        })
+    }
+
+    /// Current register value.
+    pub fn reg(&self, reg: Reg) -> u32 {
+        self.regs[reg.number() as usize]
+    }
+
+    /// Overwrites a register (for seeding test inputs).
+    pub fn set_reg(&mut self, reg: Reg, value: u32) {
+        if reg != Reg::Zero {
+            self.regs[reg.number() as usize] = value;
+        }
+    }
+
+    /// Current program counter.
+    pub fn pc(&self) -> u32 {
+        self.pc
+    }
+
+    fn fetch(&self, pc: u32) -> Result<Instr, SimError> {
+        let off = pc.wrapping_sub(self.text_base);
+        if off % 4 != 0 {
+            return Err(SimError::PcOutOfText { pc });
+        }
+        self.text
+            .get((off / 4) as usize)
+            .copied()
+            .ok_or(SimError::PcOutOfText { pc })
+    }
+
+    fn aligned(&self, addr: u32, align: u32) -> Result<(), SimError> {
+        if addr % align != 0 {
+            Err(SimError::Unaligned { addr, pc: self.pc })
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Runs until halt, `break`, or an error.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`]; the machine state is left at the faulting point.
+    pub fn run(&mut self) -> Result<Exit, SimError> {
+        loop {
+            if self.pc == HALT_PC {
+                return Ok(self.exit(ExitReason::Halt));
+            }
+            if self.instrs >= self.config.max_steps {
+                return Err(SimError::MaxStepsExceeded {
+                    limit: self.config.max_steps,
+                });
+            }
+            if let Some(code) = self.step()? {
+                return Ok(self.exit(ExitReason::Break(code)));
+            }
+        }
+    }
+
+    fn exit(&self, reason: ExitReason) -> Exit {
+        Exit {
+            reason,
+            regs: self.regs,
+            cycles: self.cycles,
+            instrs: self.instrs,
+            profile: self.profile.clone(),
+        }
+    }
+
+    /// Executes a single instruction (the one at `pc`).
+    ///
+    /// Returns `Ok(Some(code))` when a `break` executes.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`].
+    pub fn step(&mut self) -> Result<Option<u32>, SimError> {
+        use Instr::*;
+        let pc = self.pc;
+        let instr = self.fetch(pc)?;
+        let idx = (pc.wrapping_sub(self.text_base) / 4) as usize;
+        self.profile.counts[idx] += 1;
+        self.profile.total_instrs += 1;
+        self.instrs += 1;
+        let c = self.config.cycles.cycles_for(instr) as u64;
+        self.cycles += c;
+        self.profile.total_cycles += c;
+
+        let r = |m: &Machine, reg: Reg| m.regs[reg.number() as usize];
+        let mut taken_target: Option<u32> = None;
+        let mut branch_taken = false;
+
+        match instr {
+            Add { rd, rs, rt } | Addu { rd, rs, rt } => {
+                self.write(rd, r(self, rs).wrapping_add(r(self, rt)))
+            }
+            Sub { rd, rs, rt } | Subu { rd, rs, rt } => {
+                self.write(rd, r(self, rs).wrapping_sub(r(self, rt)))
+            }
+            And { rd, rs, rt } => self.write(rd, r(self, rs) & r(self, rt)),
+            Or { rd, rs, rt } => self.write(rd, r(self, rs) | r(self, rt)),
+            Xor { rd, rs, rt } => self.write(rd, r(self, rs) ^ r(self, rt)),
+            Nor { rd, rs, rt } => self.write(rd, !(r(self, rs) | r(self, rt))),
+            Slt { rd, rs, rt } => {
+                self.write(rd, ((r(self, rs) as i32) < (r(self, rt) as i32)) as u32)
+            }
+            Sltu { rd, rs, rt } => self.write(rd, (r(self, rs) < r(self, rt)) as u32),
+            Sll { rd, rt, shamt } => self.write(rd, r(self, rt) << shamt),
+            Srl { rd, rt, shamt } => self.write(rd, r(self, rt) >> shamt),
+            Sra { rd, rt, shamt } => self.write(rd, ((r(self, rt) as i32) >> shamt) as u32),
+            Sllv { rd, rt, rs } => self.write(rd, r(self, rt) << (r(self, rs) & 0x1f)),
+            Srlv { rd, rt, rs } => self.write(rd, r(self, rt) >> (r(self, rs) & 0x1f)),
+            Srav { rd, rt, rs } => {
+                self.write(rd, ((r(self, rt) as i32) >> (r(self, rs) & 0x1f)) as u32)
+            }
+            Mult { rs, rt } => {
+                let p = (r(self, rs) as i32 as i64) * (r(self, rt) as i32 as i64);
+                self.lo = p as u32;
+                self.hi = (p >> 32) as u32;
+            }
+            Multu { rs, rt } => {
+                let p = (r(self, rs) as u64) * (r(self, rt) as u64);
+                self.lo = p as u32;
+                self.hi = (p >> 32) as u32;
+            }
+            Div { rs, rt } => {
+                let (a, b) = (r(self, rs) as i32, r(self, rt) as i32);
+                if b == 0 {
+                    // Architecturally UNPREDICTABLE; we pick a deterministic value.
+                    self.lo = u32::MAX;
+                    self.hi = a as u32;
+                } else {
+                    self.lo = a.wrapping_div(b) as u32;
+                    self.hi = a.wrapping_rem(b) as u32;
+                }
+            }
+            Divu { rs, rt } => {
+                let (a, b) = (r(self, rs), r(self, rt));
+                if b == 0 {
+                    self.lo = u32::MAX;
+                    self.hi = a;
+                } else {
+                    self.lo = a / b;
+                    self.hi = a % b;
+                }
+            }
+            Mfhi { rd } => self.write(rd, self.hi),
+            Mflo { rd } => self.write(rd, self.lo),
+            Mthi { rs } => self.hi = r(self, rs),
+            Mtlo { rs } => self.lo = r(self, rs),
+            Addi { rt, rs, imm } | Addiu { rt, rs, imm } => {
+                self.write(rt, r(self, rs).wrapping_add(imm as i32 as u32))
+            }
+            Slti { rt, rs, imm } => self.write(rt, ((r(self, rs) as i32) < imm as i32) as u32),
+            Sltiu { rt, rs, imm } => self.write(rt, (r(self, rs) < imm as i32 as u32) as u32),
+            Andi { rt, rs, imm } => self.write(rt, r(self, rs) & imm as u32),
+            Ori { rt, rs, imm } => self.write(rt, r(self, rs) | imm as u32),
+            Xori { rt, rs, imm } => self.write(rt, r(self, rs) ^ imm as u32),
+            Lui { rt, imm } => self.write(rt, (imm as u32) << 16),
+            Lb { rt, base, offset } => {
+                let a = r(self, base).wrapping_add(offset as i32 as u32);
+                let v = self.mem.read_u8(a) as i8 as i32 as u32;
+                self.profile.loads += 1;
+                self.write(rt, v);
+            }
+            Lbu { rt, base, offset } => {
+                let a = r(self, base).wrapping_add(offset as i32 as u32);
+                let v = self.mem.read_u8(a) as u32;
+                self.profile.loads += 1;
+                self.write(rt, v);
+            }
+            Lh { rt, base, offset } => {
+                let a = r(self, base).wrapping_add(offset as i32 as u32);
+                self.aligned(a, 2)?;
+                let v = self.mem.read_u16(a) as i16 as i32 as u32;
+                self.profile.loads += 1;
+                self.write(rt, v);
+            }
+            Lhu { rt, base, offset } => {
+                let a = r(self, base).wrapping_add(offset as i32 as u32);
+                self.aligned(a, 2)?;
+                let v = self.mem.read_u16(a) as u32;
+                self.profile.loads += 1;
+                self.write(rt, v);
+            }
+            Lw { rt, base, offset } => {
+                let a = r(self, base).wrapping_add(offset as i32 as u32);
+                self.aligned(a, 4)?;
+                let v = self.mem.read_u32(a);
+                self.profile.loads += 1;
+                self.write(rt, v);
+            }
+            Sb { rt, base, offset } => {
+                let a = r(self, base).wrapping_add(offset as i32 as u32);
+                self.profile.stores += 1;
+                self.mem.write_u8(a, r(self, rt) as u8);
+            }
+            Sh { rt, base, offset } => {
+                let a = r(self, base).wrapping_add(offset as i32 as u32);
+                self.aligned(a, 2)?;
+                self.profile.stores += 1;
+                self.mem.write_u16(a, r(self, rt) as u16);
+            }
+            Sw { rt, base, offset } => {
+                let a = r(self, base).wrapping_add(offset as i32 as u32);
+                self.aligned(a, 4)?;
+                self.profile.stores += 1;
+                self.mem.write_u32(a, r(self, rt));
+            }
+            Beq { rs, rt, .. } => branch_taken = r(self, rs) == r(self, rt),
+            Bne { rs, rt, .. } => branch_taken = r(self, rs) != r(self, rt),
+            Blez { rs, .. } => branch_taken = (r(self, rs) as i32) <= 0,
+            Bgtz { rs, .. } => branch_taken = (r(self, rs) as i32) > 0,
+            Bltz { rs, .. } => branch_taken = (r(self, rs) as i32) < 0,
+            Bgez { rs, .. } => branch_taken = (r(self, rs) as i32) >= 0,
+            J { .. } => taken_target = instr.jump_target(pc),
+            Jal { .. } => {
+                taken_target = instr.jump_target(pc);
+                self.write(Reg::Ra, pc.wrapping_add(8));
+                if let Some(t) = taken_target {
+                    *self.profile.calls.entry(t).or_insert(0) += 1;
+                }
+            }
+            Jr { rs } => taken_target = Some(r(self, rs)),
+            Jalr { rd, rs } => {
+                taken_target = Some(r(self, rs));
+                let link = pc.wrapping_add(8);
+                self.write(rd, link);
+                if let Some(t) = taken_target {
+                    *self.profile.calls.entry(t).or_insert(0) += 1;
+                }
+            }
+            Break { code } => {
+                // `break` has no delay slot; stop immediately.
+                return Ok(Some(code));
+            }
+        }
+
+        if branch_taken {
+            taken_target = instr.branch_target(pc);
+            self.profile.taken[idx] += 1;
+        }
+
+        // Architectural delay slot: the instruction at `next_pc` executes
+        // before any taken control transfer.
+        let after_slot = taken_target.unwrap_or_else(|| self.next_pc.wrapping_add(4));
+        self.pc = self.next_pc;
+        self.next_pc = after_slot;
+        Ok(None)
+    }
+
+    fn write(&mut self, reg: Reg, value: u32) {
+        if reg != Reg::Zero {
+            self.regs[reg.number() as usize] = value;
+        }
+    }
+
+    /// Profile accumulated so far.
+    pub fn profile(&self) -> &Profile {
+        &self.profile
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Asm, BinaryBuilder};
+
+    fn run_asm(build: impl FnOnce(&mut Asm)) -> Exit {
+        let mut a = Asm::new();
+        build(&mut a);
+        let text = a.finish().expect("assembles");
+        let binary = BinaryBuilder::new().text(text).build();
+        let mut m = Machine::new(&binary).expect("loads");
+        m.run().expect("runs")
+    }
+
+    #[test]
+    fn delay_slot_executes_on_taken_branch() {
+        // beq taken; delay slot sets $t1=7; target sets $v0=$t1.
+        let exit = run_asm(|a| {
+            let target = a.new_label();
+            a.beq(Reg::Zero, Reg::Zero, target);
+            a.li(Reg::T1, 7); // delay slot
+            a.li(Reg::T1, 99); // skipped
+            a.bind(target);
+            a.mov(Reg::V0, Reg::T1);
+            a.jr(Reg::Ra);
+            a.nop();
+        });
+        assert_eq!(exit.reg(Reg::V0), 7);
+    }
+
+    #[test]
+    fn delay_slot_executes_on_jump_and_jal_links_past_slot() {
+        let exit = run_asm(|a| {
+            let f = a.new_label();
+            a.mov(Reg::S0, Reg::Ra); // save loader return address
+            a.jal(f);
+            a.li(Reg::A0, 5); // delay slot: argument setup
+            a.mov(Reg::V0, Reg::V1);
+            a.jr(Reg::S0);
+            a.nop();
+            a.bind(f);
+            a.addiu(Reg::V1, Reg::A0, 1);
+            a.jr(Reg::Ra);
+            a.nop();
+        });
+        assert_eq!(exit.reg(Reg::V0), 6);
+    }
+
+    #[test]
+    fn loop_sums_correctly_and_profile_counts() {
+        let exit = run_asm(|a| {
+            let top = a.new_label();
+            a.li(Reg::T0, 100);
+            a.li(Reg::V0, 0);
+            a.bind(top);
+            a.addu(Reg::V0, Reg::V0, Reg::T0);
+            a.addiu(Reg::T0, Reg::T0, -1);
+            a.bgtz(Reg::T0, top);
+            a.nop();
+            a.jr(Reg::Ra);
+            a.nop();
+        });
+        assert_eq!(exit.reg(Reg::V0), 5050);
+        // The loop body instruction at index 2 ran 100 times.
+        assert_eq!(exit.profile.counts[2], 100);
+        // The branch was taken 99 times.
+        assert_eq!(exit.profile.taken[4], 99);
+        assert_eq!(exit.profile.count_at(crate::DEFAULT_TEXT_BASE + 8), 100);
+    }
+
+    #[test]
+    fn memory_ops_sign_and_zero_extend() {
+        let exit = run_asm(|a| {
+            a.li(Reg::T0, -1);
+            a.sb(Reg::T0, 0, Reg::Sp);
+            a.lb(Reg::V0, 0, Reg::Sp);
+            a.lbu(Reg::V1, 0, Reg::Sp);
+            a.li(Reg::T1, -2);
+            a.sh(Reg::T1, 4, Reg::Sp);
+            a.lh(Reg::A0, 4, Reg::Sp);
+            a.lhu(Reg::A1, 4, Reg::Sp);
+            a.jr(Reg::Ra);
+            a.nop();
+        });
+        assert_eq!(exit.reg(Reg::V0), 0xffff_ffff);
+        assert_eq!(exit.reg(Reg::V1), 0xff);
+        assert_eq!(exit.reg(Reg::A0), 0xffff_fffe);
+        assert_eq!(exit.reg(Reg::A1), 0xfffe);
+    }
+
+    #[test]
+    fn mult_div_hi_lo() {
+        let exit = run_asm(|a| {
+            a.li(Reg::T0, -6);
+            a.li(Reg::T1, 7);
+            a.mult(Reg::T0, Reg::T1);
+            a.mflo(Reg::V0); // -42
+            a.li(Reg::T2, 17);
+            a.li(Reg::T3, 5);
+            a.div(Reg::T2, Reg::T3);
+            a.mflo(Reg::V1); // 3
+            a.mfhi(Reg::A0); // 2
+            a.jr(Reg::Ra);
+            a.nop();
+        });
+        assert_eq!(exit.reg(Reg::V0) as i32, -42);
+        assert_eq!(exit.reg(Reg::V1), 3);
+        assert_eq!(exit.reg(Reg::A0), 2);
+    }
+
+    #[test]
+    fn div_by_zero_is_deterministic() {
+        let exit = run_asm(|a| {
+            a.li(Reg::T0, 9);
+            a.li(Reg::T1, 0);
+            a.div(Reg::T0, Reg::T1);
+            a.mflo(Reg::V0);
+            a.mfhi(Reg::V1);
+            a.jr(Reg::Ra);
+            a.nop();
+        });
+        assert_eq!(exit.reg(Reg::V0), u32::MAX);
+        assert_eq!(exit.reg(Reg::V1), 9);
+    }
+
+    #[test]
+    fn break_stops_with_code() {
+        let exit = run_asm(|a| {
+            a.li(Reg::V0, 3);
+            a.brk(42);
+        });
+        assert_eq!(exit.reason, ExitReason::Break(42));
+        assert_eq!(exit.reg(Reg::V0), 3);
+    }
+
+    #[test]
+    fn unaligned_word_access_errors() {
+        let mut a = Asm::new();
+        a.li(Reg::T0, 2);
+        a.lw(Reg::V0, 0, Reg::T0);
+        a.jr(Reg::Ra);
+        a.nop();
+        let binary = BinaryBuilder::new().text(a.finish().unwrap()).build();
+        let mut m = Machine::new(&binary).unwrap();
+        let err = m.run().unwrap_err();
+        assert!(matches!(err, SimError::Unaligned { addr: 2, .. }));
+    }
+
+    #[test]
+    fn runaway_program_hits_step_limit() {
+        let mut a = Asm::new();
+        let top = a.new_label();
+        a.bind(top);
+        a.b(top);
+        a.nop();
+        let binary = BinaryBuilder::new().text(a.finish().unwrap()).build();
+        let mut m = Machine::with_config(
+            &binary,
+            SimConfig {
+                max_steps: 1000,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            m.run(),
+            Err(SimError::MaxStepsExceeded { limit: 1000 })
+        ));
+    }
+
+    #[test]
+    fn data_section_visible_and_writable() {
+        let data_base = crate::DEFAULT_DATA_BASE;
+        let mut a = Asm::new();
+        a.la(Reg::T0, data_base);
+        a.lw(Reg::V0, 0, Reg::T0);
+        a.addiu(Reg::V0, Reg::V0, 1);
+        a.sw(Reg::V0, 0, Reg::T0);
+        a.jr(Reg::Ra);
+        a.nop();
+        let binary = BinaryBuilder::new()
+            .text(a.finish().unwrap())
+            .data(41u32.to_le_bytes().to_vec())
+            .build();
+        let mut m = Machine::new(&binary).unwrap();
+        let exit = m.run().unwrap();
+        assert_eq!(exit.reg(Reg::V0), 42);
+        assert_eq!(m.mem.read_u32(data_base), 42);
+    }
+
+    #[test]
+    fn sltiu_sign_extends_then_compares_unsigned() {
+        let exit = run_asm(|a| {
+            a.li(Reg::T0, 5);
+            a.sltiu(Reg::V0, Reg::T0, -1); // 5 < 0xffffffff => 1
+            a.jr(Reg::Ra);
+            a.nop();
+        });
+        assert_eq!(exit.reg(Reg::V0), 1);
+    }
+
+    #[test]
+    fn writes_to_zero_register_discarded() {
+        let exit = run_asm(|a| {
+            a.li(Reg::Zero, 55);
+            a.mov(Reg::V0, Reg::Zero);
+            a.jr(Reg::Ra);
+            a.nop();
+        });
+        assert_eq!(exit.reg(Reg::V0), 0);
+    }
+}

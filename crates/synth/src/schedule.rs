@@ -1,0 +1,660 @@
+//! Chaining-aware list scheduling, loop pipelining (ResMII/RecMII), binding,
+//! and area/clock estimation.
+
+use crate::tech::{classify, FuClass, TechLibrary};
+use binpart_cdfg::ir::{BlockId, Function, Op, Operand, VReg};
+use binpart_cdfg::loops::LoopForest;
+use std::collections::HashMap;
+
+/// Resource constraints for one kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResourceBudget {
+    /// Hard multiplier blocks available to the kernel.
+    pub multipliers: u32,
+    /// Memory ports (2 for dual-ported block RAM).
+    pub mem_ports: u32,
+    /// Target clock period in ns (chaining budget per cycle).
+    pub target_period_ns: f64,
+}
+
+impl Default for ResourceBudget {
+    fn default() -> Self {
+        ResourceBudget {
+            multipliers: 8,
+            mem_ports: 4,
+            target_period_ns: 18.0,
+        }
+    }
+}
+
+/// Schedule of one basic block (or flattened loop iteration).
+#[derive(Debug, Clone)]
+pub struct BlockSchedule {
+    /// Step assigned to each scheduled op, in op order.
+    pub steps: Vec<u32>,
+    /// Total steps (≥ 1).
+    pub depth: u32,
+    /// Longest combinational chain used, ns.
+    pub critical_ns: f64,
+    /// FU usage per (class, step).
+    pub usage: HashMap<(FuClass, u32), u32>,
+}
+
+/// Schedules the ops of one iteration/block with operator chaining and
+/// resource constraints.
+pub fn schedule_ops(
+    f: &Function,
+    ops: &[&Op],
+    lib: &TechLibrary,
+    budget: &ResourceBudget,
+    mem_in_bram: bool,
+) -> BlockSchedule {
+    let n = ops.len();
+    // def index within this op list
+    let mut def_at: HashMap<VReg, usize> = HashMap::new();
+    for (i, op) in ops.iter().enumerate() {
+        if let Some(d) = op.dst() {
+            def_at.insert(d, i);
+        }
+    }
+    // dependence: op i depends on defs of its operands + memory order
+    let mut deps: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut last_store: Option<usize> = None;
+    for (i, op) in ops.iter().enumerate() {
+        op.for_each_use(|o| {
+            if let Operand::Reg(r) = o {
+                if let Some(&j) = def_at.get(r) {
+                    if j < i {
+                        deps[i].push(j);
+                    }
+                }
+            }
+        });
+        match op {
+            Op::Store { .. } => {
+                if let Some(s) = last_store {
+                    deps[i].push(s);
+                }
+                last_store = Some(i);
+            }
+            Op::Load { .. } => {
+                if let Some(s) = last_store {
+                    deps[i].push(s);
+                }
+            }
+            _ => {}
+        }
+    }
+    // List scheduling with chaining.
+    let mut step = vec![0u32; n];
+    let mut ready_ns = vec![0.0f64; n]; // time within its step when result is ready
+    let mut usage: HashMap<(FuClass, u32), u32> = HashMap::new();
+    let mut critical: f64 = 0.0;
+    let mut depth: u32 = 1;
+    for i in 0..n {
+        let class = classify(ops[i]);
+        let bits = ops[i].dst().map_or(32, |d| f.bits_of(d));
+        let d_ns = lib.delay_ns(class, bits);
+        let cycles = lib.cycles(class, mem_in_bram);
+        // Earliest by data deps (with chaining inside a step).
+        let mut s = 0u32;
+        let mut start_ns = 0.0f64;
+        for &j in &deps[i] {
+            let jc = classify(ops[j]);
+            let j_cycles = lib.cycles(jc, mem_in_bram);
+            let j_done_step = step[j] + j_cycles - 1;
+            if j_cycles > 1 {
+                // multi-cycle producers register their result: consume next step
+                if j_done_step + 1 > s {
+                    s = j_done_step + 1;
+                    start_ns = 0.0;
+                }
+            } else {
+                match j_done_step.cmp(&s) {
+                    std::cmp::Ordering::Greater => {
+                        s = j_done_step;
+                        start_ns = ready_ns[j];
+                    }
+                    std::cmp::Ordering::Equal => start_ns = start_ns.max(ready_ns[j]),
+                    std::cmp::Ordering::Less => {}
+                }
+            }
+        }
+        // Chaining budget: spill to the next step when the chain overflows.
+        if start_ns + d_ns + lib.ff_overhead_ns > budget.target_period_ns && start_ns > 0.0 {
+            s += 1;
+            start_ns = 0.0;
+        }
+        // Resource constraints.
+        let limit = |c: FuClass| match c {
+            FuClass::Mult => Some(budget.multipliers),
+            FuClass::Mem => Some(budget.mem_ports),
+            FuClass::Div => Some(1),
+            _ => None,
+        };
+        if let Some(max) = limit(class) {
+            loop {
+                let used = usage.get(&(class, s)).copied().unwrap_or(0);
+                if used < max {
+                    break;
+                }
+                s += 1;
+                start_ns = 0.0;
+            }
+            // occupy the unit for its full latency
+            for k in 0..cycles {
+                *usage.entry((class, s + k)).or_insert(0) += 1;
+            }
+        } else if class != FuClass::Free {
+            *usage.entry((class, s)).or_insert(0) += 1;
+        }
+        step[i] = s;
+        ready_ns[i] = if cycles > 1 { 0.0 } else { start_ns + d_ns };
+        critical = critical.max(start_ns + d_ns + lib.ff_overhead_ns);
+        depth = depth.max(s + cycles);
+    }
+    BlockSchedule {
+        steps: step,
+        depth,
+        critical_ns: critical.max(lib.ff_overhead_ns),
+        usage,
+    }
+}
+
+/// Recurrence-constrained minimum initiation interval of a loop iteration:
+/// the longest dependence cycle through header phis, in cycles.
+pub fn rec_mii(
+    f: &Function,
+    loop_blocks: &[BlockId],
+    header: BlockId,
+    lib: &TechLibrary,
+    budget: &ResourceBudget,
+    mem_in_bram: bool,
+) -> u32 {
+    // Longest path (in cycle units) from each header phi to the register it
+    // receives from the latch.
+    let mut def_site: HashMap<VReg, (&Op, BlockId)> = HashMap::new();
+    for &b in loop_blocks {
+        for inst in &f.block(b).ops {
+            if let Some(d) = inst.op.dst() {
+                def_site.insert(d, (&inst.op, b));
+            }
+        }
+    }
+    let mut best = 1u32;
+    for inst in &f.block(header).ops {
+        let Op::Phi { args, .. } = &inst.op else {
+            continue;
+        };
+        for (p, a) in args {
+            if !loop_blocks.contains(p) {
+                continue;
+            }
+            let Operand::Reg(back) = a else { continue };
+            // accumulate delay along the chain feeding `back`
+            let mut delay_ns = 0.0f64;
+            let mut cycles = 0u32;
+            let mut cur = *back;
+            let mut hops = 0;
+            while let Some(&(op, _)) = def_site.get(&cur) {
+                hops += 1;
+                if hops > 64 {
+                    break;
+                }
+                let class = classify(op);
+                let c = lib.cycles(class, mem_in_bram);
+                if c > 1 {
+                    cycles += c;
+                } else {
+                    delay_ns += lib.delay_ns(class, op.dst().map_or(32, |d| f.bits_of(d)));
+                }
+                if let Op::Phi { .. } = op {
+                    break;
+                }
+                // follow the first register operand (longest chains in
+                // reductions are linear)
+                let mut next = None;
+                op.for_each_use(|o| {
+                    if next.is_none() {
+                        if let Operand::Reg(r) = o {
+                            if def_site.contains_key(r) {
+                                next = Some(*r);
+                            }
+                        }
+                    }
+                });
+                match next {
+                    Some(r) => cur = r,
+                    None => break,
+                }
+            }
+            let chain_cycles =
+                cycles + (delay_ns / budget.target_period_ns).ceil().max(1.0) as u32;
+            best = best.max(chain_cycles);
+        }
+    }
+    best
+}
+
+/// Resource-constrained minimum initiation interval.
+pub fn res_mii(
+    ops: &[&Op],
+    budget: &ResourceBudget,
+    lib: &TechLibrary,
+    mem_in_bram: bool,
+) -> u32 {
+    let mut mem = 0u32;
+    let mut mul = 0u32;
+    let mut div = 0u32;
+    for op in ops {
+        match classify(op) {
+            FuClass::Mem => mem += lib.cycles(FuClass::Mem, mem_in_bram),
+            FuClass::Mult => mul += 1,
+            FuClass::Div => div += lib.cycles(FuClass::Div, mem_in_bram),
+            _ => {}
+        }
+    }
+    let mut ii = 1;
+    ii = ii.max(mem.div_ceil(budget.mem_ports.max(1)));
+    ii = ii.max(mul.div_ceil(budget.multipliers.max(1)));
+    ii = ii.max(div);
+    ii
+}
+
+/// Area accounting for a scheduled kernel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AreaEstimate {
+    /// Datapath LUTs.
+    pub luts: f64,
+    /// Flip-flops.
+    pub ffs: f64,
+    /// Hard multiplier blocks.
+    pub mult_blocks: u32,
+    /// Block-RAM blocks.
+    pub bram_blocks: u64,
+    /// Total in gate equivalents.
+    pub gate_equivalents: u64,
+}
+
+/// Estimates area from FU usage maxima plus registers, muxes, control, and
+/// block RAM.
+pub fn estimate_area(
+    f: &Function,
+    all_ops: &[&Op],
+    schedules: &[&BlockSchedule],
+    lib: &TechLibrary,
+    states: u32,
+    bram_bytes: u64,
+) -> AreaEstimate {
+    // FUs: maximum concurrent usage of each class at its widest width.
+    let mut width_of_class: HashMap<FuClass, u8> = HashMap::new();
+    for op in all_ops {
+        let c = classify(op);
+        let bits = op.dst().map_or(32, |d| f.bits_of(d));
+        let w = width_of_class.entry(c).or_insert(0);
+        *w = (*w).max(bits);
+    }
+    let mut max_usage: HashMap<FuClass, u32> = HashMap::new();
+    for sched in schedules {
+        for (&(c, _), &n) in &sched.usage {
+            let e = max_usage.entry(c).or_insert(0);
+            *e = (*e).max(n);
+        }
+    }
+    let mut luts = 0.0;
+    let mut mult_blocks = 0u32;
+    for (&c, &n) in &max_usage {
+        let w = width_of_class.get(&c).copied().unwrap_or(32);
+        luts += lib.luts(c, w) * n as f64;
+        if c == FuClass::Mult {
+            let blocks_per = if w <= 18 { 1 } else { 3 };
+            mult_blocks += n * blocks_per;
+        }
+    }
+    // Registers: one per produced value (pipeline registers dominate).
+    let ffs: f64 = all_ops
+        .iter()
+        .filter_map(|o| o.dst())
+        .map(|d| f.bits_of(d) as f64)
+        .sum();
+    // Sharing muxes: ~25% of datapath, control: per-state decode.
+    let mux_luts = luts * 0.25;
+    let control_luts = states as f64 * 2.0;
+    let total_luts = luts + mux_luts + control_luts;
+    let bram_blocks = lib.bram_blocks(bram_bytes);
+    let gates = total_luts * lib.gates_per_lut
+        + ffs * lib.gates_per_ff
+        + mult_blocks as f64 * lib.gates_per_mult
+        + bram_blocks as f64 * lib.gates_per_bram;
+    AreaEstimate {
+        luts: total_luts,
+        ffs,
+        mult_blocks,
+        bram_blocks,
+        gate_equivalents: gates.round() as u64,
+    }
+}
+
+/// Collects the ops of a loop's blocks flattened into one iteration body.
+pub fn loop_iteration_ops<'f>(f: &'f Function, blocks: &[BlockId]) -> Vec<&'f Op> {
+    let mut ops = Vec::new();
+    for &b in blocks {
+        for inst in &f.block(b).ops {
+            ops.push(&inst.op);
+        }
+    }
+    ops
+}
+
+/// Kernel timing summary derived from schedules + profile counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelTiming {
+    /// Total hardware cycles (all invocations, from profile counts).
+    pub hw_cycles: u64,
+    /// Initiation interval of the hottest pipelined loop (1 = fully
+    /// pipelined).
+    pub innermost_ii: u32,
+    /// Schedule depth of the hottest loop iteration.
+    pub innermost_depth: u32,
+    /// Achieved clock in MHz.
+    pub clock_mhz: f64,
+}
+
+/// Estimates total kernel cycles for a region.
+///
+/// Innermost loops are software-pipelined at their computed II; all other
+/// blocks execute their block schedule sequentially, weighted by profiled
+/// execution counts.
+pub fn estimate_kernel_cycles(
+    f: &Function,
+    region: &[BlockId],
+    forest: &LoopForest,
+    lib: &TechLibrary,
+    budget: &ResourceBudget,
+    mem_in_bram: bool,
+) -> KernelTiming {
+    let mut total: u64 = 0;
+    let mut critical: f64 = lib.ff_overhead_ns;
+    let mut hot_ii = 1u32;
+    let mut hot_depth = 1u32;
+    let mut hot_count = 0u64;
+    let mut handled: Vec<BlockId> = Vec::new();
+    // Innermost loops fully inside the region.
+    for l in forest.loops() {
+        let innermost = !forest
+            .loops()
+            .iter()
+            .any(|other| other.parent.is_some() && forest.loops()[other.parent.unwrap()].header == l.header);
+        let _ = innermost;
+    }
+    for (li, l) in forest.loops().iter().enumerate() {
+        let is_innermost = !forest.loops().iter().any(|o| o.parent == Some(li));
+        if !is_innermost {
+            continue;
+        }
+        if !l.blocks.iter().all(|b| region.contains(b)) {
+            continue;
+        }
+        let ops = loop_iteration_ops(f, &l.blocks);
+        let sched = schedule_ops(f, &ops, lib, budget, mem_in_bram);
+        let rmii = rec_mii(f, &l.blocks, l.header, lib, budget, mem_in_bram);
+        let smii = res_mii(&ops, budget, lib, mem_in_bram);
+        let ii = rmii.max(smii);
+        let iters = f.block(l.header).profile_count;
+        // entries ≈ iterations / trip-count (1 when unknown)
+        let entries = match l.trip_count {
+            Some(t) if t > 0 => iters.div_ceil(t),
+            _ => 1,
+        };
+        total += iters * ii as u64 + entries * (sched.depth.saturating_sub(ii)) as u64;
+        critical = critical.max(sched.critical_ns);
+        if iters >= hot_count {
+            hot_count = iters;
+            hot_ii = ii;
+            hot_depth = sched.depth;
+        }
+        handled.extend(l.blocks.iter().copied());
+    }
+    // Remaining region blocks: sequential schedules.
+    for &b in region {
+        if handled.contains(&b) {
+            continue;
+        }
+        let ops: Vec<&Op> = f.block(b).ops.iter().map(|i| &i.op).collect();
+        if ops.is_empty() {
+            total += f.block(b).profile_count; // control-only block: 1 cycle
+            continue;
+        }
+        let sched = schedule_ops(f, &ops, lib, budget, mem_in_bram);
+        total += f.block(b).profile_count * sched.depth as u64;
+        critical = critical.max(sched.critical_ns);
+    }
+    let clock_mhz = (1000.0 / critical.max(1.0)).min(1000.0 / budget.target_period_ns * 3.0);
+    KernelTiming {
+        hw_cycles: total.max(1),
+        innermost_ii: hot_ii,
+        innermost_depth: hot_depth,
+        clock_mhz,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use binpart_cdfg::ir::{BinOp, MemWidth, Operand, Terminator};
+
+    fn lib() -> TechLibrary {
+        TechLibrary::virtex2()
+    }
+
+    /// Builds a chain a+b -> +c -> +d (3 dependent adds).
+    fn chain_function() -> (Function, Vec<Op>) {
+        let mut f = Function::new("chain");
+        let mut regs = Vec::new();
+        for _ in 0..6 {
+            regs.push(f.new_vreg());
+        }
+        let ops = vec![
+            Op::Bin {
+                op: BinOp::Add,
+                dst: regs[3],
+                lhs: Operand::Reg(regs[0]),
+                rhs: Operand::Reg(regs[1]),
+            },
+            Op::Bin {
+                op: BinOp::Add,
+                dst: regs[4],
+                lhs: Operand::Reg(regs[3]),
+                rhs: Operand::Reg(regs[2]),
+            },
+            Op::Bin {
+                op: BinOp::Add,
+                dst: regs[5],
+                lhs: Operand::Reg(regs[4]),
+                rhs: Operand::Const(1),
+            },
+        ];
+        (f, ops)
+    }
+
+    #[test]
+    fn chaining_packs_dependent_adds_into_few_steps() {
+        let (f, ops) = chain_function();
+        let refs: Vec<&Op> = ops.iter().collect();
+        let s = schedule_ops(&f, &refs, &lib(), &ResourceBudget::default(), true);
+        // 3 adds at ~4ns each chain within an 18ns period -> depth 1
+        assert_eq!(s.depth, 1, "{s:?}");
+        assert!(s.critical_ns <= 18.0);
+    }
+
+    #[test]
+    fn tight_period_forces_more_steps() {
+        let (f, ops) = chain_function();
+        let refs: Vec<&Op> = ops.iter().collect();
+        let budget = ResourceBudget {
+            target_period_ns: 6.0,
+            ..Default::default()
+        };
+        let s = schedule_ops(&f, &refs, &lib(), &budget, true);
+        assert!(s.depth >= 2, "{s:?}");
+    }
+
+    #[test]
+    fn independent_ops_share_a_step() {
+        let mut f = Function::new("par");
+        let mut ops = Vec::new();
+        for _ in 0..4 {
+            let a = f.new_vreg();
+            let b = f.new_vreg();
+            let d = f.new_vreg();
+            ops.push(Op::Bin {
+                op: BinOp::Add,
+                dst: d,
+                lhs: Operand::Reg(a),
+                rhs: Operand::Reg(b),
+            });
+        }
+        let refs: Vec<&Op> = ops.iter().collect();
+        let s = schedule_ops(&f, &refs, &lib(), &ResourceBudget::default(), true);
+        assert_eq!(s.depth, 1);
+    }
+
+    #[test]
+    fn memory_port_limit_serializes_loads() {
+        let mut f = Function::new("mem");
+        let mut ops = Vec::new();
+        for k in 0..6 {
+            let d = f.new_vreg();
+            ops.push(Op::Load {
+                dst: d,
+                addr: Operand::Const(k * 4),
+                width: MemWidth::W,
+                signed: false,
+            });
+        }
+        let refs: Vec<&Op> = ops.iter().collect();
+        let budget = ResourceBudget {
+            mem_ports: 2,
+            ..Default::default()
+        };
+        let s = schedule_ops(&f, &refs, &lib(), &budget, true);
+        // 6 loads over 2 ports -> at least 3 steps
+        assert!(s.depth >= 3, "{s:?}");
+    }
+
+    #[test]
+    fn external_memory_is_slower_than_bram() {
+        let mut f = Function::new("mem2");
+        let mut ops = Vec::new();
+        for k in 0..4 {
+            let d = f.new_vreg();
+            ops.push(Op::Load {
+                dst: d,
+                addr: Operand::Const(k * 4),
+                width: MemWidth::W,
+                signed: false,
+            });
+        }
+        let refs: Vec<&Op> = ops.iter().collect();
+        let bram = schedule_ops(&f, &refs, &lib(), &ResourceBudget::default(), true);
+        let ext = schedule_ops(&f, &refs, &lib(), &ResourceBudget::default(), false);
+        assert!(ext.depth > bram.depth, "{} vs {}", ext.depth, bram.depth);
+    }
+
+    #[test]
+    fn res_mii_counts_ports_and_multipliers() {
+        let mut f = Function::new("m");
+        let mut ops = Vec::new();
+        for _ in 0..4 {
+            let a = f.new_vreg();
+            let d = f.new_vreg();
+            ops.push(Op::Bin {
+                op: BinOp::Mul,
+                dst: d,
+                lhs: Operand::Reg(a),
+                rhs: Operand::Const(3),
+            });
+        }
+        let refs: Vec<&Op> = ops.iter().collect();
+        let budget = ResourceBudget {
+            multipliers: 2,
+            ..Default::default()
+        };
+        assert_eq!(res_mii(&refs, &budget, &lib(), true), 2);
+    }
+
+    #[test]
+    fn area_grows_with_width() {
+        let mut f = Function::new("w");
+        let a = f.new_vreg();
+        let b = f.new_vreg();
+        let d = f.new_vreg();
+        let op = Op::Bin {
+            op: BinOp::Add,
+            dst: d,
+            lhs: Operand::Reg(a),
+            rhs: Operand::Reg(b),
+        };
+        let ops = [&op];
+        let budget = ResourceBudget::default();
+        let s = schedule_ops(&f, &ops, &lib(), &budget, true);
+        let wide = estimate_area(&f, &ops, &[&s], &lib(), 4, 0);
+        f.vreg_bits = vec![8; f.vreg_count() as usize];
+        let narrow = estimate_area(&f, &ops, &[&s], &lib(), 4, 0);
+        assert!(
+            narrow.gate_equivalents < wide.gate_equivalents,
+            "narrow {} wide {}",
+            narrow.gate_equivalents,
+            wide.gate_equivalents
+        );
+    }
+
+    #[test]
+    fn kernel_cycles_respect_profile() {
+        // single-block self loop with profiled counts
+        let mut f = Function::new("k");
+        let header = f.add_block();
+        let exit = f.add_block();
+        let i0 = f.new_vreg();
+        let c = f.new_vreg();
+        f.block_mut(f.entry).term = Terminator::Jump(header);
+        f.block_mut(header).push(Op::Bin {
+            op: BinOp::Add,
+            dst: i0,
+            lhs: Operand::Reg(i0),
+            rhs: Operand::Const(1),
+        });
+        f.block_mut(header).push(Op::Bin {
+            op: BinOp::LtS,
+            dst: c,
+            lhs: Operand::Reg(i0),
+            rhs: Operand::Const(100),
+        });
+        f.block_mut(header).term = Terminator::Branch {
+            cond: Operand::Reg(c),
+            t: header,
+            f: exit,
+        };
+        f.block_mut(exit).term = Terminator::Return { value: None };
+        binpart_cdfg::ssa::construct(&mut f);
+        // attach profile: header ran 100 times
+        let header_id = f
+            .block_ids()
+            .find(|&b| !f.block(b).ops.is_empty())
+            .unwrap();
+        f.block_mut(header_id).profile_count = 100;
+        let forest = LoopForest::compute(&f);
+        let region: Vec<BlockId> = f.block_ids().collect();
+        let t = estimate_kernel_cycles(
+            &f,
+            &region,
+            &forest,
+            &lib(),
+            &ResourceBudget::default(),
+            true,
+        );
+        // II=1 loop with 100 iterations: ~100 cycles, far below SW
+        assert!(t.hw_cycles >= 100 && t.hw_cycles < 160, "{t:?}");
+        assert!(t.clock_mhz > 20.0);
+    }
+}

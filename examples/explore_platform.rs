@@ -1,0 +1,41 @@
+//! Sweeps the hypothetical platform's processor clock (the paper's 40/200/
+//! 400 MHz study) plus FPGA area budgets, showing how partitioning
+//! decisions shift.
+//!
+//! Run with: `cargo run --release --example explore_platform`
+
+use binpart::core::flow::{Flow, FlowOptions};
+use binpart::minicc::OptLevel;
+use binpart::platform::Platform;
+use binpart::workloads::suite;
+
+fn main() {
+    let b = suite().into_iter().find(|b| b.name == "autcor00").unwrap();
+    let binary = b.compile(OptLevel::O1).expect("compiles");
+    println!("benchmark: {} ({})\n", b.name, b.suite.label());
+    println!("processor clock sweep:");
+    for hz in [40e6, 100e6, 200e6, 300e6, 400e6] {
+        let mut options = FlowOptions::default();
+        options.platform = Platform::mips_virtex2(hz);
+        let r = Flow::new(options).run(&binary).expect("flow");
+        println!(
+            "  {:>4} MHz: speedup {:>6.2}x, energy savings {:>3.0}%",
+            hz / 1e6,
+            r.hybrid.app_speedup,
+            r.hybrid.energy_savings * 100.0
+        );
+    }
+    println!("\nFPGA area budget sweep (200 MHz):");
+    for budget in [5_000u64, 15_000, 40_000, 100_000, 250_000] {
+        let mut options = FlowOptions::default();
+        options.partition.area_budget_gates = budget;
+        let r = Flow::new(options).run(&binary).expect("flow");
+        println!(
+            "  {:>7} gates: {} kernels, speedup {:>6.2}x, used {} gates",
+            budget,
+            r.partition.kernels.len(),
+            r.hybrid.app_speedup,
+            r.hybrid.total_area_gates
+        );
+    }
+}

@@ -1,0 +1,26 @@
+//! Dumps the RTL VHDL the behavioral synthesizer emits for the hottest
+//! kernel of a benchmark — the artifact the original flow handed to
+//! Xilinx ISE.
+//!
+//! Run with: `cargo run --release --example vhdl_dump`
+
+use binpart::core::flow::{Flow, FlowOptions};
+use binpart::minicc::OptLevel;
+use binpart::workloads::suite;
+
+fn main() {
+    let b = suite().into_iter().find(|b| b.name == "crc").unwrap();
+    let binary = b.compile(OptLevel::O1).expect("compiles");
+    let report = Flow::new(FlowOptions::default()).run(&binary).expect("flow");
+    for k in &report.partition.kernels {
+        println!(
+            "-- kernel {} : II={}, depth={}, clock {:.0} MHz, {} gates",
+            k.name,
+            k.synth.timing.innermost_ii,
+            k.synth.timing.innermost_depth,
+            k.synth.timing.clock_mhz,
+            k.synth.area.gate_equivalents
+        );
+        println!("{}", k.synth.vhdl);
+    }
+}
