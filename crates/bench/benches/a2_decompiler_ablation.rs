@@ -15,10 +15,12 @@ fn bench(c: &mut Criterion) {
     for (label, optimize) in [("passes_on", true), ("passes_off", false)] {
         group.bench_function(label, |bench| {
             bench.iter(|| {
-                let mut options = FlowOptions::default();
-                options.decompile = DecompileOptions {
-                    recover_jump_tables: true,
-                    optimize,
+                let options = FlowOptions {
+                    decompile: DecompileOptions {
+                        recover_jump_tables: true,
+                        optimize,
+                    },
+                    ..Default::default()
                 };
                 Flow::new(options)
                     .run(std::hint::black_box(&binary))

@@ -1,0 +1,36 @@
+//! End-to-end wall clock of full table regeneration (E1–E4, A1–A3) — the
+//! number the memoized, parallel harness exists to shrink.
+//!
+//! The first iteration pays every compile/simulate/decompile exactly once;
+//! subsequent iterations measure the steady-state (memoized) cost, which is
+//! what repeated experimentation — the paper's dynamic-partitioning
+//! argument — actually experiences.
+
+use binpart_bench::{run_a1, run_a2, run_a3, run_e1, run_e2, run_e3, run_e4};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn regenerate_all() -> usize {
+    let mut cells = 0;
+    cells += run_e1(200e6, false).len();
+    for hz in [40e6, 200e6, 400e6] {
+        cells += usize::from(run_e2(hz).recovered > 0);
+    }
+    cells += run_e3().len();
+    cells += run_e4().recovered;
+    cells += run_a1(100_000).rows.len();
+    cells += run_a2().len();
+    cells += run_a3().len();
+    cells
+}
+
+fn bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_suite");
+    group.sample_size(10);
+    group.bench_function("regenerate_all_tables", |b| {
+        b.iter(|| std::hint::black_box(regenerate_all()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

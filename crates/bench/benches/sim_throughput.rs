@@ -1,0 +1,115 @@
+//! Raw simulator throughput (retired instructions per second): the fast
+//! engine vs the retained seed engine (`binpart_mips::reference`).
+//!
+//! The workload is the full `(benchmark, OptLevel)` matrix — the exact set
+//! of binaries the experiment harness simulates — plus per-level slices so
+//! the two regimes are visible: at `-O1`+ (register-resident) the gap is
+//! dispatch-bound, at `-O0` (memory-resident locals) the seed's four
+//! hash-lookups-per-word memory dominates and the gap is an order of
+//! magnitude.
+
+use binpart_minicc::OptLevel;
+use binpart_mips::reference::ReferenceMachine;
+use binpart_mips::sim::Machine;
+use binpart_mips::Binary;
+use binpart_workloads::suite;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+fn binaries(level: OptLevel) -> (Vec<Binary>, u64) {
+    let bins: Vec<Binary> = suite()
+        .iter()
+        .map(|b| b.compile(level).expect("suite compiles"))
+        .collect();
+    let total = bins
+        .iter()
+        .map(|b| {
+            Machine::new(b)
+                .unwrap()
+                .run_unprofiled()
+                .expect("runs")
+                .instrs
+        })
+        .sum();
+    (bins, total)
+}
+
+fn run_fast(bins: &[Binary]) -> u64 {
+    bins.iter()
+        .map(|b| {
+            Machine::new(std::hint::black_box(b))
+                .unwrap()
+                .run_unprofiled()
+                .unwrap()
+                .instrs
+        })
+        .sum()
+}
+
+fn run_fast_profiled(bins: &[Binary]) -> u64 {
+    bins.iter()
+        .map(|b| {
+            Machine::new(std::hint::black_box(b))
+                .unwrap()
+                .run()
+                .unwrap()
+                .instrs
+        })
+        .sum()
+}
+
+fn run_reference(bins: &[Binary]) -> u64 {
+    bins.iter()
+        .map(|b| {
+            ReferenceMachine::new(std::hint::black_box(b))
+                .unwrap()
+                .run()
+                .unwrap()
+                .instrs
+        })
+        .sum()
+}
+
+fn bench(c: &mut Criterion) {
+    // Full matrix: every (benchmark, OptLevel) binary the harness simulates.
+    let per_level: Vec<(OptLevel, Vec<Binary>, u64)> = OptLevel::ALL
+        .into_iter()
+        .map(|l| {
+            let (bins, total) = binaries(l);
+            (l, bins, total)
+        })
+        .collect();
+    let matrix_total: u64 = per_level.iter().map(|(_, _, n)| n).sum();
+    let all_bins: Vec<Binary> = per_level
+        .iter()
+        .flat_map(|(_, bins, _)| bins.iter().cloned())
+        .collect();
+
+    let mut group = c.benchmark_group("sim_throughput");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(matrix_total));
+    group.bench_function("matrix_fast_unprofiled", |b| b.iter(|| run_fast(&all_bins)));
+    group.bench_function("matrix_fast_profiled", |b| {
+        b.iter(|| run_fast_profiled(&all_bins))
+    });
+    group.bench_function("matrix_reference_seed", |b| {
+        b.iter(|| run_reference(&all_bins))
+    });
+    group.finish();
+
+    // Per-level slices, fast vs seed.
+    let mut group = c.benchmark_group("sim_throughput_by_level");
+    group.sample_size(10);
+    for (level, bins, total) in &per_level {
+        group.throughput(Throughput::Elements(*total));
+        group.bench_function(format!("{}_fast", level.flag()), |b| {
+            b.iter(|| run_fast(bins))
+        });
+        group.bench_function(format!("{}_reference", level.flag()), |b| {
+            b.iter(|| run_reference(bins))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

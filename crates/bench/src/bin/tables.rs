@@ -1,8 +1,17 @@
 //! Regenerates every table/figure of the DATE'05 evaluation.
 //!
-//! Usage: `tables [e1|e2|e3|e4|a1|a2|a3|all]`
+//! Usage: `tables [e1|e2|e3|e4|a1|a2|a3|sim|all]`
+//!
+//! `all` additionally writes `BENCH_sim.json` (simulator instructions/sec
+//! for the fast and seed engines, plus the wall-clock of the whole table
+//! regeneration) so the performance trajectory is tracked across PRs;
+//! `sim` writes it without regenerating the tables.
 
 use binpart_bench::*;
+use binpart_minicc::OptLevel;
+use binpart_mips::reference::ReferenceMachine;
+use binpart_mips::sim::Machine;
+use std::time::Instant;
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
@@ -14,7 +23,12 @@ fn main() {
         "a1" => a1(),
         "a2" => a2(),
         "a3" => a3(),
+        "sim" => {
+            let report = sim_report(None);
+            write_bench_json(&report);
+        }
         _ => {
+            let t0 = Instant::now();
             e1();
             e2();
             e3();
@@ -22,7 +36,73 @@ fn main() {
             a1();
             a2();
             a3();
+            let suite_wall = t0.elapsed().as_secs_f64();
+            println!(
+                "regenerated all tables in {suite_wall:.3} s ({} (benchmark, level) compiles)",
+                CompiledSuite::entries_built()
+            );
+            let report = sim_report(Some(suite_wall));
+            write_bench_json(&report);
         }
+    }
+}
+
+struct SimReport {
+    fast_ips: f64,
+    seed_ips: f64,
+    total_instrs: u64,
+    suite_wall_s: Option<f64>,
+}
+
+/// Measures raw simulator throughput over the full (benchmark, OptLevel)
+/// matrix: the fast engine unprofiled vs the retained seed engine.
+fn sim_report(suite_wall_s: Option<f64>) -> SimReport {
+    let suite = binpart_workloads::suite();
+    let mut bins = Vec::new();
+    for level in OptLevel::ALL {
+        for b in &suite {
+            bins.push(b.compile(level).expect("suite compiles"));
+        }
+    }
+    let mut total = 0u64;
+    let t0 = Instant::now();
+    for bin in &bins {
+        let mut m = Machine::new(bin).expect("decodes");
+        total += m.run_unprofiled().expect("runs").instrs;
+    }
+    let fast_ips = total as f64 / t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    for bin in &bins {
+        let mut m = ReferenceMachine::new(bin).expect("decodes");
+        m.run().expect("runs");
+    }
+    let seed_ips = total as f64 / t0.elapsed().as_secs_f64();
+    SimReport {
+        fast_ips,
+        seed_ips,
+        total_instrs: total,
+        suite_wall_s,
+    }
+}
+
+fn write_bench_json(r: &SimReport) {
+    let suite_wall = match r.suite_wall_s {
+        Some(s) => format!("{s:.6}"),
+        None => "null".to_string(),
+    };
+    let json = format!(
+        "{{\n  \"sim_instrs_per_sec_fast\": {:.0},\n  \"sim_instrs_per_sec_seed\": {:.0},\n  \"sim_speedup\": {:.2},\n  \"matrix_total_instrs\": {},\n  \"full_suite_wall_clock_s\": {}\n}}\n",
+        r.fast_ips,
+        r.seed_ips,
+        r.fast_ips / r.seed_ips,
+        r.total_instrs,
+        suite_wall,
+    );
+    let path = "BENCH_sim.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}: fast {:.0} M instrs/s, seed {:.0} M instrs/s ({:.1}x)",
+            r.fast_ips / 1e6, r.seed_ips / 1e6, r.fast_ips / r.seed_ips),
+        Err(e) => eprintln!("could not write {path}: {e}"),
     }
 }
 

@@ -193,13 +193,7 @@ impl BinOp {
                     a.wrapping_div(b)
                 }
             }
-            BinOp::DivU => {
-                if bu == 0 {
-                    -1
-                } else {
-                    (au / bu) as i32
-                }
-            }
+            BinOp::DivU => au.checked_div(bu).map_or(-1, |q| q as i32),
             BinOp::RemS => {
                 if b == 0 {
                     a

@@ -251,7 +251,7 @@ fn seq(a: ControlNode, b: ControlNode) -> ControlNode {
 }
 
 /// Applies one reduction; returns `true` if the graph changed.
-fn reduce_once(nodes: &mut Vec<ANode>, preds: &[Vec<usize>], entry: usize) -> bool {
+fn reduce_once(nodes: &mut [ANode], preds: &[Vec<usize>], entry: usize) -> bool {
     let n = nodes.len();
     // 1. Self-loop / do-while.
     for i in 0..n {
@@ -261,9 +261,9 @@ fn reduce_once(nodes: &mut Vec<ANode>, preds: &[Vec<usize>], entry: usize) -> bo
         if nodes[i].succs.contains(&i) {
             let other: Vec<usize> = nodes[i].succs.iter().copied().filter(|&s| s != i).collect();
             let payload = std::mem::replace(&mut nodes[i].payload, ControlNode::Seq(vec![]));
-            nodes[i].payload = if other.is_empty() && preds[i].iter().all(|&p| p == i) {
-                ControlNode::SelfLoop(Box::new(payload))
-            } else if matches!(payload, ControlNode::Block(_)) {
+            nodes[i].payload = if (other.is_empty() && preds[i].iter().all(|&p| p == i))
+                || matches!(payload, ControlNode::Block(_))
+            {
                 ControlNode::SelfLoop(Box::new(payload))
             } else {
                 ControlNode::DoWhile {
@@ -313,7 +313,7 @@ fn reduce_once(nodes: &mut Vec<ANode>, preds: &[Vec<usize>], entry: usize) -> bo
         };
         // While: arm loops straight back to i.
         for (arm, exit) in [(a, b), (b, a)] {
-            if single_entry(arm) && succ_of(arm) == Some(i) && preds[i].len() >= 1 {
+            if single_entry(arm) && succ_of(arm) == Some(i) && !preds[i].is_empty() {
                 let header = std::mem::replace(&mut nodes[i].payload, ControlNode::Seq(vec![]));
                 let body = std::mem::replace(&mut nodes[arm].payload, ControlNode::Seq(vec![]));
                 nodes[i].payload = ControlNode::While {

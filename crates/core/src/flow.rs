@@ -4,7 +4,7 @@
 use crate::decompile::{self, DecompiledProgram};
 use crate::lift::{DecompileError, DecompileOptions};
 use crate::partition::{partition_90_10, Partition, PartitionOptions};
-use binpart_mips::sim::{Machine, SimConfig, SimError};
+use binpart_mips::sim::{Exit, Machine, SimConfig, SimError};
 use binpart_mips::Binary;
 use binpart_platform::{HardwareKernel, HybridReport, Platform};
 use binpart_synth::{ResourceBudget, TechLibrary};
@@ -145,10 +145,39 @@ impl Flow {
         // 1. Software run: cycles + profile.
         let mut machine = Machine::with_config(binary, self.options.sim)?;
         let exit = machine.run()?;
+        self.run_with_exit(binary, &exit)
+    }
+
+    /// Runs the flow on `binary` reusing an already-collected software
+    /// [`Exit`] (profile + cycles), skipping the simulation step entirely.
+    ///
+    /// The exit must come from a run of the same binary under the same
+    /// [`SimConfig`] cycle model; the memoized experiment harness uses this
+    /// to profile each `(benchmark, OptLevel)` binary exactly once across
+    /// every experiment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError`] if CDFG recovery fails.
+    pub fn run_with_exit(&self, binary: &Binary, exit: &Exit) -> Result<FlowReport, FlowError> {
+        let program = decompile::decompile(binary, self.options.decompile)?;
+        Ok(self.run_with_program(binary, exit, program))
+    }
+
+    /// Runs the partition/synthesis/evaluation tail of the flow on an
+    /// already-decompiled (pre-profile) `program`, attaching `exit`'s
+    /// profile. The memoized harness caches decompiled programs per
+    /// `(binary, DecompileOptions)` and clones them into this entry point,
+    /// so repeated experiments skip both simulation and CDFG recovery.
+    pub fn run_with_program(
+        &self,
+        binary: &Binary,
+        exit: &Exit,
+        mut program: DecompiledProgram,
+    ) -> FlowReport {
         let sw_cycles = exit.cycles;
 
-        // 2. Decompile and attach the profile.
-        let mut program = decompile::decompile(binary, self.options.decompile)?;
+        // 2. Attach the profile to the recovered program.
         decompile::attach_profile(&mut program, &exit.profile);
 
         // 3. Partition.
@@ -180,14 +209,14 @@ impl Flow {
             .collect();
         let hybrid = self.options.platform.hybrid(sw_cycles, &kernels);
         let stats = program.stats;
-        Ok(FlowReport {
+        FlowReport {
             sw_cycles,
             sw_exit_value: exit.reg(binpart_mips::Reg::V0),
             hybrid,
             stats,
             partition,
             program,
-        })
+        }
     }
 }
 
@@ -209,6 +238,29 @@ mod tests {
            }
            return out;
          }"
+    }
+
+    #[test]
+    fn memoized_entry_points_match_run() {
+        let binary = compile(kernel_program(), OptLevel::O1).unwrap();
+        let flow = Flow::new(FlowOptions::default());
+        let direct = flow.run(&binary).unwrap();
+        let mut m = Machine::with_config(&binary, flow.options.sim).unwrap();
+        let exit = m.run().unwrap();
+        let via_exit = flow.run_with_exit(&binary, &exit).unwrap();
+        assert_eq!(direct.sw_cycles, via_exit.sw_cycles);
+        assert_eq!(
+            direct.hybrid.app_speedup.to_bits(),
+            via_exit.hybrid.app_speedup.to_bits()
+        );
+        let program = decompile::decompile(&binary, flow.options.decompile).unwrap();
+        let via_program = flow.run_with_program(&binary, &exit, program);
+        assert_eq!(
+            direct.hybrid.app_speedup.to_bits(),
+            via_program.hybrid.app_speedup.to_bits()
+        );
+        assert_eq!(direct.hybrid.total_area_gates, via_program.hybrid.total_area_gates);
+        assert_eq!(direct.sw_exit_value, via_program.sw_exit_value);
     }
 
     #[test]
@@ -307,8 +359,10 @@ mod tests {
     fn slower_cpu_larger_speedup() {
         let binary = compile(kernel_program(), OptLevel::O1).unwrap();
         let run_at = |hz: f64| {
-            let mut o = FlowOptions::default();
-            o.platform = Platform::mips_virtex2(hz);
+            let o = FlowOptions {
+                platform: Platform::mips_virtex2(hz),
+                ..Default::default()
+            };
             Flow::new(o).run(&binary).unwrap().hybrid
         };
         let r40 = run_at(40e6);

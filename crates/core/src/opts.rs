@@ -617,13 +617,10 @@ pub fn size_reduction(f: &mut Function, stats: &mut PassStats) {
                                     Some(s) => a.saturating_sub((s & 31) as u8).max(1),
                                     None => a,
                                 },
-                                BinOp::ShrA => {
-                                    if a < 32 {
+                                BinOp::ShrA
+                                    if a < 32 => {
                                         a
-                                    } else {
-                                        32
                                     }
-                                }
                                 op if op.is_compare() => 1,
                                 _ => 32,
                             }

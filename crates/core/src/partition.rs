@@ -184,7 +184,7 @@ pub fn partition_90_10(
             });
         }
     }
-    candidates.sort_by(|a, b| b.sw_cycles.cmp(&a.sw_cycles));
+    candidates.sort_by_key(|c| std::cmp::Reverse(c.sw_cycles));
 
     let mut kernels: Vec<SelectedKernel> = Vec::new();
     let mut area_used = 0u64;
@@ -305,7 +305,6 @@ pub fn partition_90_10(
                 continue;
             };
             area_used += synth.area.gate_equivalents;
-            covered += c.sw_cycles;
             log.push(format!("step2: {} joins (shares arrays)", c.name));
             kernels.push(SelectedKernel {
                 func_index: c.func_index,
@@ -343,7 +342,6 @@ pub fn partition_90_10(
             continue;
         };
         area_used += synth.area.gate_equivalents;
-        covered += c.sw_cycles;
         log.push(format!("step3: {} added", c.name));
         kernels.push(SelectedKernel {
             func_index: c.func_index,

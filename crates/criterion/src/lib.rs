@@ -1,0 +1,260 @@
+//! Offline drop-in subset of the `criterion` benchmark harness.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! the small slice of criterion's API that the benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`Bencher::iter`], [`Throughput`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Measurement is a plain
+//! median-of-samples timer: each sample runs the routine in a batch sized
+//! to take ~`MIN_BATCH_TIME`, and the reported figure is the median
+//! per-iteration time (plus derived throughput when configured).
+//!
+//! Swap the path dependency back to crates.io criterion to get the full
+//! statistical harness; no bench source changes are needed.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+const MIN_BATCH_TIME: Duration = Duration::from_millis(20);
+const DEFAULT_SAMPLES: usize = 20;
+
+/// Throughput configuration for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Number of abstract elements processed per iteration.
+    Elements(u64),
+    /// Number of bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver (created by [`criterion_main!`]).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    filter: Option<String>,
+}
+
+impl Criterion {
+    /// Creates a driver, honoring a `cargo bench -- <filter>` substring.
+    pub fn new() -> Criterion {
+        // `cargo bench -- foo` passes `foo` through; harness flags that the
+        // real criterion accepts (e.g. `--bench`) are ignored.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'));
+        Criterion { filter }
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: DEFAULT_SAMPLES,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let name = name.into();
+        run_benchmark(&name, self.filter.as_deref(), DEFAULT_SAMPLES, None, f);
+        self
+    }
+}
+
+/// A named collection of benchmarks sharing sample/throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f` under `<group>/<name>`.
+    pub fn bench_function<F>(&mut self, name: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name.into());
+        run_benchmark(
+            &full,
+            self.criterion.filter.as_deref(),
+            self.sample_size,
+            self.throughput,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// Passed to the closure given to `bench_function`; times the routine.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, running it in batches until enough samples accrue.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and size the batch so one batch takes ~MIN_BATCH_TIME.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let batch = (MIN_BATCH_TIME.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+        self.samples.clear();
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.samples
+                .push(t.elapsed().div_f64(f64::from(batch)));
+        }
+    }
+}
+
+fn run_benchmark<F>(
+    name: &str,
+    filter: Option<&str>,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    if let Some(pat) = filter {
+        if !name.contains(pat) {
+            return;
+        }
+    }
+    let mut b = Bencher {
+        samples: Vec::new(),
+        sample_size,
+    };
+    f(&mut b);
+    if b.samples.is_empty() {
+        println!("{name:<40} (no samples)");
+        return;
+    }
+    b.samples.sort();
+    let median = b.samples[b.samples.len() / 2];
+    let lo = b.samples[0];
+    let hi = b.samples[b.samples.len() - 1];
+    let thrpt = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  thrpt: {}/s", human_count(n as f64 / median.as_secs_f64()))
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  thrpt: {}B/s", human_count(n as f64 / median.as_secs_f64()))
+        }
+        None => String::new(),
+    };
+    println!(
+        "{name:<40} time: [{} {} {}]{thrpt}",
+        human_time(lo),
+        human_time(median),
+        human_time(hi),
+    );
+}
+
+fn human_time(d: Duration) -> String {
+    let ns = d.as_nanos() as f64;
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn human_count(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.2} G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.2} M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.2} K", v / 1e3)
+    } else {
+        format!("{v:.1} ")
+    }
+}
+
+/// Declares a group of benchmark functions (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::new();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench `main` running each group (criterion-compatible).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            sample_size: 3,
+        };
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            black_box(n)
+        });
+        assert_eq!(b.samples.len(), 3);
+        assert!(b.samples.iter().all(|s| s.as_nanos() > 0));
+    }
+
+    #[test]
+    fn group_runs_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        let mut ran = false;
+        group
+            .sample_size(2)
+            .throughput(Throughput::Elements(10))
+            .bench_function("noop", |b| {
+                ran = true;
+                b.iter(|| black_box(1 + 1))
+            });
+        group.finish();
+        assert!(ran);
+    }
+}

@@ -112,8 +112,11 @@ fn substitute(e: &Expr, params: &[(String, crate::ast::Ty)], args: &[Expr]) -> E
     }
 }
 
+/// (name, params, body expression) of a function small enough to inline.
+type InlineCandidate = (String, Vec<(String, crate::ast::Ty)>, Expr);
+
 fn inline_small(prog: &mut Program, stats: &mut AstOptStats) {
-    let candidates: Vec<(String, Vec<(String, crate::ast::Ty)>, Expr)> = prog
+    let candidates: Vec<InlineCandidate> = prog
         .funcs
         .iter()
         .filter_map(|f| inline_candidate(f).map(|e| (f.name.clone(), f.params.clone(), e.clone())))
@@ -364,12 +367,7 @@ fn unrollable(
     if stmt_count(body) > UNROLL_MAX_BODY || writes_var(body, &iv) || has_jump(body) {
         return None;
     }
-    for factor in [UNROLL_FACTOR, 2] {
-        if trip % factor == 0 && trip >= factor {
-            return Some(factor);
-        }
-    }
-    None
+    [UNROLL_FACTOR, 2].into_iter().find(|&factor| trip.is_multiple_of(factor) && trip >= factor)
 }
 
 fn stmt_count(s: &Stmt) -> usize {

@@ -83,7 +83,7 @@ pub fn generate(prog: &TProgram, level: OptLevel) -> Result<Binary, CodegenError
     let mut symbols: Vec<Symbol> = Vec::new();
     for g in &prog.globals {
         let align = g.ty.align().max(4); // word-align everything for the FPGA memory model
-        while data.len() % align != 0 {
+        while !data.len().is_multiple_of(align) {
             data.push(0);
         }
         let addr = data_base + data.len() as u32;
@@ -926,7 +926,7 @@ impl<'a> FuncGen<'a> {
                         asm.nop();
                         asm.sll(idx, idx, 2);
                         // table base
-                        while data.len() % 4 != 0 {
+                        while !data.len().is_multiple_of(4) {
                             data.push(0);
                         }
                         let table_off = data.len();

@@ -679,7 +679,7 @@ impl<'p, 'c> FnCx<'p, 'c> {
                 if let Some(id) = self.lookup(name) {
                     let info = self.f.vars[id.index()].clone();
                     return Ok(match info.kind {
-                        VarKind::Frame { .. } if !info.ty.is_integer() || true => {
+                        VarKind::Frame { .. } => {
                             // frame object: either array storage or scalar home
                             let addr = self.frame_addr(id, info.ty.clone());
                             (addr, Ty::Ptr(Box::new(info.ty)))
@@ -845,8 +845,8 @@ impl<'p, 'c> FnCx<'p, 'c> {
                     None => {
                         let (v, vt) = self.rvalue(rhs)?;
                         let target_ty = place.ty().clone();
-                        let v = self.convert(v, &vt, &target_ty);
-                        v
+                        
+                        self.convert(v, &vt, &target_ty)
                     }
                     Some(bop) => {
                         let (cur, cur_ty) = self.read_place(&place);

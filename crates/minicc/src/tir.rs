@@ -122,13 +122,7 @@ impl TBinOp {
             TBinOp::Sub => x.wrapping_sub(y),
             TBinOp::Mul => x.wrapping_mul(y),
             TBinOp::DivS => x.checked_div(y)?,
-            TBinOp::DivU => {
-                if yu == 0 {
-                    return None;
-                } else {
-                    (xu / yu) as i32
-                }
-            }
+            TBinOp::DivU => xu.checked_div(yu)? as i32,
             TBinOp::RemS => x.checked_rem(y)?,
             TBinOp::RemU => {
                 if yu == 0 {

@@ -278,7 +278,7 @@ fn signed_division_by_pow2() {
 fn unsigned_div_rem() {
     check_all_levels(
         "int main(void) { unsigned int a = 0xfffffff0u; return (int)(a / 16u % 256u); }",
-        ((0xfffffff0u32 / 16) % 256) as u32,
+        (0xfffffff0u32 / 16) % 256,
     );
 }
 
@@ -363,7 +363,7 @@ fn matrix_multiply_kernel() {
     let expected = {
         let a: Vec<i32> = (0..16).map(|i| i + 1).collect();
         let b: Vec<i32> = (0..16).map(|i| 16 - i).collect();
-        let mut c = vec![0i32; 16];
+        let mut c = [0i32; 16];
         for i in 0..4 {
             for j in 0..4 {
                 c[i * 4 + j] = (0..4).map(|k| a[i * 4 + k] * b[k * 4 + j]).sum();

@@ -127,8 +127,8 @@ impl Asm {
             labels,
             text_base,
         } = self;
-        for idx in 0..items.len() {
-            let (instr, pending) = items[idx];
+        for (idx, item) in items.iter_mut().enumerate() {
+            let (instr, pending) = *item;
             match pending {
                 Pending::None => {}
                 Pending::Branch(l) => {
@@ -136,13 +136,13 @@ impl Asm {
                     let distance = target as i64 - (idx as i64 + 1);
                     let offset = i16::try_from(distance)
                         .map_err(|_| AsmError::BranchOutOfRange { at: idx, distance })?;
-                    items[idx].0 = with_branch_offset(instr, offset);
+                    item.0 = with_branch_offset(instr, offset);
                 }
                 Pending::Jump(l) => {
                     let target = labels[l.0 as usize].ok_or(AsmError::UnboundLabel(l))?;
                     let addr = text_base + (target as u32) * 4;
                     let field = (addr >> 2) & 0x03ff_ffff;
-                    items[idx].0 = match instr {
+                    item.0 = match instr {
                         Instr::J { .. } => Instr::J { target: field },
                         Instr::Jal { .. } => Instr::Jal { target: field },
                         other => other,
@@ -176,7 +176,7 @@ impl Asm {
         let mut i = 1;
         while i + 1 < self.items.len() {
             let is_leader =
-                |labels: &Vec<Option<usize>>, idx: usize| labels.iter().any(|l| *l == Some(idx));
+                |labels: &Vec<Option<usize>>, idx: usize| labels.contains(&Some(idx));
             let (b, _) = self.items[i];
             let slot_is_nop = self.items[i + 1].0.is_nop()
                 && matches!(self.items[i + 1].1, Pending::None);

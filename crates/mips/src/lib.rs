@@ -42,6 +42,7 @@ pub mod binary;
 pub mod cycles;
 pub mod encode;
 pub mod instr;
+pub mod reference;
 pub mod reg;
 pub mod sim;
 

@@ -244,8 +244,7 @@ mod tests {
         let b = f.new_vreg();
         let d = f.new_vreg();
         let e = f.new_vreg();
-        let ops = vec![
-            Op::Bin {
+        let ops = [Op::Bin {
                 op: BinOp::Mul,
                 dst: d,
                 lhs: Operand::Reg(a),
@@ -256,8 +255,7 @@ mod tests {
                 dst: e,
                 lhs: Operand::Reg(d),
                 rhs: Operand::Const(1),
-            },
-        ];
+            }];
         let refs: Vec<&Op> = ops.iter().collect();
         let s = schedule_ops(
             &f,
@@ -282,7 +280,7 @@ mod tests {
 
     #[test]
     fn sanitizes_entity_names() {
-        assert_eq!(sanitize("f_0x400040"), "f_0x400040".replace('x', "x"));
+        assert_eq!(sanitize("f_0x400040"), "f_0x400040");
         assert_eq!(sanitize("0bad"), "k0bad");
         assert_eq!(sanitize("a-b"), "a_b");
     }

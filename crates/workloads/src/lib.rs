@@ -538,8 +538,9 @@ mod tests {
                     .compile(level)
                     .unwrap_or_else(|e| panic!("{} fails to compile at {level}: {e}", b.name));
                 let mut m = Machine::new(&binary).expect("load");
+                // Checksums only — the profile-free fast path suffices.
                 let exit = m
-                    .run()
+                    .run_unprofiled()
                     .unwrap_or_else(|e| panic!("{} fails to run at {level}: {e}", b.name));
                 results.push(exit.reg(Reg::V0));
             }
@@ -615,7 +616,7 @@ mod tests {
         for b in suite() {
             let binary = b.compile(OptLevel::O1).unwrap();
             let mut m = Machine::new(&binary).unwrap();
-            let exit = m.run().unwrap();
+            let exit = m.run_unprofiled().unwrap();
             assert!(
                 exit.instrs > 10_000,
                 "{}: too few dynamic instructions ({})",

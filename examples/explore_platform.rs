@@ -15,8 +15,10 @@ fn main() {
     println!("benchmark: {} ({})\n", b.name, b.suite.label());
     println!("processor clock sweep:");
     for hz in [40e6, 100e6, 200e6, 300e6, 400e6] {
-        let mut options = FlowOptions::default();
-        options.platform = Platform::mips_virtex2(hz);
+        let options = FlowOptions {
+            platform: Platform::mips_virtex2(hz),
+            ..Default::default()
+        };
         let r = Flow::new(options).run(&binary).expect("flow");
         println!(
             "  {:>4} MHz: speedup {:>6.2}x, energy savings {:>3.0}%",

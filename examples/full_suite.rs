@@ -2,40 +2,41 @@
 //! and prints a per-benchmark summary, including the two CDFG-recovery
 //! failures on jump-table benchmarks.
 //!
+//! Uses the memoized, parallel experiment harness from `binpart-bench`, so
+//! repeated runs in one process compile and profile each benchmark once.
+//!
 //! Run with: `cargo run --release --example full_suite`
 
-use binpart::core::flow::{Flow, FlowOptions};
-use binpart::core::{DecompileError, FlowError};
-use binpart::minicc::OptLevel;
-use binpart::workloads::suite;
+use binpart_bench::run_e1;
 
 fn main() {
+    let t0 = std::time::Instant::now();
+    let rows = run_e1(200e6, false);
+    let elapsed = t0.elapsed();
     println!(
         "{:<12} {:<11} {:>9} {:>9} {:>8}",
         "benchmark", "suite", "speedup", "energy%", "area"
     );
     let mut failures = 0;
-    for b in suite() {
-        let binary = b.compile(OptLevel::O1).expect("suite compiles");
-        match Flow::new(FlowOptions::default()).run(&binary) {
-            Ok(r) => println!(
+    for r in &rows {
+        match &r.result {
+            Some(n) => println!(
                 "{:<12} {:<11} {:>8.2}x {:>8.0}% {:>8}",
-                b.name,
-                b.suite.label(),
-                r.hybrid.app_speedup,
-                r.hybrid.energy_savings * 100.0,
-                r.hybrid.total_area_gates
+                r.name,
+                r.suite,
+                n.app_speedup,
+                n.energy_savings * 100.0,
+                n.area_gates
             ),
-            Err(FlowError::Decompile(DecompileError::IndirectJump { pc })) => {
+            None => {
                 failures += 1;
                 println!(
-                    "{:<12} {:<11} CDFG recovery failed: indirect jump at {pc:#x}",
-                    b.name,
-                    b.suite.label()
+                    "{:<12} {:<11} CDFG recovery failed: indirect jump",
+                    r.name, r.suite
                 );
             }
-            Err(e) => println!("{:<12} error: {e}", b.name),
         }
     }
     println!("\n{failures} of 20 failed CDFG recovery (paper: 2 of 20)");
+    println!("suite flow time: {elapsed:.2?}");
 }

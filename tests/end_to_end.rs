@@ -4,7 +4,7 @@
 
 use binpart::core::flow::{Flow, FlowOptions};
 use binpart::core::{decompile, DecompileOptions};
-use binpart::minicc::{compile, OptLevel};
+use binpart::minicc::OptLevel;
 use binpart::mips::sim::Machine;
 use binpart::mips::{Binary, Reg};
 use binpart::platform::Platform;
@@ -94,8 +94,10 @@ fn platform_sweep_ordering_holds_for_a_hot_benchmark() {
     let b = suite().into_iter().find(|b| b.name == "aifirf01").unwrap();
     let binary = b.compile(OptLevel::O1).unwrap();
     let run = |hz: f64| {
-        let mut o = FlowOptions::default();
-        o.platform = Platform::mips_virtex2(hz);
+        let o = FlowOptions {
+            platform: Platform::mips_virtex2(hz),
+            ..Default::default()
+        };
         Flow::new(o).run(&binary).unwrap().hybrid
     };
     let (r40, r200, r400) = (run(40e6), run(200e6), run(400e6));
