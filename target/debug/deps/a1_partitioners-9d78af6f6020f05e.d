@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/a1_partitioners-9d78af6f6020f05e.d: crates/bench/benches/a1_partitioners.rs Cargo.toml
+
+/root/repo/target/debug/deps/liba1_partitioners-9d78af6f6020f05e.rmeta: crates/bench/benches/a1_partitioners.rs Cargo.toml
+
+crates/bench/benches/a1_partitioners.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

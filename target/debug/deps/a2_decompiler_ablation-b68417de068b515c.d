@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/a2_decompiler_ablation-b68417de068b515c.d: crates/bench/benches/a2_decompiler_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/liba2_decompiler_ablation-b68417de068b515c.rmeta: crates/bench/benches/a2_decompiler_ablation.rs Cargo.toml
+
+crates/bench/benches/a2_decompiler_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

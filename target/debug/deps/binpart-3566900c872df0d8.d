@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/binpart-3566900c872df0d8.d: src/lib.rs
+
+/root/repo/target/debug/deps/libbinpart-3566900c872df0d8.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libbinpart-3566900c872df0d8.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/binpart-397c9f56e5442c67.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbinpart-397c9f56e5442c67.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/binpart-70be604baa4a0b5b.d: src/lib.rs
+
+/root/repo/target/debug/deps/binpart-70be604baa4a0b5b: src/lib.rs
+
+src/lib.rs:

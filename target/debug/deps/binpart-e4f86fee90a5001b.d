@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/binpart-e4f86fee90a5001b.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbinpart-e4f86fee90a5001b.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/binpart_bench-2d838c09d015dd5f.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/binpart_bench-2d838c09d015dd5f: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

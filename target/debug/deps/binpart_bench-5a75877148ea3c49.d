@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/binpart_bench-5a75877148ea3c49.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbinpart_bench-5a75877148ea3c49.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libbinpart_bench-5a75877148ea3c49.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

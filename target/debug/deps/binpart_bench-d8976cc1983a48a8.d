@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/binpart_bench-d8976cc1983a48a8.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbinpart_bench-d8976cc1983a48a8.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/binpart_bench-e17e360adf31b5f4.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbinpart_bench-e17e360adf31b5f4.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/binpart_cdfg-7266cad26f762fe4.d: crates/cdfg/src/lib.rs crates/cdfg/src/cfg.rs crates/cdfg/src/dataflow.rs crates/cdfg/src/dom.rs crates/cdfg/src/ir.rs crates/cdfg/src/loops.rs crates/cdfg/src/ssa.rs crates/cdfg/src/structure.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbinpart_cdfg-7266cad26f762fe4.rmeta: crates/cdfg/src/lib.rs crates/cdfg/src/cfg.rs crates/cdfg/src/dataflow.rs crates/cdfg/src/dom.rs crates/cdfg/src/ir.rs crates/cdfg/src/loops.rs crates/cdfg/src/ssa.rs crates/cdfg/src/structure.rs Cargo.toml
+
+crates/cdfg/src/lib.rs:
+crates/cdfg/src/cfg.rs:
+crates/cdfg/src/dataflow.rs:
+crates/cdfg/src/dom.rs:
+crates/cdfg/src/ir.rs:
+crates/cdfg/src/loops.rs:
+crates/cdfg/src/ssa.rs:
+crates/cdfg/src/structure.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

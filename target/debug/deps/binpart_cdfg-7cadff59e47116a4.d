@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/binpart_cdfg-7cadff59e47116a4.d: crates/cdfg/src/lib.rs crates/cdfg/src/cfg.rs crates/cdfg/src/dataflow.rs crates/cdfg/src/dom.rs crates/cdfg/src/ir.rs crates/cdfg/src/loops.rs crates/cdfg/src/ssa.rs crates/cdfg/src/structure.rs
+
+/root/repo/target/debug/deps/libbinpart_cdfg-7cadff59e47116a4.rlib: crates/cdfg/src/lib.rs crates/cdfg/src/cfg.rs crates/cdfg/src/dataflow.rs crates/cdfg/src/dom.rs crates/cdfg/src/ir.rs crates/cdfg/src/loops.rs crates/cdfg/src/ssa.rs crates/cdfg/src/structure.rs
+
+/root/repo/target/debug/deps/libbinpart_cdfg-7cadff59e47116a4.rmeta: crates/cdfg/src/lib.rs crates/cdfg/src/cfg.rs crates/cdfg/src/dataflow.rs crates/cdfg/src/dom.rs crates/cdfg/src/ir.rs crates/cdfg/src/loops.rs crates/cdfg/src/ssa.rs crates/cdfg/src/structure.rs
+
+crates/cdfg/src/lib.rs:
+crates/cdfg/src/cfg.rs:
+crates/cdfg/src/dataflow.rs:
+crates/cdfg/src/dom.rs:
+crates/cdfg/src/ir.rs:
+crates/cdfg/src/loops.rs:
+crates/cdfg/src/ssa.rs:
+crates/cdfg/src/structure.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/binpart_core-618c7cc4e9aff21c.d: crates/core/src/lib.rs crates/core/src/alias.rs crates/core/src/decompile.rs crates/core/src/flow.rs crates/core/src/lift.rs crates/core/src/opts.rs crates/core/src/partition.rs
+
+/root/repo/target/debug/deps/libbinpart_core-618c7cc4e9aff21c.rlib: crates/core/src/lib.rs crates/core/src/alias.rs crates/core/src/decompile.rs crates/core/src/flow.rs crates/core/src/lift.rs crates/core/src/opts.rs crates/core/src/partition.rs
+
+/root/repo/target/debug/deps/libbinpart_core-618c7cc4e9aff21c.rmeta: crates/core/src/lib.rs crates/core/src/alias.rs crates/core/src/decompile.rs crates/core/src/flow.rs crates/core/src/lift.rs crates/core/src/opts.rs crates/core/src/partition.rs
+
+crates/core/src/lib.rs:
+crates/core/src/alias.rs:
+crates/core/src/decompile.rs:
+crates/core/src/flow.rs:
+crates/core/src/lift.rs:
+crates/core/src/opts.rs:
+crates/core/src/partition.rs:

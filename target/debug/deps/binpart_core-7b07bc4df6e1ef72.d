@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/binpart_core-7b07bc4df6e1ef72.d: crates/core/src/lib.rs crates/core/src/alias.rs crates/core/src/decompile.rs crates/core/src/flow.rs crates/core/src/lift.rs crates/core/src/opts.rs crates/core/src/partition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbinpart_core-7b07bc4df6e1ef72.rmeta: crates/core/src/lib.rs crates/core/src/alias.rs crates/core/src/decompile.rs crates/core/src/flow.rs crates/core/src/lift.rs crates/core/src/opts.rs crates/core/src/partition.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/alias.rs:
+crates/core/src/decompile.rs:
+crates/core/src/flow.rs:
+crates/core/src/lift.rs:
+crates/core/src/opts.rs:
+crates/core/src/partition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/binpart_core-7e6a47fd40252e59.d: crates/core/src/lib.rs crates/core/src/alias.rs crates/core/src/decompile.rs crates/core/src/flow.rs crates/core/src/lift.rs crates/core/src/opts.rs crates/core/src/partition.rs
+
+/root/repo/target/debug/deps/binpart_core-7e6a47fd40252e59: crates/core/src/lib.rs crates/core/src/alias.rs crates/core/src/decompile.rs crates/core/src/flow.rs crates/core/src/lift.rs crates/core/src/opts.rs crates/core/src/partition.rs
+
+crates/core/src/lib.rs:
+crates/core/src/alias.rs:
+crates/core/src/decompile.rs:
+crates/core/src/flow.rs:
+crates/core/src/lift.rs:
+crates/core/src/opts.rs:
+crates/core/src/partition.rs:

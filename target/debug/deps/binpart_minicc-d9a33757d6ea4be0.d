@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/binpart_minicc-d9a33757d6ea4be0.d: crates/minicc/src/lib.rs crates/minicc/src/ast.rs crates/minicc/src/ast_opt.rs crates/minicc/src/codegen.rs crates/minicc/src/lexer.rs crates/minicc/src/lower.rs crates/minicc/src/opt.rs crates/minicc/src/parser.rs crates/minicc/src/tir.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbinpart_minicc-d9a33757d6ea4be0.rmeta: crates/minicc/src/lib.rs crates/minicc/src/ast.rs crates/minicc/src/ast_opt.rs crates/minicc/src/codegen.rs crates/minicc/src/lexer.rs crates/minicc/src/lower.rs crates/minicc/src/opt.rs crates/minicc/src/parser.rs crates/minicc/src/tir.rs Cargo.toml
+
+crates/minicc/src/lib.rs:
+crates/minicc/src/ast.rs:
+crates/minicc/src/ast_opt.rs:
+crates/minicc/src/codegen.rs:
+crates/minicc/src/lexer.rs:
+crates/minicc/src/lower.rs:
+crates/minicc/src/opt.rs:
+crates/minicc/src/parser.rs:
+crates/minicc/src/tir.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

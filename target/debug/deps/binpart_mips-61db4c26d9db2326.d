@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/binpart_mips-61db4c26d9db2326.d: crates/mips/src/lib.rs crates/mips/src/asm.rs crates/mips/src/binary.rs crates/mips/src/cycles.rs crates/mips/src/encode.rs crates/mips/src/instr.rs crates/mips/src/reference.rs crates/mips/src/reg.rs crates/mips/src/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbinpart_mips-61db4c26d9db2326.rmeta: crates/mips/src/lib.rs crates/mips/src/asm.rs crates/mips/src/binary.rs crates/mips/src/cycles.rs crates/mips/src/encode.rs crates/mips/src/instr.rs crates/mips/src/reference.rs crates/mips/src/reg.rs crates/mips/src/sim.rs Cargo.toml
+
+crates/mips/src/lib.rs:
+crates/mips/src/asm.rs:
+crates/mips/src/binary.rs:
+crates/mips/src/cycles.rs:
+crates/mips/src/encode.rs:
+crates/mips/src/instr.rs:
+crates/mips/src/reference.rs:
+crates/mips/src/reg.rs:
+crates/mips/src/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/binpart_mips-628c0aa2fd3831b7.d: crates/mips/src/lib.rs crates/mips/src/asm.rs crates/mips/src/binary.rs crates/mips/src/cycles.rs crates/mips/src/encode.rs crates/mips/src/instr.rs crates/mips/src/reference.rs crates/mips/src/reg.rs crates/mips/src/sim.rs
+
+/root/repo/target/debug/deps/libbinpart_mips-628c0aa2fd3831b7.rlib: crates/mips/src/lib.rs crates/mips/src/asm.rs crates/mips/src/binary.rs crates/mips/src/cycles.rs crates/mips/src/encode.rs crates/mips/src/instr.rs crates/mips/src/reference.rs crates/mips/src/reg.rs crates/mips/src/sim.rs
+
+/root/repo/target/debug/deps/libbinpart_mips-628c0aa2fd3831b7.rmeta: crates/mips/src/lib.rs crates/mips/src/asm.rs crates/mips/src/binary.rs crates/mips/src/cycles.rs crates/mips/src/encode.rs crates/mips/src/instr.rs crates/mips/src/reference.rs crates/mips/src/reg.rs crates/mips/src/sim.rs
+
+crates/mips/src/lib.rs:
+crates/mips/src/asm.rs:
+crates/mips/src/binary.rs:
+crates/mips/src/cycles.rs:
+crates/mips/src/encode.rs:
+crates/mips/src/instr.rs:
+crates/mips/src/reference.rs:
+crates/mips/src/reg.rs:
+crates/mips/src/sim.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/binpart_mips-cc0f1230a931dd2b.d: crates/mips/src/lib.rs crates/mips/src/asm.rs crates/mips/src/binary.rs crates/mips/src/cycles.rs crates/mips/src/encode.rs crates/mips/src/instr.rs crates/mips/src/reg.rs crates/mips/src/sim.rs
+
+/root/repo/target/debug/deps/binpart_mips-cc0f1230a931dd2b: crates/mips/src/lib.rs crates/mips/src/asm.rs crates/mips/src/binary.rs crates/mips/src/cycles.rs crates/mips/src/encode.rs crates/mips/src/instr.rs crates/mips/src/reg.rs crates/mips/src/sim.rs
+
+crates/mips/src/lib.rs:
+crates/mips/src/asm.rs:
+crates/mips/src/binary.rs:
+crates/mips/src/cycles.rs:
+crates/mips/src/encode.rs:
+crates/mips/src/instr.rs:
+crates/mips/src/reg.rs:
+crates/mips/src/sim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/binpart_par-0df6ec25328be2af.d: crates/par/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbinpart_par-0df6ec25328be2af.rmeta: crates/par/src/lib.rs Cargo.toml
+
+crates/par/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

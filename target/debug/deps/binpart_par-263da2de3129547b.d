@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/binpart_par-263da2de3129547b.d: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/libbinpart_par-263da2de3129547b.rlib: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/libbinpart_par-263da2de3129547b.rmeta: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

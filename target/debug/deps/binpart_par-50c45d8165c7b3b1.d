@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/binpart_par-50c45d8165c7b3b1.d: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/binpart_par-50c45d8165c7b3b1: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/binpart_partition-7f883ff5fd9a4c99.d: crates/partition/src/lib.rs
+
+/root/repo/target/debug/deps/libbinpart_partition-7f883ff5fd9a4c99.rlib: crates/partition/src/lib.rs
+
+/root/repo/target/debug/deps/libbinpart_partition-7f883ff5fd9a4c99.rmeta: crates/partition/src/lib.rs
+
+crates/partition/src/lib.rs:

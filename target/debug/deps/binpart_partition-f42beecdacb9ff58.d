@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/binpart_partition-f42beecdacb9ff58.d: crates/partition/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbinpart_partition-f42beecdacb9ff58.rmeta: crates/partition/src/lib.rs Cargo.toml
+
+crates/partition/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/binpart_partition-f779c428b61cd7a9.d: crates/partition/src/lib.rs
+
+/root/repo/target/debug/deps/binpart_partition-f779c428b61cd7a9: crates/partition/src/lib.rs
+
+crates/partition/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/binpart_partition-ff36f7d5f58e6bf5.d: crates/partition/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbinpart_partition-ff36f7d5f58e6bf5.rmeta: crates/partition/src/lib.rs Cargo.toml
+
+crates/partition/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/binpart_platform-353e548a708c53e1.d: crates/platform/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbinpart_platform-353e548a708c53e1.rmeta: crates/platform/src/lib.rs Cargo.toml
+
+crates/platform/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

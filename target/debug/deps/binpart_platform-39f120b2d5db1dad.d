@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/binpart_platform-39f120b2d5db1dad.d: crates/platform/src/lib.rs
+
+/root/repo/target/debug/deps/binpart_platform-39f120b2d5db1dad: crates/platform/src/lib.rs
+
+crates/platform/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/binpart_platform-68f390882f9963d0.d: crates/platform/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbinpart_platform-68f390882f9963d0.rmeta: crates/platform/src/lib.rs Cargo.toml
+
+crates/platform/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/binpart_platform-d4856f48b2625004.d: crates/platform/src/lib.rs
+
+/root/repo/target/debug/deps/libbinpart_platform-d4856f48b2625004.rlib: crates/platform/src/lib.rs
+
+/root/repo/target/debug/deps/libbinpart_platform-d4856f48b2625004.rmeta: crates/platform/src/lib.rs
+
+crates/platform/src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/binpart_synth-0abdb0ee4976834f.d: crates/synth/src/lib.rs crates/synth/src/schedule.rs crates/synth/src/tech.rs crates/synth/src/vhdl.rs
+
+/root/repo/target/debug/deps/binpart_synth-0abdb0ee4976834f: crates/synth/src/lib.rs crates/synth/src/schedule.rs crates/synth/src/tech.rs crates/synth/src/vhdl.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/schedule.rs:
+crates/synth/src/tech.rs:
+crates/synth/src/vhdl.rs:

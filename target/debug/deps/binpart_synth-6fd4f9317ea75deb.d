@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/binpart_synth-6fd4f9317ea75deb.d: crates/synth/src/lib.rs crates/synth/src/schedule.rs crates/synth/src/tech.rs crates/synth/src/vhdl.rs
+
+/root/repo/target/debug/deps/libbinpart_synth-6fd4f9317ea75deb.rlib: crates/synth/src/lib.rs crates/synth/src/schedule.rs crates/synth/src/tech.rs crates/synth/src/vhdl.rs
+
+/root/repo/target/debug/deps/libbinpart_synth-6fd4f9317ea75deb.rmeta: crates/synth/src/lib.rs crates/synth/src/schedule.rs crates/synth/src/tech.rs crates/synth/src/vhdl.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/schedule.rs:
+crates/synth/src/tech.rs:
+crates/synth/src/vhdl.rs:

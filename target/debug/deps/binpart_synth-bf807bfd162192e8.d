@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/binpart_synth-bf807bfd162192e8.d: crates/synth/src/lib.rs crates/synth/src/schedule.rs crates/synth/src/tech.rs crates/synth/src/vhdl.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbinpart_synth-bf807bfd162192e8.rmeta: crates/synth/src/lib.rs crates/synth/src/schedule.rs crates/synth/src/tech.rs crates/synth/src/vhdl.rs Cargo.toml
+
+crates/synth/src/lib.rs:
+crates/synth/src/schedule.rs:
+crates/synth/src/tech.rs:
+crates/synth/src/vhdl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/binpart_workloads-4f06d5867c0545da.d: crates/workloads/src/lib.rs
+
+/root/repo/target/debug/deps/binpart_workloads-4f06d5867c0545da: crates/workloads/src/lib.rs
+
+crates/workloads/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/binpart_workloads-6c773bdb20573c8a.d: crates/workloads/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbinpart_workloads-6c773bdb20573c8a.rmeta: crates/workloads/src/lib.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

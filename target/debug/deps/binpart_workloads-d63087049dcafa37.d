@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/binpart_workloads-d63087049dcafa37.d: crates/workloads/src/lib.rs
+
+/root/repo/target/debug/deps/libbinpart_workloads-d63087049dcafa37.rlib: crates/workloads/src/lib.rs
+
+/root/repo/target/debug/deps/libbinpart_workloads-d63087049dcafa37.rmeta: crates/workloads/src/lib.rs
+
+crates/workloads/src/lib.rs:

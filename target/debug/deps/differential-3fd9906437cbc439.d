@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-3fd9906437cbc439.d: tests/differential.rs
+
+/root/repo/target/debug/deps/differential-3fd9906437cbc439: tests/differential.rs
+
+tests/differential.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/differential-98eeefc5f060cf43.d: tests/differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferential-98eeefc5f060cf43.rmeta: tests/differential.rs Cargo.toml
+
+tests/differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

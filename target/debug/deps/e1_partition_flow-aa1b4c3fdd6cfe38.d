@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e1_partition_flow-aa1b4c3fdd6cfe38.d: crates/bench/benches/e1_partition_flow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe1_partition_flow-aa1b4c3fdd6cfe38.rmeta: crates/bench/benches/e1_partition_flow.rs Cargo.toml
+
+crates/bench/benches/e1_partition_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

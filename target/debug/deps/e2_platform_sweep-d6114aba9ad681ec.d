@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e2_platform_sweep-d6114aba9ad681ec.d: crates/bench/benches/e2_platform_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe2_platform_sweep-d6114aba9ad681ec.rmeta: crates/bench/benches/e2_platform_sweep.rs Cargo.toml
+
+crates/bench/benches/e2_platform_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

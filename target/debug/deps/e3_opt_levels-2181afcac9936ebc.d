@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e3_opt_levels-2181afcac9936ebc.d: crates/bench/benches/e3_opt_levels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe3_opt_levels-2181afcac9936ebc.rmeta: crates/bench/benches/e3_opt_levels.rs Cargo.toml
+
+crates/bench/benches/e3_opt_levels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

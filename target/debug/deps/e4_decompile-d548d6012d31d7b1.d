@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/e4_decompile-d548d6012d31d7b1.d: crates/bench/benches/e4_decompile.rs Cargo.toml
+
+/root/repo/target/debug/deps/libe4_decompile-d548d6012d31d7b1.rmeta: crates/bench/benches/e4_decompile.rs Cargo.toml
+
+crates/bench/benches/e4_decompile.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-28be96115ab03518.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-28be96115ab03518: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/exec-7f49001a7742d2f4.d: crates/minicc/tests/exec.rs
+
+/root/repo/target/debug/deps/exec-7f49001a7742d2f4: crates/minicc/tests/exec.rs
+
+crates/minicc/tests/exec.rs:

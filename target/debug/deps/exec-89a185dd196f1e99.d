@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/exec-89a185dd196f1e99.d: crates/minicc/tests/exec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libexec-89a185dd196f1e99.rmeta: crates/minicc/tests/exec.rs Cargo.toml
+
+crates/minicc/tests/exec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/full_suite-97e81fbc58abccac.d: crates/bench/benches/full_suite.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfull_suite-97e81fbc58abccac.rmeta: crates/bench/benches/full_suite.rs Cargo.toml
+
+crates/bench/benches/full_suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-8af9eefa69061f7e.d: crates/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-8af9eefa69061f7e.rmeta: crates/rand/src/lib.rs Cargo.toml
+
+crates/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-ac3a6c67f8e1b6e2.d: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-ac3a6c67f8e1b6e2.rlib: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-ac3a6c67f8e1b6e2.rmeta: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rand-e0513a7829fc6677.d: crates/rand/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/librand-e0513a7829fc6677.rmeta: crates/rand/src/lib.rs Cargo.toml
+
+crates/rand/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

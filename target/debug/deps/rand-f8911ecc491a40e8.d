@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-f8911ecc491a40e8.d: crates/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-f8911ecc491a40e8: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim_throughput-a5630c1176fffb4b.d: crates/bench/benches/sim_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim_throughput-a5630c1176fffb4b.rmeta: crates/bench/benches/sim_throughput.rs Cargo.toml
+
+crates/bench/benches/sim_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

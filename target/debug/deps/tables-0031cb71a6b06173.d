@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tables-0031cb71a6b06173.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/debug/deps/tables-0031cb71a6b06173: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

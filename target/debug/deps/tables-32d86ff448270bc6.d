@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tables-32d86ff448270bc6.d: crates/bench/src/bin/tables.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtables-32d86ff448270bc6.rmeta: crates/bench/src/bin/tables.rs Cargo.toml
+
+crates/bench/src/bin/tables.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

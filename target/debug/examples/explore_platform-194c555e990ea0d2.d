@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/explore_platform-194c555e990ea0d2.d: examples/explore_platform.rs Cargo.toml
+
+/root/repo/target/debug/examples/libexplore_platform-194c555e990ea0d2.rmeta: examples/explore_platform.rs Cargo.toml
+
+examples/explore_platform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/explore_platform-5e5559429910cea4.d: examples/explore_platform.rs
+
+/root/repo/target/debug/examples/explore_platform-5e5559429910cea4: examples/explore_platform.rs
+
+examples/explore_platform.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/full_suite-2666daf23424c6f9.d: examples/full_suite.rs
+
+/root/repo/target/debug/examples/full_suite-2666daf23424c6f9: examples/full_suite.rs
+
+examples/full_suite.rs:

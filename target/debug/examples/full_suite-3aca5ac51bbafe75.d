@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/full_suite-3aca5ac51bbafe75.d: examples/full_suite.rs Cargo.toml
+
+/root/repo/target/debug/examples/libfull_suite-3aca5ac51bbafe75.rmeta: examples/full_suite.rs Cargo.toml
+
+examples/full_suite.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/opt_levels-5ba4aed370356bdd.d: examples/opt_levels.rs Cargo.toml
+
+/root/repo/target/debug/examples/libopt_levels-5ba4aed370356bdd.rmeta: examples/opt_levels.rs Cargo.toml
+
+examples/opt_levels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/opt_levels-a2e950aac5ba313e.d: examples/opt_levels.rs
+
+/root/repo/target/debug/examples/opt_levels-a2e950aac5ba313e: examples/opt_levels.rs
+
+examples/opt_levels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-a7bca24e887516be.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-a7bca24e887516be: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-f15fd61a46561c34.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-f15fd61a46561c34.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

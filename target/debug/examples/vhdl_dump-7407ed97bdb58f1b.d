@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/vhdl_dump-7407ed97bdb58f1b.d: examples/vhdl_dump.rs
+
+/root/repo/target/debug/examples/vhdl_dump-7407ed97bdb58f1b: examples/vhdl_dump.rs
+
+examples/vhdl_dump.rs:

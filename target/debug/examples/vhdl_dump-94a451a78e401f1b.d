@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/vhdl_dump-94a451a78e401f1b.d: examples/vhdl_dump.rs Cargo.toml
+
+/root/repo/target/debug/examples/libvhdl_dump-94a451a78e401f1b.rmeta: examples/vhdl_dump.rs Cargo.toml
+
+examples/vhdl_dump.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/a1_partitioners-2fae637ee309d613.d: crates/bench/benches/a1_partitioners.rs
+
+/root/repo/target/release/deps/a1_partitioners-2fae637ee309d613: crates/bench/benches/a1_partitioners.rs
+
+crates/bench/benches/a1_partitioners.rs:

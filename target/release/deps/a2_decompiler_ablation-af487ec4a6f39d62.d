@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/a2_decompiler_ablation-af487ec4a6f39d62.d: crates/bench/benches/a2_decompiler_ablation.rs
+
+/root/repo/target/release/deps/a2_decompiler_ablation-af487ec4a6f39d62: crates/bench/benches/a2_decompiler_ablation.rs
+
+crates/bench/benches/a2_decompiler_ablation.rs:

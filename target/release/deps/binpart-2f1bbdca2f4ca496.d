@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/binpart-2f1bbdca2f4ca496.d: src/lib.rs
+
+/root/repo/target/release/deps/binpart-2f1bbdca2f4ca496: src/lib.rs
+
+src/lib.rs:

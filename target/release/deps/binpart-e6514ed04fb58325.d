@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/binpart-e6514ed04fb58325.d: src/lib.rs
+
+/root/repo/target/release/deps/libbinpart-e6514ed04fb58325.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libbinpart-e6514ed04fb58325.rmeta: src/lib.rs
+
+src/lib.rs:

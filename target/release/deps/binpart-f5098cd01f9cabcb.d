@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/binpart-f5098cd01f9cabcb.d: src/lib.rs
+
+/root/repo/target/release/deps/libbinpart-f5098cd01f9cabcb.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libbinpart-f5098cd01f9cabcb.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/binpart_bench-38e6b4a4740254a4.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbinpart_bench-38e6b4a4740254a4.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbinpart_bench-38e6b4a4740254a4.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

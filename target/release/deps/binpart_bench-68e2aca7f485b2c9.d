@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/binpart_bench-68e2aca7f485b2c9.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbinpart_bench-68e2aca7f485b2c9.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libbinpart_bench-68e2aca7f485b2c9.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

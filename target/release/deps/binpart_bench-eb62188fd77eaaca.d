@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/binpart_bench-eb62188fd77eaaca.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/binpart_bench-eb62188fd77eaaca: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/binpart_cdfg-25517e5caf1e75c4.d: crates/cdfg/src/lib.rs crates/cdfg/src/cfg.rs crates/cdfg/src/dataflow.rs crates/cdfg/src/dom.rs crates/cdfg/src/ir.rs crates/cdfg/src/loops.rs crates/cdfg/src/ssa.rs crates/cdfg/src/structure.rs
+
+/root/repo/target/release/deps/binpart_cdfg-25517e5caf1e75c4: crates/cdfg/src/lib.rs crates/cdfg/src/cfg.rs crates/cdfg/src/dataflow.rs crates/cdfg/src/dom.rs crates/cdfg/src/ir.rs crates/cdfg/src/loops.rs crates/cdfg/src/ssa.rs crates/cdfg/src/structure.rs
+
+crates/cdfg/src/lib.rs:
+crates/cdfg/src/cfg.rs:
+crates/cdfg/src/dataflow.rs:
+crates/cdfg/src/dom.rs:
+crates/cdfg/src/ir.rs:
+crates/cdfg/src/loops.rs:
+crates/cdfg/src/ssa.rs:
+crates/cdfg/src/structure.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/binpart_cdfg-d8745a27161c42de.d: crates/cdfg/src/lib.rs crates/cdfg/src/cfg.rs crates/cdfg/src/dataflow.rs crates/cdfg/src/dom.rs crates/cdfg/src/ir.rs crates/cdfg/src/loops.rs crates/cdfg/src/ssa.rs crates/cdfg/src/structure.rs
+
+/root/repo/target/release/deps/libbinpart_cdfg-d8745a27161c42de.rlib: crates/cdfg/src/lib.rs crates/cdfg/src/cfg.rs crates/cdfg/src/dataflow.rs crates/cdfg/src/dom.rs crates/cdfg/src/ir.rs crates/cdfg/src/loops.rs crates/cdfg/src/ssa.rs crates/cdfg/src/structure.rs
+
+/root/repo/target/release/deps/libbinpart_cdfg-d8745a27161c42de.rmeta: crates/cdfg/src/lib.rs crates/cdfg/src/cfg.rs crates/cdfg/src/dataflow.rs crates/cdfg/src/dom.rs crates/cdfg/src/ir.rs crates/cdfg/src/loops.rs crates/cdfg/src/ssa.rs crates/cdfg/src/structure.rs
+
+crates/cdfg/src/lib.rs:
+crates/cdfg/src/cfg.rs:
+crates/cdfg/src/dataflow.rs:
+crates/cdfg/src/dom.rs:
+crates/cdfg/src/ir.rs:
+crates/cdfg/src/loops.rs:
+crates/cdfg/src/ssa.rs:
+crates/cdfg/src/structure.rs:

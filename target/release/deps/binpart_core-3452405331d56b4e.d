@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/binpart_core-3452405331d56b4e.d: crates/core/src/lib.rs crates/core/src/alias.rs crates/core/src/decompile.rs crates/core/src/flow.rs crates/core/src/lift.rs crates/core/src/opts.rs crates/core/src/partition.rs
+
+/root/repo/target/release/deps/libbinpart_core-3452405331d56b4e.rlib: crates/core/src/lib.rs crates/core/src/alias.rs crates/core/src/decompile.rs crates/core/src/flow.rs crates/core/src/lift.rs crates/core/src/opts.rs crates/core/src/partition.rs
+
+/root/repo/target/release/deps/libbinpart_core-3452405331d56b4e.rmeta: crates/core/src/lib.rs crates/core/src/alias.rs crates/core/src/decompile.rs crates/core/src/flow.rs crates/core/src/lift.rs crates/core/src/opts.rs crates/core/src/partition.rs
+
+crates/core/src/lib.rs:
+crates/core/src/alias.rs:
+crates/core/src/decompile.rs:
+crates/core/src/flow.rs:
+crates/core/src/lift.rs:
+crates/core/src/opts.rs:
+crates/core/src/partition.rs:

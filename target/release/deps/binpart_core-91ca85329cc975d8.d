@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/binpart_core-91ca85329cc975d8.d: crates/core/src/lib.rs crates/core/src/alias.rs crates/core/src/decompile.rs crates/core/src/flow.rs crates/core/src/lift.rs crates/core/src/opts.rs crates/core/src/partition.rs
+
+/root/repo/target/release/deps/binpart_core-91ca85329cc975d8: crates/core/src/lib.rs crates/core/src/alias.rs crates/core/src/decompile.rs crates/core/src/flow.rs crates/core/src/lift.rs crates/core/src/opts.rs crates/core/src/partition.rs
+
+crates/core/src/lib.rs:
+crates/core/src/alias.rs:
+crates/core/src/decompile.rs:
+crates/core/src/flow.rs:
+crates/core/src/lift.rs:
+crates/core/src/opts.rs:
+crates/core/src/partition.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/binpart_minicc-10bfc7894d01d0f8.d: crates/minicc/src/lib.rs crates/minicc/src/ast.rs crates/minicc/src/ast_opt.rs crates/minicc/src/codegen.rs crates/minicc/src/lexer.rs crates/minicc/src/lower.rs crates/minicc/src/opt.rs crates/minicc/src/parser.rs crates/minicc/src/tir.rs
+
+/root/repo/target/release/deps/binpart_minicc-10bfc7894d01d0f8: crates/minicc/src/lib.rs crates/minicc/src/ast.rs crates/minicc/src/ast_opt.rs crates/minicc/src/codegen.rs crates/minicc/src/lexer.rs crates/minicc/src/lower.rs crates/minicc/src/opt.rs crates/minicc/src/parser.rs crates/minicc/src/tir.rs
+
+crates/minicc/src/lib.rs:
+crates/minicc/src/ast.rs:
+crates/minicc/src/ast_opt.rs:
+crates/minicc/src/codegen.rs:
+crates/minicc/src/lexer.rs:
+crates/minicc/src/lower.rs:
+crates/minicc/src/opt.rs:
+crates/minicc/src/parser.rs:
+crates/minicc/src/tir.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/binpart_minicc-bf9df0fcda4c10b9.d: crates/minicc/src/lib.rs crates/minicc/src/ast.rs crates/minicc/src/ast_opt.rs crates/minicc/src/codegen.rs crates/minicc/src/lexer.rs crates/minicc/src/lower.rs crates/minicc/src/opt.rs crates/minicc/src/parser.rs crates/minicc/src/tir.rs
+
+/root/repo/target/release/deps/libbinpart_minicc-bf9df0fcda4c10b9.rlib: crates/minicc/src/lib.rs crates/minicc/src/ast.rs crates/minicc/src/ast_opt.rs crates/minicc/src/codegen.rs crates/minicc/src/lexer.rs crates/minicc/src/lower.rs crates/minicc/src/opt.rs crates/minicc/src/parser.rs crates/minicc/src/tir.rs
+
+/root/repo/target/release/deps/libbinpart_minicc-bf9df0fcda4c10b9.rmeta: crates/minicc/src/lib.rs crates/minicc/src/ast.rs crates/minicc/src/ast_opt.rs crates/minicc/src/codegen.rs crates/minicc/src/lexer.rs crates/minicc/src/lower.rs crates/minicc/src/opt.rs crates/minicc/src/parser.rs crates/minicc/src/tir.rs
+
+crates/minicc/src/lib.rs:
+crates/minicc/src/ast.rs:
+crates/minicc/src/ast_opt.rs:
+crates/minicc/src/codegen.rs:
+crates/minicc/src/lexer.rs:
+crates/minicc/src/lower.rs:
+crates/minicc/src/opt.rs:
+crates/minicc/src/parser.rs:
+crates/minicc/src/tir.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/binpart_mips-80d9b689f2e46b58.d: crates/mips/src/lib.rs crates/mips/src/asm.rs crates/mips/src/binary.rs crates/mips/src/cycles.rs crates/mips/src/encode.rs crates/mips/src/instr.rs crates/mips/src/reference.rs crates/mips/src/reg.rs crates/mips/src/sim.rs
+
+/root/repo/target/release/deps/libbinpart_mips-80d9b689f2e46b58.rlib: crates/mips/src/lib.rs crates/mips/src/asm.rs crates/mips/src/binary.rs crates/mips/src/cycles.rs crates/mips/src/encode.rs crates/mips/src/instr.rs crates/mips/src/reference.rs crates/mips/src/reg.rs crates/mips/src/sim.rs
+
+/root/repo/target/release/deps/libbinpart_mips-80d9b689f2e46b58.rmeta: crates/mips/src/lib.rs crates/mips/src/asm.rs crates/mips/src/binary.rs crates/mips/src/cycles.rs crates/mips/src/encode.rs crates/mips/src/instr.rs crates/mips/src/reference.rs crates/mips/src/reg.rs crates/mips/src/sim.rs
+
+crates/mips/src/lib.rs:
+crates/mips/src/asm.rs:
+crates/mips/src/binary.rs:
+crates/mips/src/cycles.rs:
+crates/mips/src/encode.rs:
+crates/mips/src/instr.rs:
+crates/mips/src/reference.rs:
+crates/mips/src/reg.rs:
+crates/mips/src/sim.rs:

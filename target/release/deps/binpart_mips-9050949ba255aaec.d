@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/binpart_mips-9050949ba255aaec.d: crates/mips/src/lib.rs crates/mips/src/asm.rs crates/mips/src/binary.rs crates/mips/src/cycles.rs crates/mips/src/encode.rs crates/mips/src/instr.rs crates/mips/src/reference.rs crates/mips/src/reg.rs crates/mips/src/sim.rs
+
+/root/repo/target/release/deps/binpart_mips-9050949ba255aaec: crates/mips/src/lib.rs crates/mips/src/asm.rs crates/mips/src/binary.rs crates/mips/src/cycles.rs crates/mips/src/encode.rs crates/mips/src/instr.rs crates/mips/src/reference.rs crates/mips/src/reg.rs crates/mips/src/sim.rs
+
+crates/mips/src/lib.rs:
+crates/mips/src/asm.rs:
+crates/mips/src/binary.rs:
+crates/mips/src/cycles.rs:
+crates/mips/src/encode.rs:
+crates/mips/src/instr.rs:
+crates/mips/src/reference.rs:
+crates/mips/src/reg.rs:
+crates/mips/src/sim.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/binpart_par-25f04060c49f86b8.d: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/libbinpart_par-25f04060c49f86b8.rlib: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/libbinpart_par-25f04060c49f86b8.rmeta: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

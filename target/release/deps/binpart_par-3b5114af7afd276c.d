@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/binpart_par-3b5114af7afd276c.d: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/binpart_par-3b5114af7afd276c: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

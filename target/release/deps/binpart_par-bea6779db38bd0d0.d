@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/binpart_par-bea6779db38bd0d0.d: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/libbinpart_par-bea6779db38bd0d0.rlib: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/libbinpart_par-bea6779db38bd0d0.rmeta: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

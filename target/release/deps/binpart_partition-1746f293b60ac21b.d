@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/binpart_partition-1746f293b60ac21b.d: crates/partition/src/lib.rs
+
+/root/repo/target/release/deps/libbinpart_partition-1746f293b60ac21b.rlib: crates/partition/src/lib.rs
+
+/root/repo/target/release/deps/libbinpart_partition-1746f293b60ac21b.rmeta: crates/partition/src/lib.rs
+
+crates/partition/src/lib.rs:

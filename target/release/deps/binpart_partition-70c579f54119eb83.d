@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/binpart_partition-70c579f54119eb83.d: crates/partition/src/lib.rs
+
+/root/repo/target/release/deps/libbinpart_partition-70c579f54119eb83.rlib: crates/partition/src/lib.rs
+
+/root/repo/target/release/deps/libbinpart_partition-70c579f54119eb83.rmeta: crates/partition/src/lib.rs
+
+crates/partition/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/binpart_partition-79a4a14e93bc816e.d: crates/partition/src/lib.rs
+
+/root/repo/target/release/deps/binpart_partition-79a4a14e93bc816e: crates/partition/src/lib.rs
+
+crates/partition/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/binpart_partition-c732c6a1ae62b09e.d: crates/partition/src/lib.rs
+
+/root/repo/target/release/deps/libbinpart_partition-c732c6a1ae62b09e.rlib: crates/partition/src/lib.rs
+
+/root/repo/target/release/deps/libbinpart_partition-c732c6a1ae62b09e.rmeta: crates/partition/src/lib.rs
+
+crates/partition/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/binpart_platform-3197749437cc7321.d: crates/platform/src/lib.rs
+
+/root/repo/target/release/deps/libbinpart_platform-3197749437cc7321.rlib: crates/platform/src/lib.rs
+
+/root/repo/target/release/deps/libbinpart_platform-3197749437cc7321.rmeta: crates/platform/src/lib.rs
+
+crates/platform/src/lib.rs:

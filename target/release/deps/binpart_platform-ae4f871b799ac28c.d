@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/binpart_platform-ae4f871b799ac28c.d: crates/platform/src/lib.rs
+
+/root/repo/target/release/deps/libbinpart_platform-ae4f871b799ac28c.rlib: crates/platform/src/lib.rs
+
+/root/repo/target/release/deps/libbinpart_platform-ae4f871b799ac28c.rmeta: crates/platform/src/lib.rs
+
+crates/platform/src/lib.rs:

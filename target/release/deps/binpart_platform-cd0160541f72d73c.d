@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/binpart_platform-cd0160541f72d73c.d: crates/platform/src/lib.rs
+
+/root/repo/target/release/deps/binpart_platform-cd0160541f72d73c: crates/platform/src/lib.rs
+
+crates/platform/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/binpart_synth-7476b3f96ad86f5d.d: crates/synth/src/lib.rs crates/synth/src/schedule.rs crates/synth/src/tech.rs crates/synth/src/vhdl.rs
+
+/root/repo/target/release/deps/libbinpart_synth-7476b3f96ad86f5d.rlib: crates/synth/src/lib.rs crates/synth/src/schedule.rs crates/synth/src/tech.rs crates/synth/src/vhdl.rs
+
+/root/repo/target/release/deps/libbinpart_synth-7476b3f96ad86f5d.rmeta: crates/synth/src/lib.rs crates/synth/src/schedule.rs crates/synth/src/tech.rs crates/synth/src/vhdl.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/schedule.rs:
+crates/synth/src/tech.rs:
+crates/synth/src/vhdl.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/binpart_synth-f9163748f4022a87.d: crates/synth/src/lib.rs crates/synth/src/schedule.rs crates/synth/src/tech.rs crates/synth/src/vhdl.rs
+
+/root/repo/target/release/deps/binpart_synth-f9163748f4022a87: crates/synth/src/lib.rs crates/synth/src/schedule.rs crates/synth/src/tech.rs crates/synth/src/vhdl.rs
+
+crates/synth/src/lib.rs:
+crates/synth/src/schedule.rs:
+crates/synth/src/tech.rs:
+crates/synth/src/vhdl.rs:

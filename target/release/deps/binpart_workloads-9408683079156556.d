@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/binpart_workloads-9408683079156556.d: crates/workloads/src/lib.rs
+
+/root/repo/target/release/deps/libbinpart_workloads-9408683079156556.rlib: crates/workloads/src/lib.rs
+
+/root/repo/target/release/deps/libbinpart_workloads-9408683079156556.rmeta: crates/workloads/src/lib.rs
+
+crates/workloads/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/binpart_workloads-a2f07378b5f2b716.d: crates/workloads/src/lib.rs
+
+/root/repo/target/release/deps/libbinpart_workloads-a2f07378b5f2b716.rlib: crates/workloads/src/lib.rs
+
+/root/repo/target/release/deps/libbinpart_workloads-a2f07378b5f2b716.rmeta: crates/workloads/src/lib.rs
+
+crates/workloads/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/binpart_workloads-e314496539213b32.d: crates/workloads/src/lib.rs
+
+/root/repo/target/release/deps/binpart_workloads-e314496539213b32: crates/workloads/src/lib.rs
+
+crates/workloads/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-1a61338a9493897e.d: crates/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-1a61338a9493897e: crates/criterion/src/lib.rs
+
+crates/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e1_partition_flow-8a56e9cb3dfc1893.d: crates/bench/benches/e1_partition_flow.rs
+
+/root/repo/target/release/deps/e1_partition_flow-8a56e9cb3dfc1893: crates/bench/benches/e1_partition_flow.rs
+
+crates/bench/benches/e1_partition_flow.rs:

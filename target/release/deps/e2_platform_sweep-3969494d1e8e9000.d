@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e2_platform_sweep-3969494d1e8e9000.d: crates/bench/benches/e2_platform_sweep.rs
+
+/root/repo/target/release/deps/e2_platform_sweep-3969494d1e8e9000: crates/bench/benches/e2_platform_sweep.rs
+
+crates/bench/benches/e2_platform_sweep.rs:

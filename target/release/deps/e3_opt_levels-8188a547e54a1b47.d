@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e3_opt_levels-8188a547e54a1b47.d: crates/bench/benches/e3_opt_levels.rs
+
+/root/repo/target/release/deps/e3_opt_levels-8188a547e54a1b47: crates/bench/benches/e3_opt_levels.rs
+
+crates/bench/benches/e3_opt_levels.rs:

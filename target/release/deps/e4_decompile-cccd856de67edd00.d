@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/e4_decompile-cccd856de67edd00.d: crates/bench/benches/e4_decompile.rs
+
+/root/repo/target/release/deps/e4_decompile-cccd856de67edd00: crates/bench/benches/e4_decompile.rs
+
+crates/bench/benches/e4_decompile.rs:

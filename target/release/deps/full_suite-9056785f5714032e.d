@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/full_suite-9056785f5714032e.d: crates/bench/benches/full_suite.rs
+
+/root/repo/target/release/deps/full_suite-9056785f5714032e: crates/bench/benches/full_suite.rs
+
+crates/bench/benches/full_suite.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-053bff38da81c030.d: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-053bff38da81c030.rlib: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-053bff38da81c030.rmeta: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

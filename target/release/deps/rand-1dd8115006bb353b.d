@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-1dd8115006bb353b.d: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-1dd8115006bb353b.rlib: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-1dd8115006bb353b.rmeta: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-eb3ae18b8b278109.d: crates/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-eb3ae18b8b278109: crates/rand/src/lib.rs
+
+crates/rand/src/lib.rs:

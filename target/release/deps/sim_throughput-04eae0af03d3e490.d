@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sim_throughput-04eae0af03d3e490.d: crates/bench/benches/sim_throughput.rs
+
+/root/repo/target/release/deps/sim_throughput-04eae0af03d3e490: crates/bench/benches/sim_throughput.rs
+
+crates/bench/benches/sim_throughput.rs:

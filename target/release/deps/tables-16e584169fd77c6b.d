@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables-16e584169fd77c6b.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/release/deps/tables-16e584169fd77c6b: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

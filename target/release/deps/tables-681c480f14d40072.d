@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tables-681c480f14d40072.d: crates/bench/src/bin/tables.rs
+
+/root/repo/target/release/deps/tables-681c480f14d40072: crates/bench/src/bin/tables.rs
+
+crates/bench/src/bin/tables.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/explore_platform-19596e69c312b850.d: examples/explore_platform.rs
+
+/root/repo/target/release/examples/explore_platform-19596e69c312b850: examples/explore_platform.rs
+
+examples/explore_platform.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/full_suite-1e69cf329e3dbc9e.d: examples/full_suite.rs
+
+/root/repo/target/release/examples/full_suite-1e69cf329e3dbc9e: examples/full_suite.rs
+
+examples/full_suite.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/opt_levels-f3c994f9a5613c09.d: examples/opt_levels.rs
+
+/root/repo/target/release/examples/opt_levels-f3c994f9a5613c09: examples/opt_levels.rs
+
+examples/opt_levels.rs:

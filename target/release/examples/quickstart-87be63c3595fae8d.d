@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-87be63c3595fae8d.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-87be63c3595fae8d: examples/quickstart.rs
+
+examples/quickstart.rs:

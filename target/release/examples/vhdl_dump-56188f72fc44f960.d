@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/vhdl_dump-56188f72fc44f960.d: examples/vhdl_dump.rs
+
+/root/repo/target/release/examples/vhdl_dump-56188f72fc44f960: examples/vhdl_dump.rs
+
+examples/vhdl_dump.rs:

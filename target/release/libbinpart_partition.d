@@ -1,0 +1,1 @@
+/root/repo/target/release/libbinpart_partition.rlib: /root/repo/crates/partition/src/lib.rs /root/repo/crates/rand/src/lib.rs

@@ -1,0 +1,1 @@
+/root/repo/target/release/libbinpart_platform.rlib: /root/repo/crates/platform/src/lib.rs
