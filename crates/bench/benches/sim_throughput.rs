@@ -1,72 +1,100 @@
 //! Raw simulator throughput (retired instructions per second): the fast
-//! engine vs the retained seed engine (`binpart_mips::reference`).
+//! engine — with superinstruction fusion off, default, and aggressive —
+//! vs the retained seed engine (`binpart_mips::reference`), plus the cost
+//! of each [`Profiler`] mode.
 //!
 //! The workload is the full `(benchmark, OptLevel)` matrix — the exact set
 //! of binaries the experiment harness simulates — plus per-level slices so
 //! the two regimes are visible: at `-O1`+ (register-resident) the gap is
-//! dispatch-bound, at `-O0` (memory-resident locals) the seed's four
-//! hash-lookups-per-word memory dominates and the gap is an order of
-//! magnitude.
+//! dispatch-bound (which is precisely what fusion attacks), at `-O0`
+//! (memory-resident locals) the seed's four hash-lookups-per-word memory
+//! dominates and the gap is an order of magnitude.
+//!
+//! Suite-shaped inner loops fan out through `binpart_par::par_map`, so
+//! multi-core machines exercise the work-stealing path while benchmarking
+//! (pin `BINPART_THREADS=1` for single-core numbers).
+//!
+//! `cargo bench -p binpart-bench --bench sim_throughput -- --smoke` runs
+//! the CI perf smoke instead: one pass over the matrix per engine
+//! configuration, asserting that fusion does not lose throughput and that
+//! `BENCH_sim.json` (if present) carries no null fields.
 
 use binpart_minicc::OptLevel;
 use binpart_mips::reference::ReferenceMachine;
-use binpart_mips::sim::Machine;
+use binpart_mips::sim::{BlockCountProfiler, FusionConfig, Machine, SimConfig};
 use binpart_mips::Binary;
+use binpart_par::par_map;
 use binpart_workloads::suite;
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use criterion::{criterion_group, Criterion, Throughput};
+
+fn sim_config(fusion: FusionConfig) -> SimConfig {
+    SimConfig {
+        fusion,
+        ..SimConfig::default()
+    }
+}
 
 fn binaries(level: OptLevel) -> (Vec<Binary>, u64) {
-    let bins: Vec<Binary> = suite()
-        .iter()
-        .map(|b| b.compile(level).expect("suite compiles"))
-        .collect();
-    let total = bins
-        .iter()
-        .map(|b| {
-            Machine::new(b)
-                .unwrap()
-                .run_unprofiled()
-                .expect("runs")
-                .instrs
-        })
-        .sum();
+    let bins: Vec<Binary> = par_map(&suite(), |b| b.compile(level).expect("suite compiles"));
+    let total = par_map(&bins, |b| {
+        Machine::new(b)
+            .unwrap()
+            .run_unprofiled()
+            .expect("runs")
+            .instrs
+    })
+    .into_iter()
+    .sum();
     (bins, total)
 }
 
-fn run_fast(bins: &[Binary]) -> u64 {
-    bins.iter()
-        .map(|b| {
-            Machine::new(std::hint::black_box(b))
-                .unwrap()
-                .run_unprofiled()
-                .unwrap()
-                .instrs
-        })
-        .sum()
+fn run_fast(bins: &[Binary], fusion: FusionConfig) -> u64 {
+    par_map(bins, |b| {
+        Machine::with_config(std::hint::black_box(b), sim_config(fusion))
+            .unwrap()
+            .run_unprofiled()
+            .unwrap()
+            .instrs
+    })
+    .into_iter()
+    .sum()
 }
 
-fn run_fast_profiled(bins: &[Binary]) -> u64 {
-    bins.iter()
-        .map(|b| {
-            Machine::new(std::hint::black_box(b))
-                .unwrap()
-                .run()
-                .unwrap()
-                .instrs
-        })
-        .sum()
+fn run_fast_profiled(bins: &[Binary], fusion: FusionConfig) -> u64 {
+    par_map(bins, |b| {
+        Machine::with_config(std::hint::black_box(b), sim_config(fusion))
+            .unwrap()
+            .run()
+            .unwrap()
+            .instrs
+    })
+    .into_iter()
+    .sum()
+}
+
+fn run_fast_blockcount(bins: &[Binary], fusion: FusionConfig) -> u64 {
+    par_map(bins, |b| {
+        let mut prof = BlockCountProfiler::new();
+        Machine::with_config(std::hint::black_box(b), sim_config(fusion))
+            .unwrap()
+            .run_with(&mut prof)
+            .unwrap()
+            .instrs
+    })
+    .into_iter()
+    .sum()
 }
 
 fn run_reference(bins: &[Binary]) -> u64 {
-    bins.iter()
-        .map(|b| {
-            ReferenceMachine::new(std::hint::black_box(b))
-                .unwrap()
-                .run()
-                .unwrap()
-                .instrs
-        })
-        .sum()
+    par_map(bins, |b| {
+        ReferenceMachine::new(std::hint::black_box(b))
+            .unwrap()
+            .run()
+            .unwrap()
+            .instrs
+    })
+    .into_iter()
+    .sum()
 }
 
 fn bench(c: &mut Criterion) {
@@ -87,22 +115,37 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("sim_throughput");
     group.sample_size(10);
     group.throughput(Throughput::Elements(matrix_total));
-    group.bench_function("matrix_fast_unprofiled", |b| b.iter(|| run_fast(&all_bins)));
-    group.bench_function("matrix_fast_profiled", |b| {
-        b.iter(|| run_fast_profiled(&all_bins))
+    group.bench_function("matrix_unfused_unprofiled", |b| {
+        b.iter(|| run_fast(&all_bins, FusionConfig::Off))
+    });
+    group.bench_function("matrix_fused_unprofiled", |b| {
+        b.iter(|| run_fast(&all_bins, FusionConfig::Default))
+    });
+    group.bench_function("matrix_fused_aggressive_unprofiled", |b| {
+        b.iter(|| run_fast(&all_bins, FusionConfig::Aggressive))
+    });
+    group.bench_function("matrix_fused_profiled_full", |b| {
+        b.iter(|| run_fast_profiled(&all_bins, FusionConfig::Default))
+    });
+    group.bench_function("matrix_fused_profiled_blockcount", |b| {
+        b.iter(|| run_fast_blockcount(&all_bins, FusionConfig::Default))
     });
     group.bench_function("matrix_reference_seed", |b| {
         b.iter(|| run_reference(&all_bins))
     });
     group.finish();
 
-    // Per-level slices, fast vs seed.
+    // Per-level slices: unfused vs aggressive-fused vs seed, so the
+    // dispatch-bound (-O1+) and memory-bound (-O0) regimes stay visible.
     let mut group = c.benchmark_group("sim_throughput_by_level");
     group.sample_size(10);
     for (level, bins, total) in &per_level {
         group.throughput(Throughput::Elements(*total));
-        group.bench_function(format!("{}_fast", level.flag()), |b| {
-            b.iter(|| run_fast(bins))
+        group.bench_function(format!("{}_unfused", level.flag()), |b| {
+            b.iter(|| run_fast(bins, FusionConfig::Off))
+        });
+        group.bench_function(format!("{}_fused", level.flag()), |b| {
+            b.iter(|| run_fast(bins, FusionConfig::Aggressive))
         });
         group.bench_function(format!("{}_reference", level.flag()), |b| {
             b.iter(|| run_reference(bins))
@@ -111,5 +154,73 @@ fn bench(c: &mut Criterion) {
     group.finish();
 }
 
+/// CI perf smoke: a single timed pass per configuration over the full
+/// matrix (best of three), asserting the fusion layer never loses
+/// throughput and the tracked perf snapshot has no holes.
+fn smoke() {
+    let (bins, total): (Vec<Binary>, u64) = {
+        let mut all = Vec::new();
+        let mut n = 0;
+        for level in OptLevel::ALL {
+            let (bins, t) = binaries(level);
+            all.extend(bins);
+            n += t;
+        }
+        (all, n)
+    };
+    let best_ips = |f: &dyn Fn() -> u64| -> f64 {
+        let (best_s, retired) = binpart_bench::best_of(3, f);
+        assert_eq!(retired, total, "engines must retire the matrix exactly");
+        total as f64 / best_s
+    };
+    let unfused = best_ips(&|| run_fast(&bins, FusionConfig::Off));
+    let fused = best_ips(&|| run_fast(&bins, FusionConfig::Default));
+    let aggressive = best_ips(&|| run_fast(&bins, FusionConfig::Aggressive));
+    println!(
+        "smoke: unfused {:.0} M/s | fused {:.0} M/s | aggressive {:.0} M/s",
+        unfused / 1e6,
+        fused / 1e6,
+        aggressive / 1e6
+    );
+    assert!(
+        fused.max(aggressive) >= unfused,
+        "fusion lost throughput: unfused {unfused:.0}/s, fused {fused:.0}/s, aggressive {aggressive:.0}/s"
+    );
+    // Benches run with the package dir as cwd; the snapshot lives at the
+    // workspace root.
+    let snapshot = ["BENCH_sim.json", "../../BENCH_sim.json"]
+        .iter()
+        .find_map(|p| std::fs::read_to_string(p).ok());
+    if let Some(json) = snapshot {
+        assert!(
+            !json.contains("null"),
+            "BENCH_sim.json has null fields:\n{json}"
+        );
+        for key in [
+            "sim_instrs_per_sec_fast",
+            "sim_instrs_per_sec_fused",
+            "sim_instrs_per_sec_unfused",
+            "sim_instrs_per_sec_seed",
+            "blockcount_profile_overhead_pct",
+            "full_suite_wall_clock_s",
+        ] {
+            assert!(json.contains(key), "BENCH_sim.json missing {key}:\n{json}");
+        }
+        println!("smoke: BENCH_sim.json fields present and non-null");
+    } else {
+        println!("smoke: BENCH_sim.json not present, skipping field check");
+    }
+    println!("smoke: PASS");
+}
+
 criterion_group!(benches, bench);
-criterion_main!(benches);
+
+// A hand-rolled `criterion_main!`: identical dispatch, plus the `--smoke`
+// CI mode (single-pass assertions instead of sampled measurement).
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+    } else {
+        benches();
+    }
+}

@@ -48,15 +48,29 @@ fn main() {
 }
 
 struct SimReport {
+    /// The engine as the flow runs it: default fusion, unprofiled.
     fast_ips: f64,
+    /// Fusion off — the PR 1 engine, kept for cross-PR comparability.
+    unfused_ips: f64,
+    /// Aggressive fusion, unprofiled — the headline dispatch number.
+    fused_ips: f64,
     seed_ips: f64,
+    /// Relative cost of the pay-as-you-go block-count profiler vs an
+    /// unprofiled run (default fusion), in percent.
+    blockcount_overhead_pct: f64,
+    /// Same for the full profiler (counts + taken + calls + loads/stores).
+    full_overhead_pct: f64,
     total_instrs: u64,
     suite_wall_s: Option<f64>,
 }
 
 /// Measures raw simulator throughput over the full (benchmark, OptLevel)
-/// matrix: the fast engine unprofiled vs the retained seed engine.
+/// matrix: the fast engine (fusion off / default / aggressive, and per
+/// profiler mode) vs the retained seed engine. Single-threaded on purpose —
+/// the instrs/sec trajectory must be comparable across PRs regardless of
+/// the host's core count.
 fn sim_report(suite_wall_s: Option<f64>) -> SimReport {
+    use binpart_mips::sim::{BlockCountProfiler, FusionConfig, SimConfig};
     let suite = binpart_workloads::suite();
     let mut bins = Vec::new();
     for level in OptLevel::ALL {
@@ -64,44 +78,106 @@ fn sim_report(suite_wall_s: Option<f64>) -> SimReport {
             bins.push(b.compile(level).expect("suite compiles"));
         }
     }
-    let mut total = 0u64;
-    let t0 = Instant::now();
-    for bin in &bins {
-        let mut m = Machine::new(bin).expect("decodes");
-        total += m.run_unprofiled().expect("runs").instrs;
-    }
-    let fast_ips = total as f64 / t0.elapsed().as_secs_f64();
-    let t0 = Instant::now();
-    for bin in &bins {
-        let mut m = ReferenceMachine::new(bin).expect("decodes");
-        m.run().expect("runs");
-    }
-    let seed_ips = total as f64 / t0.elapsed().as_secs_f64();
+    let config = |fusion: FusionConfig| SimConfig {
+        fusion,
+        ..SimConfig::default()
+    };
+    // Best of five passes per configuration (shared `best_of` primitive —
+    // the same one the CI smoke uses): the numbers feed a tracked JSON
+    // snapshot, and the profiler-overhead columns are small differences of
+    // large numbers, so shave scheduler noise hard.
+    let best = |run: &dyn Fn() -> u64| best_of(5, run);
+    let run_unprofiled = |fusion: FusionConfig| -> u64 {
+        bins.iter()
+            .map(|bin| {
+                Machine::with_config(bin, config(fusion))
+                    .expect("decodes")
+                    .run_unprofiled()
+                    .expect("runs")
+                    .instrs
+            })
+            .sum()
+    };
+    let (fast_s, total) = best(&|| run_unprofiled(FusionConfig::Default));
+    let (unfused_s, _) = best(&|| run_unprofiled(FusionConfig::Off));
+    let (fused_s, _) = best(&|| run_unprofiled(FusionConfig::Aggressive));
+    let (blockcount_s, _) = best(&|| {
+        bins.iter()
+            .map(|bin| {
+                let mut prof = BlockCountProfiler::new();
+                Machine::new(bin)
+                    .expect("decodes")
+                    .run_with(&mut prof)
+                    .expect("runs")
+                    .instrs
+            })
+            .sum()
+    });
+    let (full_s, _) = best(&|| {
+        bins.iter()
+            .map(|bin| Machine::new(bin).expect("decodes").run().expect("runs").instrs)
+            .sum()
+    });
+    let (seed_s, _) = best(&|| {
+        bins.iter()
+            .map(|bin| {
+                ReferenceMachine::new(bin)
+                    .expect("decodes")
+                    .run()
+                    .expect("runs")
+                    .instrs
+            })
+            .sum()
+    });
+    let ips = |s: f64| total as f64 / s;
     SimReport {
-        fast_ips,
-        seed_ips,
+        fast_ips: ips(fast_s),
+        unfused_ips: ips(unfused_s),
+        fused_ips: ips(fused_s),
+        seed_ips: ips(seed_s),
+        blockcount_overhead_pct: 100.0 * (blockcount_s - fast_s) / fast_s,
+        full_overhead_pct: 100.0 * (full_s - fast_s) / fast_s,
         total_instrs: total,
         suite_wall_s,
     }
 }
 
 fn write_bench_json(r: &SimReport) {
-    let suite_wall = match r.suite_wall_s {
-        Some(s) => format!("{s:.6}"),
-        None => "null".to_string(),
-    };
+    let path = "BENCH_sim.json";
+    // `tables sim` skips table regeneration; keep the previous snapshot's
+    // wall clock rather than emitting a hole.
+    let suite_wall = r
+        .suite_wall_s
+        .or_else(|| {
+            let old = std::fs::read_to_string(path).ok()?;
+            let tail = old.split("\"full_suite_wall_clock_s\":").nth(1)?;
+            tail.trim().split([',', '}']).next()?.trim().parse().ok()
+        })
+        .map_or("null".to_string(), |s: f64| format!("{s:.6}"));
     let json = format!(
-        "{{\n  \"sim_instrs_per_sec_fast\": {:.0},\n  \"sim_instrs_per_sec_seed\": {:.0},\n  \"sim_speedup\": {:.2},\n  \"matrix_total_instrs\": {},\n  \"full_suite_wall_clock_s\": {}\n}}\n",
+        "{{\n  \"sim_instrs_per_sec_fast\": {:.0},\n  \"sim_instrs_per_sec_unfused\": {:.0},\n  \"sim_instrs_per_sec_fused\": {:.0},\n  \"sim_instrs_per_sec_seed\": {:.0},\n  \"sim_speedup\": {:.2},\n  \"fusion_speedup\": {:.3},\n  \"blockcount_profile_overhead_pct\": {:.1},\n  \"full_profile_overhead_pct\": {:.1},\n  \"matrix_total_instrs\": {},\n  \"full_suite_wall_clock_s\": {}\n}}\n",
         r.fast_ips,
+        r.unfused_ips,
+        r.fused_ips,
         r.seed_ips,
         r.fast_ips / r.seed_ips,
+        r.fused_ips / r.unfused_ips,
+        r.blockcount_overhead_pct,
+        r.full_overhead_pct,
         r.total_instrs,
         suite_wall,
     );
-    let path = "BENCH_sim.json";
     match std::fs::write(path, &json) {
-        Ok(()) => println!("wrote {path}: fast {:.0} M instrs/s, seed {:.0} M instrs/s ({:.1}x)",
-            r.fast_ips / 1e6, r.seed_ips / 1e6, r.fast_ips / r.seed_ips),
+        Ok(()) => println!(
+            "wrote {path}: fast {:.0} M instrs/s (unfused {:.0}, fused {:.0}), seed {:.0} M instrs/s ({:.1}x); blockcount profiling {:+.1}%, full {:+.1}%",
+            r.fast_ips / 1e6,
+            r.unfused_ips / 1e6,
+            r.fused_ips / 1e6,
+            r.seed_ips / 1e6,
+            r.fast_ips / r.seed_ips,
+            r.blockcount_overhead_pct,
+            r.full_overhead_pct
+        ),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }
 }

@@ -138,13 +138,23 @@ impl Flow {
 
     /// Runs the complete flow on `binary`.
     ///
+    /// The profiling pass uses the pay-as-you-go
+    /// [`BlockCountProfiler`](binpart_mips::sim::BlockCountProfiler): the
+    /// 90-10 partitioner consumes only per-instruction execution counts
+    /// (block weights), which the cheap profiler reconstructs *exactly*,
+    /// so the resulting partition is bit-identical to a full-profile run
+    /// at a fraction of the profiling overhead. Callers that need branch
+    /// taken counts or call edges can collect a full profile themselves
+    /// and enter through [`Flow::run_with_exit`].
+    ///
     /// # Errors
     ///
     /// Returns [`FlowError`] if the software run or CDFG recovery fails.
     pub fn run(&self, binary: &Binary) -> Result<FlowReport, FlowError> {
-        // 1. Software run: cycles + profile.
+        // 1. Software run: cycles + block-count profile.
         let mut machine = Machine::with_config(binary, self.options.sim)?;
-        let exit = machine.run()?;
+        let mut prof = binpart_mips::sim::BlockCountProfiler::new();
+        let exit = machine.run_with(&mut prof)?;
         self.run_with_exit(binary, &exit)
     }
 

@@ -40,26 +40,60 @@
 //!   costs one trip around the outer loop instead of three. All hot state
 //!   (registers, pc chain, counters) lives in locals for the duration of
 //!   [`Machine::run`].
-//! * **Profiling as a mode.** The execute body is monomorphized over a
-//!   `const PROFILE: bool`. [`Machine::run`] collects the full [`Profile`];
-//!   [`Machine::run_unprofiled`] compiles all counter updates out for runs
-//!   that only need architectural results (re-runs, sweeps, throughput
-//!   benches). Total cycles/instructions are architectural and always kept.
+//! * **Superinstruction fusion.** A peephole pass ([`fuse`]) over the
+//!   pre-decoded stream rewrites hot adjacent pairs/triples into single
+//!   fused micro-ops, attacking the dominant remaining cost on
+//!   register-resident code: dispatch itself (one indirect branch per
+//!   op). Each fused arm is straight-line code executing its
+//!   constituents' semantics in original order against the real register
+//!   file, so chained, aliased, and `$zero`-destination forms — and
+//!   therefore architectural state, cycle totals, and [`Profile`]
+//!   counts — are bit-identical to the unfused engine. The pattern table,
+//!   selected from the suite's measured dynamic-pair histogram (see
+//!   `examples/fusion_histogram.rs`):
+//!
+//!   | [`FusionConfig`] | patterns | guards |
+//!   |---|---|---|
+//!   | `Default` | `addiu+addiu` (chained/independent), `mult/multu+mflo`, `lui+ori` / `lui+addiu` (`li` idioms), `slt/sltu/slti/sltiu+beq/bne` vs `$zero` (fused control op) | compare dest non-zero, one branch operand `$zero` |
+//!   | `Aggressive` (adds) | `addiu+slt/sltu+beq/bne` loop back edge (width-3 control), `mult+mflo+addu` MAC, `sll+addu+lw/sw` array indexing, `addu+lw/lbu/sw`, `addiu+lw/sw`, `sw+lw` / `lw+sw` / `lw+lw` spill pairs, `lw+addiu/addu`, and the generic ALU pairs `addu+addiu`, `sll+addiu`, `addiu+srl`, `srl+addiu`, `ori+addiu` | memory base chained to the address producer where the encoding needs it |
+//!
+//!   Fusion never starts at a control op (except the fused
+//!   compare-and-branch forms, which dispatch through the control
+//!   epilogue), never consumes a statically known entry point (branch/
+//!   jump targets, call returns, the binary entry), and keeps the unfused
+//!   op in every consumed slot — direct control-flow entry mid-pattern,
+//!   delay-slot execution, and step-budget boundaries all fall back to
+//!   per-op dispatch with exact accounting. A fused memory op that faults
+//!   reports the faulting *constituent's* pc and skips the rest, so
+//!   partial profiles match the reference bit-for-bit.
+//! * **Profiling as a trait.** The execute body is monomorphized over a
+//!   [`Profiler`], so profiling costs exactly what the chosen profiler
+//!   observes. [`Machine::run`] collects the full [`Profile`] (counts,
+//!   taken edges, calls, loads/stores); [`Machine::run_unprofiled`]
+//!   compiles every hook out via [`NullProfiler`]; and
+//!   [`Machine::run_with`] accepts any profiler — notably
+//!   [`BlockCountProfiler`], which records only block boundary deltas
+//!   (two array writes per dispatch round) yet reconstructs *exact*
+//!   per-instruction execution counts, which is everything the 90-10
+//!   partitioner consumes. Total cycles/instructions are architectural
+//!   and always kept.
 //! * **No exit-time clone.** Finishing a run moves the accumulated
 //!   [`Profile`] into the returned [`Exit`] instead of cloning its count
 //!   vectors; the machine is left with a fresh zeroed profile.
 //!
 //! Measured on the 20-benchmark workload suite across all four compiler
 //! optimization levels (the matrix the experiment harness simulates), the
-//! fast engine retires ~7-8x more instructions per second than the seed
-//! engine — ~3x on register-resident `-O1` code (dispatch-bound) and ~12x
-//! on memory-resident `-O0` code (the seed's hashed byte memory dominates).
-//! See `crates/bench/benches/sim_throughput.rs`.
+//! unfused engine retires ~3-8x more instructions per second than the
+//! seed engine (host-dependent), and aggressive fusion adds a further
+//! ~1.3-1.45x on every slice — including the dispatch-bound `-O1`+ levels
+//! the ROADMAP targeted — with the exact numbers tracked per PR in
+//! `BENCH_sim.json`. See `crates/bench/benches/sim_throughput.rs`.
 //!
 //! The differential test suite (`tests/differential.rs` at the workspace
 //! root) asserts that this engine and the retained reference engine produce
 //! bit-identical [`Exit`] state and [`Profile`] counts over the whole
-//! benchmark suite at every optimization level.
+//! benchmark suite at every optimization level × every fusion level, and
+//! that [`BlockCountProfiler`] counts are exact.
 
 use crate::{Binary, CycleModel, DecodeError, Instr, Reg, HALT_PC};
 use std::cell::Cell;
@@ -383,6 +417,179 @@ impl Profile {
     }
 }
 
+impl Default for Profile {
+    /// An empty profile; [`Profiler::begin`] sizes it to the text section.
+    fn default() -> Profile {
+        Profile::new(0, 0)
+    }
+}
+
+/// Observation hooks for a simulation run, monomorphized into the dispatch
+/// loop ([`Machine::run_with`]) so unused hooks compile out entirely.
+///
+/// The engine reports retirement at *block* granularity: every retired
+/// instruction is covered by exactly one [`Profiler::on_block`] range (a
+/// straight-line run, a control op + delay slot epilogue, or a single
+/// slow-path op), so per-instruction execution counts are recoverable
+/// exactly from the ranges alone — that is what [`BlockCountProfiler`]
+/// does with two array writes per range instead of one per instruction.
+///
+/// Implementations:
+/// * [`NullProfiler`] — every hook empty; compiles to the unprofiled
+///   engine ([`Machine::run_unprofiled`]).
+/// * [`FullProfiler`] (= [`Profile`]) — per-instruction counts, branch
+///   taken counts, call edges, load/store totals ([`Machine::run`]).
+/// * [`BlockCountProfiler`] — exact per-instruction counts from boundary
+///   deltas only; the partitioner-shaped pay-as-you-go mode.
+pub trait Profiler {
+    /// Called at the start of each run with the text geometry; sizes
+    /// internal storage without discarding accumulated data.
+    fn begin(&mut self, text_base: u32, text_len: usize);
+    /// `n` instructions at text indices `[idx, idx + n)` retired, costing
+    /// `cyc` cycles in total. On a fault the range ends at (and includes)
+    /// the faulting instruction.
+    fn on_block(&mut self, idx: usize, n: usize, cyc: u64);
+    /// The conditional branch at `idx` was taken.
+    fn on_taken(&mut self, idx: usize);
+    /// A call (`jal`/`jalr`) to `target` retired.
+    fn on_call(&mut self, target: u32);
+    /// A load retired.
+    fn on_load(&mut self);
+    /// A store retired.
+    fn on_store(&mut self);
+    /// Extracts the collected data as a [`Profile`], leaving the profiler
+    /// reset (ready for another run).
+    fn take_profile(&mut self, text_base: u32, text_len: usize) -> Profile;
+}
+
+/// The zero-cost profiler: every hook is empty, so the monomorphized run
+/// loop carries no counter updates at all.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullProfiler;
+
+impl Profiler for NullProfiler {
+    #[inline(always)]
+    fn begin(&mut self, _text_base: u32, _text_len: usize) {}
+    #[inline(always)]
+    fn on_block(&mut self, _idx: usize, _n: usize, _cyc: u64) {}
+    #[inline(always)]
+    fn on_taken(&mut self, _idx: usize) {}
+    #[inline(always)]
+    fn on_call(&mut self, _target: u32) {}
+    #[inline(always)]
+    fn on_load(&mut self) {}
+    #[inline(always)]
+    fn on_store(&mut self) {}
+    fn take_profile(&mut self, text_base: u32, _text_len: usize) -> Profile {
+        Profile::new(text_base, 0)
+    }
+}
+
+/// The full profiler is [`Profile`] itself accumulating in place:
+/// per-instruction counts, branch taken counts, call edges, and load/store
+/// totals — everything the differential suite compares bit-for-bit against
+/// the reference engine.
+pub type FullProfiler = Profile;
+
+impl Profiler for Profile {
+    fn begin(&mut self, text_base: u32, text_len: usize) {
+        self.text_base = text_base;
+        if self.counts.len() < text_len {
+            self.counts.resize(text_len, 0);
+            self.taken.resize(text_len, 0);
+        }
+    }
+    #[inline(always)]
+    fn on_block(&mut self, idx: usize, n: usize, cyc: u64) {
+        for c in &mut self.counts[idx..idx + n] {
+            *c += 1;
+        }
+        self.total_instrs += n as u64;
+        self.total_cycles += cyc;
+    }
+    #[inline(always)]
+    fn on_taken(&mut self, idx: usize) {
+        self.taken[idx] += 1;
+    }
+    #[inline(always)]
+    fn on_call(&mut self, target: u32) {
+        *self.calls.entry(target).or_insert(0) += 1;
+    }
+    #[inline(always)]
+    fn on_load(&mut self) {
+        self.loads += 1;
+    }
+    #[inline(always)]
+    fn on_store(&mut self) {
+        self.stores += 1;
+    }
+    fn take_profile(&mut self, text_base: u32, text_len: usize) -> Profile {
+        std::mem::replace(self, Profile::new(text_base, text_len))
+    }
+}
+
+/// Basic-block execution counts only — the pay-as-you-go profiler.
+///
+/// Records each retired range `[idx, idx + n)` as two boundary deltas
+/// (`diff[idx] += 1`, `diff[idx + n] -= 1`); a prefix sum at
+/// [`Profiler::take_profile`] reconstructs *exact* per-instruction
+/// execution counts, because every retired instruction is covered by
+/// exactly one reported range. This is all the 90-10 partitioner consumes
+/// (block weights via `Profile::count_at`), at a fraction of the full
+/// profiler's per-instruction cost. Branch taken counts, call edges, and
+/// load/store totals are not collected and read as zero.
+#[derive(Debug, Clone, Default)]
+pub struct BlockCountProfiler {
+    /// Boundary deltas; entry `i` is the count change at text index `i`.
+    diff: Vec<i64>,
+    total_instrs: u64,
+    total_cycles: u64,
+}
+
+impl BlockCountProfiler {
+    /// Creates an empty profiler (sized on first use).
+    pub fn new() -> BlockCountProfiler {
+        BlockCountProfiler::default()
+    }
+}
+
+impl Profiler for BlockCountProfiler {
+    fn begin(&mut self, _text_base: u32, text_len: usize) {
+        if self.diff.len() < text_len + 1 {
+            self.diff.resize(text_len + 1, 0);
+        }
+    }
+    #[inline(always)]
+    fn on_block(&mut self, idx: usize, n: usize, cyc: u64) {
+        self.diff[idx] += 1;
+        self.diff[idx + n] -= 1;
+        self.total_instrs += n as u64;
+        self.total_cycles += cyc;
+    }
+    #[inline(always)]
+    fn on_taken(&mut self, _idx: usize) {}
+    #[inline(always)]
+    fn on_call(&mut self, _target: u32) {}
+    #[inline(always)]
+    fn on_load(&mut self) {}
+    #[inline(always)]
+    fn on_store(&mut self) {}
+    fn take_profile(&mut self, text_base: u32, text_len: usize) -> Profile {
+        let mut p = Profile::new(text_base, text_len);
+        let mut acc = 0i64;
+        for (i, slot) in p.counts.iter_mut().enumerate() {
+            acc += self.diff.get(i).copied().unwrap_or(0);
+            *slot = acc as u64;
+        }
+        p.total_instrs = self.total_instrs;
+        p.total_cycles = self.total_cycles;
+        self.diff.clear();
+        self.total_instrs = 0;
+        self.total_cycles = 0;
+        p
+    }
+}
+
 /// Configuration for a [`Machine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SimConfig {
@@ -392,6 +599,9 @@ pub struct SimConfig {
     pub max_steps: u64,
     /// Initial stack pointer.
     pub stack_top: u32,
+    /// Superinstruction fusion level (observationally exact at every
+    /// level; see [`FusionConfig`]).
+    pub fusion: FusionConfig,
 }
 
 impl Default for SimConfig {
@@ -400,6 +610,7 @@ impl Default for SimConfig {
             cycles: CycleModel::default(),
             max_steps: 500_000_000,
             stack_top: crate::DEFAULT_STACK_TOP,
+            fusion: FusionConfig::default(),
         }
     }
 }
@@ -430,6 +641,11 @@ impl Exit {
 /// instruction, with operand registers unpacked, immediates pre-extended,
 /// branch/jump targets pre-resolved to absolute addresses, and the
 /// [`CycleModel`] cost pre-computed. Built once at load by [`lower`].
+///
+/// A *fused* micro-op (see [`fuse`]) packs two or three adjacent
+/// instructions into one dispatch; `width` is the number of text slots it
+/// covers, `cyc` the summed cycle cost, and the extra register fields
+/// (`d`, `e`) plus `imm2` hold the additional constituents' operands.
 #[derive(Debug, Clone, Copy)]
 struct Op {
     code: OpCode,
@@ -439,11 +655,21 @@ struct Op {
     b: u8,
     /// Second source register (rt / store value).
     c: u8,
-    /// Cycle cost of one dynamic instance.
+    /// Fused ops: second constituent's destination (or first intermediate).
+    d: u8,
+    /// Fused ops: second intermediate / value register / compare sub-kind.
+    e: u8,
+    /// Text slots this op covers: 1 for plain ops, 2–3 for fused ops.
+    width: u8,
+    /// Cycle cost of one dynamic instance (summed over constituents when
+    /// fused).
     cyc: u32,
     /// Pre-baked immediate: sign/zero-extended constant, pre-shifted `lui`
     /// value, shift amount, `break` code, or absolute control target.
     imm: u32,
+    /// Fused ops: second immediate (second constituent's constant, shift
+    /// amount, or load/store offset).
+    imm2: u32,
 }
 
 /// Micro-op kinds. `Add`/`Addu` (and `Addi`/`Addiu`, `Sub`/`Subu`) share a
@@ -498,6 +724,65 @@ enum OpCode {
     Jr,
     Jalr,
     Break,
+    // ---- fused superinstructions (built by `fuse`, never decoded) ----
+    /// `addiu; addiu` — chained or independent (sequential semantics).
+    FAddiuAddiu,
+    /// `mult; mflo` — product straight into the destination register.
+    FMultMflo,
+    /// `multu; mflo`.
+    FMultuMflo,
+    /// `lui; ori` — the `li` large-constant idiom (and any adjacent pair).
+    FLuiOri,
+    /// `lui; addiu` — the alternate `li` idiom.
+    FLuiAddiu,
+    /// `addiu; lw` — pointer bump / offset compute feeding a word load.
+    FAddiuLw,
+    /// `addiu; sw` — pointer bump feeding a word store.
+    FAddiuSw,
+    /// `sll; addu; lw` — the array-index word-load idiom `a[i]`.
+    FSllAdduLw,
+    /// `sll; addu; sw` — the array-index word-store idiom `a[i] = v`.
+    FSllAdduSw,
+    /// `mult; mflo; addu` — the multiply-accumulate chain (the addu
+    /// consumes the product).
+    FMultMfloAddu,
+    /// `addu; lw` — register-indexed address compute feeding a word load.
+    FAdduLw,
+    /// `addu; lbu` — register-indexed address compute feeding a byte load.
+    FAdduLbu,
+    /// `addu; sw` — compute then spill (value or base may be the sum).
+    FAdduSw,
+    /// `sw; lw` — the dominant `-O0` stack spill/reload pair.
+    FSwLw,
+    /// `lw; sw` — reload then spill.
+    FLwSw,
+    /// `lw; lw` — back-to-back reloads.
+    FLwLw,
+    /// `lw; addiu` — reload feeding an immediate add.
+    FLwAddiu,
+    /// `lw; addu` — reload feeding a register add.
+    FLwAddu,
+    /// `addu; addiu` — generic 3-reg ALU then immediate ALU pair.
+    FAdduAddiu,
+    /// `sll; addiu`.
+    FSllAddiu,
+    /// `addiu; srl`.
+    FAddiuSrl,
+    /// `srl; addiu`.
+    FSrlAddiu,
+    /// `ori; addiu`.
+    FOriAddiu,
+    /// `slt/sltu/slti/sltiu; beq rd, $zero` — compare-and-branch-if-false
+    /// (sub-kind in `e`). A fused *control* op: executes in the dispatch
+    /// epilogue, not inside straight-line runs.
+    FCmpBeqz,
+    /// `slt/sltu/slti/sltiu; bne rd, $zero` — compare-and-branch-if-true.
+    FCmpBnez,
+    /// `addiu; slt/sltu; beq rd, $zero` — the counted-loop back edge
+    /// (increment, compare, exit-if-false) as one fused control op.
+    FAddiuCmpBeqz,
+    /// `addiu; slt/sltu; bne rd, $zero` — increment, compare, loop-if-true.
+    FAddiuCmpBnez,
 }
 
 /// Lowers one decoded instruction at `pc` into its micro-op.
@@ -509,8 +794,12 @@ fn lower(instr: Instr, pc: u32, cyc: u32) -> Op {
         a: 0,
         b: 0,
         c: 0,
+        d: 0,
+        e: 0,
+        width: 1,
         cyc,
         imm: 0,
+        imm2: 0,
     };
     match instr {
         Add { rd, rs, rt } | Addu { rd, rs, rt } => {
@@ -627,7 +916,8 @@ fn lower(instr: Instr, pc: u32, cyc: u32) -> Op {
     op
 }
 
-/// Returns `true` for micro-ops that (may) transfer control.
+/// Returns `true` for micro-ops that (may) transfer control, including the
+/// fused compare-and-branch superinstructions.
 fn is_control(code: OpCode) -> bool {
     matches!(
         code,
@@ -642,7 +932,438 @@ fn is_control(code: OpCode) -> bool {
             | OpCode::Jr
             | OpCode::Jalr
             | OpCode::Break
+            | OpCode::FCmpBeqz
+            | OpCode::FCmpBnez
+            | OpCode::FAddiuCmpBeqz
+            | OpCode::FAddiuCmpBnez
     )
+}
+
+/// How much peephole fusion [`fuse`] applies to the micro-op stream.
+///
+/// Every level is observationally exact: fused ops execute their
+/// constituents' semantics in original order against the real register
+/// file, so architectural state, cycle totals, and [`Profile`] counts are
+/// bit-identical to the unfused (and reference) engine at every level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FusionConfig {
+    /// No fusion: the dispatch stream is the plain lowered micro-ops.
+    Off,
+    /// The hot pairs from the suite's dynamic-op histogram: `addiu+addiu`
+    /// (chained and independent), `mult/multu+mflo`, the `lui+ori` /
+    /// `lui+addiu` `li` idioms, and compare-and-branch
+    /// (`slt/sltu/slti/sltiu` + `beq/bne` against `$zero`).
+    #[default]
+    Default,
+    /// Everything in [`FusionConfig::Default`] plus the width-3
+    /// `addiu+slt/sltu+beq/bne` loop back edge, the `mult+mflo+addu` MAC
+    /// chain, the array-index triples `sll+addu+lw/sw`, the pointer-form
+    /// pairs `addu+lw/lbu/sw` and `addiu+lw/sw`, the `-O0` stack-traffic
+    /// pairs `sw+lw`, `lw+sw`, `lw+lw`, `lw+addiu`, `lw+addu`, and the
+    /// generic ALU pairs `addu+addiu`, `sll+addiu`, `addiu+srl`,
+    /// `srl+addiu`, `ori+addiu` (the full table lives in the
+    /// [module docs](self)).
+    Aggressive,
+}
+
+/// Marks every text index that may be entered by a control transfer: static
+/// branch/jump targets, call return points (`jal`/`jalr` + 8), and the
+/// binary entry. Fusion refuses to *consume* a marked index as a non-first
+/// constituent so a superinstruction never spans a (statically known) block
+/// boundary; direct entry at a consumed index falls back to the unfused
+/// stream regardless, so this is about keeping fusion aligned with basic
+/// blocks, not correctness.
+fn entry_points(ops: &[Op], text_base: u32, entry: u32) -> Vec<bool> {
+    let mut marks = vec![false; ops.len()];
+    fn mark(marks: &mut [bool], text_base: u32, addr: u32) {
+        let off = addr.wrapping_sub(text_base);
+        if off.is_multiple_of(4) && ((off / 4) as usize) < marks.len() {
+            marks[(off / 4) as usize] = true;
+        }
+    }
+    mark(&mut marks, text_base, entry);
+    for i in 0..ops.len() {
+        match ops[i].code {
+            OpCode::Beq
+            | OpCode::Bne
+            | OpCode::Blez
+            | OpCode::Bgtz
+            | OpCode::Bltz
+            | OpCode::Bgez
+            | OpCode::J
+            | OpCode::Jal => mark(&mut marks, text_base, ops[i].imm),
+            _ => {}
+        }
+        // Call return points: a `jr $ra` can land on pc + 8 of any call.
+        if matches!(ops[i].code, OpCode::Jal | OpCode::Jalr) && i + 2 < ops.len() {
+            marks[i + 2] = true;
+        }
+    }
+    marks
+}
+
+/// Builds the fused dispatch stream: a copy of `ops` where the first slot
+/// of each matched pattern is replaced by its superinstruction. Consumed
+/// slots keep their original (unfused) op so direct control-flow entry at
+/// any address still dispatches exactly one architectural instruction.
+///
+/// Matching is greedy left-to-right (longest pattern first), never starts
+/// at a control op, and never consumes a statically known entry point.
+fn fuse(ops: &[Op], entries: &[bool], config: FusionConfig) -> Vec<Op> {
+    let mut fops = ops.to_vec();
+    if config == FusionConfig::Off {
+        return fops;
+    }
+    let aggressive = config == FusionConfig::Aggressive;
+    let mut i = 0;
+    while i + 1 < ops.len() {
+        if is_control(ops[i].code) {
+            i += 1;
+            continue;
+        }
+        match fuse_at(ops, entries, i, aggressive) {
+            Some(f) => {
+                let w = f.width as usize;
+                fops[i] = f;
+                i += w;
+            }
+            None => i += 1,
+        }
+    }
+    fops
+}
+
+/// Attempts to fuse the pattern starting at `i`. Fused ops re-read the
+/// register file between constituent writes, so chained, independent, and
+/// `$zero`-destination forms are all handled by one generic encoding.
+fn fuse_at(ops: &[Op], entries: &[bool], i: usize, aggressive: bool) -> Option<Op> {
+    let a = ops[i];
+    let b = ops[i + 1];
+    if entries[i + 1] {
+        return None;
+    }
+    // Triples first (longest match wins).
+    if aggressive && i + 2 < ops.len() && !entries[i + 2] {
+        let c = ops[i + 2];
+        // addiu; slt/sltu; beq/bne rd, $zero — the counted-loop back edge
+        // as one fused *control* op (executes in the dispatch epilogue).
+        // The addiu source rides in `e` next to the compare sub-kind.
+        if a.code == OpCode::Addiu
+            && matches!(b.code, OpCode::Slt | OpCode::Sltu)
+            && matches!(c.code, OpCode::Beq | OpCode::Bne)
+            && b.a != 0
+            && ((c.b == b.a && c.c == 0) || (c.b == 0 && c.c == b.a))
+        {
+            return Some(Op {
+                code: if c.code == OpCode::Beq {
+                    OpCode::FAddiuCmpBeqz
+                } else {
+                    OpCode::FAddiuCmpBnez
+                },
+                a: b.a,
+                b: b.b,
+                c: b.c,
+                d: a.a,
+                e: (a.b << 1) | u8::from(b.code == OpCode::Sltu),
+                width: 3,
+                cyc: a.cyc + b.cyc + c.cyc,
+                imm: c.imm,
+                imm2: a.imm,
+            });
+        }
+        // mult; mflo; addu — multiply-accumulate (the addu consumes the
+        // product register).
+        if a.code == OpCode::Mult && b.code == OpCode::Mflo && c.code == OpCode::Addu {
+            let other = if c.b == b.a {
+                Some(c.c)
+            } else if c.c == b.a {
+                Some(c.b)
+            } else {
+                None
+            };
+            if let Some(other) = other {
+                return Some(Op {
+                    code: OpCode::FMultMfloAddu,
+                    a: b.a,
+                    b: a.b,
+                    c: a.c,
+                    d: c.a,
+                    e: other,
+                    width: 3,
+                    cyc: a.cyc + b.cyc + c.cyc,
+                    imm: 0,
+                    imm2: 0,
+                });
+            }
+        }
+        if a.code == OpCode::Sll && b.code == OpCode::Addu {
+            // The addu must consume the sll result (either operand —
+            // addition commutes) and the memory base must be the addu
+            // result; intermediates are still architecturally written.
+            let other = if b.b == a.a {
+                Some(b.c)
+            } else if b.c == a.a {
+                Some(b.b)
+            } else {
+                None
+            };
+            if let Some(other) = other {
+                let fields = Op {
+                    a: 0,
+                    b: a.b,
+                    c: other,
+                    d: a.a,
+                    e: b.a,
+                    width: 3,
+                    cyc: a.cyc + b.cyc + c.cyc,
+                    imm: c.imm,
+                    imm2: a.imm,
+                    ..a
+                };
+                if c.code == OpCode::Lw && c.b == b.a {
+                    return Some(Op {
+                        code: OpCode::FSllAdduLw,
+                        a: c.a,
+                        ..fields
+                    });
+                }
+                if c.code == OpCode::Sw && c.b == b.a {
+                    return Some(Op {
+                        code: OpCode::FSllAdduSw,
+                        a: c.c,
+                        ..fields
+                    });
+                }
+            }
+        }
+    }
+    let pair = |code: OpCode| Op {
+        code,
+        a: a.a,
+        b: a.b,
+        c: b.b,
+        d: b.a,
+        e: 0,
+        width: 2,
+        cyc: a.cyc + b.cyc,
+        imm: a.imm,
+        imm2: b.imm,
+    };
+    match (a.code, b.code) {
+        // addiu rd1, rs1, i1 ; addiu rd2, rs2, i2 — 12 % of dynamic ops.
+        (OpCode::Addiu, OpCode::Addiu) => Some(pair(OpCode::FAddiuAddiu)),
+        // mult rs, rt ; mflo rd — hi/lo still written architecturally.
+        (OpCode::Mult, OpCode::Mflo) => Some(Op {
+            code: OpCode::FMultMflo,
+            a: b.a,
+            b: a.b,
+            c: a.c,
+            d: 0,
+            e: 0,
+            width: 2,
+            cyc: a.cyc + b.cyc,
+            imm: 0,
+            imm2: 0,
+        }),
+        (OpCode::Multu, OpCode::Mflo) => Some(Op {
+            code: OpCode::FMultuMflo,
+            a: b.a,
+            b: a.b,
+            c: a.c,
+            d: 0,
+            e: 0,
+            width: 2,
+            cyc: a.cyc + b.cyc,
+            imm: 0,
+            imm2: 0,
+        }),
+        // lui rt, hi ; ori/addiu rd, rs, lo — the `li` constant idioms.
+        (OpCode::Lui, OpCode::Ori) => Some(pair(OpCode::FLuiOri)),
+        (OpCode::Lui, OpCode::Addiu) => Some(pair(OpCode::FLuiAddiu)),
+        // slt-class compare feeding beq/bne against $zero: a fused control
+        // op (executes in the dispatch epilogue). The compare destination
+        // must be a real register and one branch operand must be $zero.
+        (
+            OpCode::Slt | OpCode::Sltu | OpCode::Slti | OpCode::Sltiu,
+            OpCode::Beq | OpCode::Bne,
+        ) if a.a != 0 && ((b.b == a.a && b.c == 0) || (b.b == 0 && b.c == a.a)) => {
+            let kind = match a.code {
+                OpCode::Slt => 0,
+                OpCode::Sltu => 1,
+                OpCode::Slti => 2,
+                _ => 3,
+            };
+            Some(Op {
+                code: if b.code == OpCode::Beq {
+                    OpCode::FCmpBeqz
+                } else {
+                    OpCode::FCmpBnez
+                },
+                a: a.a,
+                b: a.b,
+                c: a.c,
+                d: 0,
+                e: kind,
+                width: 2,
+                cyc: a.cyc + b.cyc,
+                imm: b.imm,
+                imm2: a.imm,
+            })
+        }
+        // addiu rd, rs, i ; lw/sw rt, off(base) — pointer-bump memory ops.
+        (OpCode::Addiu, OpCode::Lw) if aggressive => Some(Op {
+            code: OpCode::FAddiuLw,
+            a: b.a,
+            b: a.b,
+            c: b.b,
+            d: a.a,
+            e: 0,
+            width: 2,
+            cyc: a.cyc + b.cyc,
+            imm: a.imm,
+            imm2: b.imm,
+        }),
+        (OpCode::Addiu, OpCode::Sw) if aggressive => Some(Op {
+            code: OpCode::FAddiuSw,
+            a: 0,
+            b: a.b,
+            c: b.b,
+            d: a.a,
+            e: b.c,
+            width: 2,
+            cyc: a.cyc + b.cyc,
+            imm: a.imm,
+            imm2: b.imm,
+        }),
+        // The -O0 stack-traffic pairs: spill/reload chains and
+        // reload-feeds-ALU. All generic (sequential semantics); loads and
+        // stores report faults at their own slot.
+        (OpCode::Sw, OpCode::Lw) if aggressive => Some(Op {
+            code: OpCode::FSwLw,
+            a: b.a,
+            b: a.b,
+            c: a.c,
+            d: b.b,
+            e: 0,
+            width: 2,
+            cyc: a.cyc + b.cyc,
+            imm: a.imm,
+            imm2: b.imm,
+        }),
+        (OpCode::Lw, OpCode::Sw) if aggressive => Some(Op {
+            code: OpCode::FLwSw,
+            a: a.a,
+            b: a.b,
+            c: b.b,
+            d: 0,
+            e: b.c,
+            width: 2,
+            cyc: a.cyc + b.cyc,
+            imm: a.imm,
+            imm2: b.imm,
+        }),
+        (OpCode::Lw, OpCode::Lw) if aggressive => Some(Op {
+            code: OpCode::FLwLw,
+            a: a.a,
+            b: a.b,
+            c: b.b,
+            d: b.a,
+            e: 0,
+            width: 2,
+            cyc: a.cyc + b.cyc,
+            imm: a.imm,
+            imm2: b.imm,
+        }),
+        (OpCode::Lw, OpCode::Addiu) if aggressive => Some(Op {
+            code: OpCode::FLwAddiu,
+            a: a.a,
+            b: a.b,
+            c: 0,
+            d: b.a,
+            e: b.b,
+            width: 2,
+            cyc: a.cyc + b.cyc,
+            imm: a.imm,
+            imm2: b.imm,
+        }),
+        (OpCode::Lw, OpCode::Addu) if aggressive => Some(Op {
+            code: OpCode::FLwAddu,
+            a: a.a,
+            b: a.b,
+            c: b.c,
+            d: b.a,
+            e: b.b,
+            width: 2,
+            cyc: a.cyc + b.cyc,
+            imm: a.imm,
+            imm2: 0,
+        }),
+        (OpCode::Addu, OpCode::Sw) if aggressive => Some(Op {
+            code: OpCode::FAdduSw,
+            a: b.b,
+            b: a.b,
+            c: a.c,
+            d: a.a,
+            e: b.c,
+            width: 2,
+            cyc: a.cyc + b.cyc,
+            imm: b.imm,
+            imm2: 0,
+        }),
+        // addu rd, rs, rt ; lw/lbu rt2, off(rd) — register-indexed loads.
+        (OpCode::Addu, OpCode::Lw | OpCode::Lbu) if aggressive && b.b == a.a => Some(Op {
+            code: if b.code == OpCode::Lw {
+                OpCode::FAdduLw
+            } else {
+                OpCode::FAdduLbu
+            },
+            a: b.a,
+            b: a.b,
+            c: a.c,
+            d: a.a,
+            e: 0,
+            width: 2,
+            cyc: a.cyc + b.cyc,
+            imm: b.imm,
+            imm2: 0,
+        }),
+        // Generic hot ALU pairs: op1(a, b, imm) ; op2(d, e, imm2). Each
+        // arm is straight-line code — no inner sub-kind dispatch.
+        (OpCode::Addu, OpCode::Addiu) if aggressive => Some(Op {
+            code: OpCode::FAdduAddiu,
+            a: a.a,
+            b: a.b,
+            c: a.c,
+            d: b.a,
+            e: b.b,
+            width: 2,
+            cyc: a.cyc + b.cyc,
+            imm: 0,
+            imm2: b.imm,
+        }),
+        (OpCode::Sll, OpCode::Addiu) if aggressive => Some(pair2(OpCode::FSllAddiu, a, b)),
+        (OpCode::Addiu, OpCode::Srl) if aggressive => Some(pair2(OpCode::FAddiuSrl, a, b)),
+        (OpCode::Srl, OpCode::Addiu) if aggressive => Some(pair2(OpCode::FSrlAddiu, a, b)),
+        (OpCode::Ori, OpCode::Addiu) if aggressive => Some(pair2(OpCode::FOriAddiu, a, b)),
+        _ => None,
+    }
+}
+
+/// Pair constructor for two immediate-form ALU ops: `op1(a, b, imm)` then
+/// `op2(d, e, imm2)`.
+fn pair2(code: OpCode, a: Op, b: Op) -> Op {
+    Op {
+        code,
+        a: a.a,
+        b: a.b,
+        c: 0,
+        d: b.a,
+        e: b.b,
+        width: 2,
+        cyc: a.cyc + b.cyc,
+        imm: a.imm,
+        imm2: b.imm,
+    }
 }
 
 /// Per-index dispatch plan, precomputed at load so the run loop's block
@@ -654,11 +1375,16 @@ fn is_control(code: OpCode) -> bool {
 const PLAN_FUSED: u32 = 1 << 31;
 const PLAN_LEN: u32 = (1 << 24) - 1;
 
-fn build_plans(ops: &[Op]) -> Vec<u32> {
-    let mut v = vec![0u32; ops.len()];
-    for i in (0..ops.len()).rev() {
-        if !is_control(ops[i].code) {
-            let next = if i + 1 < ops.len() { v[i + 1] } else { 0 };
+/// Builds the dispatch plan over the *fused* stream `fops`. Run lengths are
+/// in text slots (fused ops advance by their width at run time); the
+/// epilogue flag requires the delay slot — the slot after the control op's
+/// full width — to be a plain op in the *unfused* stream `ops`, because the
+/// delay slot always executes exactly one architectural instruction.
+fn build_plans(fops: &[Op], ops: &[Op]) -> Vec<u32> {
+    let mut v = vec![0u32; fops.len()];
+    for i in (0..fops.len()).rev() {
+        if !is_control(fops[i].code) {
+            let next = if i + 1 < fops.len() { v[i + 1] } else { 0 };
             let len = (next & PLAN_LEN) + 1;
             if len >= PLAN_LEN {
                 // Saturated: the run is truncated, so its end is not the
@@ -667,11 +1393,11 @@ fn build_plans(ops: &[Op]) -> Vec<u32> {
             } else {
                 v[i] = len | (next & PLAN_FUSED);
             }
-        } else if ops[i].code != OpCode::Break
-            && i + 1 < ops.len()
-            && !is_control(ops[i + 1].code)
-        {
-            v[i] = PLAN_FUSED;
+        } else if fops[i].code != OpCode::Break {
+            let slot = i + fops[i].width as usize;
+            if slot < ops.len() && !is_control(ops[slot].code) {
+                v[i] = PLAN_FUSED;
+            }
         }
     }
     v
@@ -699,12 +1425,51 @@ fn reg_write(regs: &mut [u32; 32], r: u8, v: u32) {
     }
 }
 
-/// Executes one micro-op against the given architectural state. Shared by
-/// [`Machine::step`] and the [`Machine::run`] loop so the two cannot
-/// diverge; `#[inline(always)]` keeps the run loop a single flat frame.
+/// Comparison result of a fused compare-and-branch op (`e` selects the
+/// slt-class sub-kind; register/immediate second operand per kind).
+#[inline(always)]
+fn cmp_value(regs: &[u32; 32], op: Op) -> u32 {
+    let l = reg_read(regs, op.b);
+    match op.e {
+        0 => ((l as i32) < (reg_read(regs, op.c) as i32)) as u32,
+        1 => (l < reg_read(regs, op.c)) as u32,
+        2 => ((l as i32) < (op.imm2 as i32)) as u32,
+        _ => (l < op.imm2) as u32,
+    }
+}
+
+/// Executes the `addiu` then `slt`/`sltu` constituents of a fused loop
+/// back edge, writing both destinations and returning the comparison
+/// result (the compare re-reads the register file, so it sees the addiu
+/// write exactly like the unfused sequence). `e` packs the addiu source
+/// register (high bits) and the sltu flag (bit 0).
+#[inline(always)]
+fn addiu_cmp_value(regs: &mut [u32; 32], op: Op) -> u32 {
+    reg_write(regs, op.d, reg_read(regs, op.e >> 1).wrapping_add(op.imm2));
+    let l = reg_read(regs, op.b);
+    let r = reg_read(regs, op.c);
+    let v = if op.e & 1 == 0 {
+        ((l as i32) < (r as i32)) as u32
+    } else {
+        (l < r) as u32
+    };
+    reg_write(regs, op.a, v);
+    v
+}
+
+/// Executes one micro-op (plain or fused) against the given architectural
+/// state. Shared by [`Machine::step`] and the [`Machine::run`] loop so the
+/// two cannot diverge; `#[inline(always)]` keeps the run loop a single
+/// flat frame. Fused arms execute their constituents' semantics in
+/// original order against the real register file (re-reading registers
+/// between writes), so chained, aliased, and `$zero`-destination forms
+/// behave exactly like the unfused sequence; a faulting memory constituent
+/// reports its error with the pc adjusted to its own slot, and constituents
+/// after it are not executed (the caller recovers exact per-op accounting
+/// from that pc).
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-fn exec_op<const PROFILE: bool>(
+fn exec_op<P: Profiler>(
     op: Op,
     pc: u32,
     idx: usize,
@@ -712,7 +1477,7 @@ fn exec_op<const PROFILE: bool>(
     hi: &mut u32,
     lo: &mut u32,
     mem: &mut Memory,
-    profile: &mut Profile,
+    prof: &mut P,
 ) -> Result<Outcome, SimError> {
     let taken = match op.code {
         OpCode::Addu => {
@@ -861,18 +1626,14 @@ fn exec_op<const PROFILE: bool>(
         OpCode::Lb => {
             let a = reg_read(regs, op.b).wrapping_add(op.imm);
             let v = mem.read_u8(a) as i8 as i32 as u32;
-            if PROFILE {
-                profile.loads += 1;
-            }
+            prof.on_load();
             reg_write(regs, op.a, v);
             false
         }
         OpCode::Lbu => {
             let a = reg_read(regs, op.b).wrapping_add(op.imm);
             let v = mem.read_u8(a) as u32;
-            if PROFILE {
-                profile.loads += 1;
-            }
+            prof.on_load();
             reg_write(regs, op.a, v);
             false
         }
@@ -882,9 +1643,7 @@ fn exec_op<const PROFILE: bool>(
                 return Err(SimError::Unaligned { addr: a, pc });
             }
             let v = mem.read_u16(a) as i16 as i32 as u32;
-            if PROFILE {
-                profile.loads += 1;
-            }
+            prof.on_load();
             reg_write(regs, op.a, v);
             false
         }
@@ -894,9 +1653,7 @@ fn exec_op<const PROFILE: bool>(
                 return Err(SimError::Unaligned { addr: a, pc });
             }
             let v = mem.read_u16(a) as u32;
-            if PROFILE {
-                profile.loads += 1;
-            }
+            prof.on_load();
             reg_write(regs, op.a, v);
             false
         }
@@ -906,17 +1663,13 @@ fn exec_op<const PROFILE: bool>(
                 return Err(SimError::Unaligned { addr: a, pc });
             }
             let v = mem.read_u32(a);
-            if PROFILE {
-                profile.loads += 1;
-            }
+            prof.on_load();
             reg_write(regs, op.a, v);
             false
         }
         OpCode::Sb => {
             let a = reg_read(regs, op.b).wrapping_add(op.imm);
-            if PROFILE {
-                profile.stores += 1;
-            }
+            prof.on_store();
             mem.write_u8(a, reg_read(regs, op.c) as u8);
             false
         }
@@ -925,9 +1678,7 @@ fn exec_op<const PROFILE: bool>(
             if a & 1 != 0 {
                 return Err(SimError::Unaligned { addr: a, pc });
             }
-            if PROFILE {
-                profile.stores += 1;
-            }
+            prof.on_store();
             mem.write_u16(a, reg_read(regs, op.c) as u16);
             false
         }
@@ -936,11 +1687,227 @@ fn exec_op<const PROFILE: bool>(
             if a & 3 != 0 {
                 return Err(SimError::Unaligned { addr: a, pc });
             }
-            if PROFILE {
-                profile.stores += 1;
-            }
+            prof.on_store();
             mem.write_u32(a, reg_read(regs, op.c));
             false
+        }
+        OpCode::FAddiuAddiu => {
+            reg_write(regs, op.a, reg_read(regs, op.b).wrapping_add(op.imm));
+            reg_write(regs, op.d, reg_read(regs, op.c).wrapping_add(op.imm2));
+            false
+        }
+        OpCode::FMultMflo => {
+            let p = (reg_read(regs, op.b) as i32 as i64) * (reg_read(regs, op.c) as i32 as i64);
+            *lo = p as u32;
+            *hi = (p >> 32) as u32;
+            reg_write(regs, op.a, *lo);
+            false
+        }
+        OpCode::FMultuMflo => {
+            let p = (reg_read(regs, op.b) as u64) * (reg_read(regs, op.c) as u64);
+            *lo = p as u32;
+            *hi = (p >> 32) as u32;
+            reg_write(regs, op.a, *lo);
+            false
+        }
+        OpCode::FLuiOri => {
+            reg_write(regs, op.a, op.imm);
+            reg_write(regs, op.d, reg_read(regs, op.c) | op.imm2);
+            false
+        }
+        OpCode::FLuiAddiu => {
+            reg_write(regs, op.a, op.imm);
+            reg_write(regs, op.d, reg_read(regs, op.c).wrapping_add(op.imm2));
+            false
+        }
+        OpCode::FAddiuLw => {
+            reg_write(regs, op.d, reg_read(regs, op.b).wrapping_add(op.imm));
+            let a = reg_read(regs, op.c).wrapping_add(op.imm2);
+            if a & 3 != 0 {
+                return Err(SimError::Unaligned { addr: a, pc: pc.wrapping_add(4) });
+            }
+            let v = mem.read_u32(a);
+            prof.on_load();
+            reg_write(regs, op.a, v);
+            false
+        }
+        OpCode::FAddiuSw => {
+            reg_write(regs, op.d, reg_read(regs, op.b).wrapping_add(op.imm));
+            let a = reg_read(regs, op.c).wrapping_add(op.imm2);
+            if a & 3 != 0 {
+                return Err(SimError::Unaligned { addr: a, pc: pc.wrapping_add(4) });
+            }
+            prof.on_store();
+            mem.write_u32(a, reg_read(regs, op.e));
+            false
+        }
+        OpCode::FSllAdduLw => {
+            reg_write(regs, op.d, reg_read(regs, op.b) << (op.imm2 & 31));
+            reg_write(regs, op.e, reg_read(regs, op.d).wrapping_add(reg_read(regs, op.c)));
+            let a = reg_read(regs, op.e).wrapping_add(op.imm);
+            if a & 3 != 0 {
+                return Err(SimError::Unaligned { addr: a, pc: pc.wrapping_add(8) });
+            }
+            let v = mem.read_u32(a);
+            prof.on_load();
+            reg_write(regs, op.a, v);
+            false
+        }
+        OpCode::FSllAdduSw => {
+            reg_write(regs, op.d, reg_read(regs, op.b) << (op.imm2 & 31));
+            reg_write(regs, op.e, reg_read(regs, op.d).wrapping_add(reg_read(regs, op.c)));
+            let a = reg_read(regs, op.e).wrapping_add(op.imm);
+            if a & 3 != 0 {
+                return Err(SimError::Unaligned { addr: a, pc: pc.wrapping_add(8) });
+            }
+            prof.on_store();
+            mem.write_u32(a, reg_read(regs, op.a));
+            false
+        }
+        OpCode::FMultMfloAddu => {
+            let p = (reg_read(regs, op.b) as i32 as i64) * (reg_read(regs, op.c) as i32 as i64);
+            *lo = p as u32;
+            *hi = (p >> 32) as u32;
+            reg_write(regs, op.a, *lo);
+            reg_write(
+                regs,
+                op.d,
+                reg_read(regs, op.a).wrapping_add(reg_read(regs, op.e)),
+            );
+            false
+        }
+        OpCode::FAdduLw => {
+            reg_write(regs, op.d, reg_read(regs, op.b).wrapping_add(reg_read(regs, op.c)));
+            let a = reg_read(regs, op.d).wrapping_add(op.imm);
+            if a & 3 != 0 {
+                return Err(SimError::Unaligned { addr: a, pc: pc.wrapping_add(4) });
+            }
+            let v = mem.read_u32(a);
+            prof.on_load();
+            reg_write(regs, op.a, v);
+            false
+        }
+        OpCode::FAdduLbu => {
+            reg_write(regs, op.d, reg_read(regs, op.b).wrapping_add(reg_read(regs, op.c)));
+            let a = reg_read(regs, op.d).wrapping_add(op.imm);
+            let v = mem.read_u8(a) as u32;
+            prof.on_load();
+            reg_write(regs, op.a, v);
+            false
+        }
+        OpCode::FSwLw => {
+            let s = reg_read(regs, op.b).wrapping_add(op.imm);
+            if s & 3 != 0 {
+                return Err(SimError::Unaligned { addr: s, pc });
+            }
+            prof.on_store();
+            mem.write_u32(s, reg_read(regs, op.c));
+            let l = reg_read(regs, op.d).wrapping_add(op.imm2);
+            if l & 3 != 0 {
+                return Err(SimError::Unaligned { addr: l, pc: pc.wrapping_add(4) });
+            }
+            let v = mem.read_u32(l);
+            prof.on_load();
+            reg_write(regs, op.a, v);
+            false
+        }
+        OpCode::FLwSw => {
+            let l = reg_read(regs, op.b).wrapping_add(op.imm);
+            if l & 3 != 0 {
+                return Err(SimError::Unaligned { addr: l, pc });
+            }
+            let v = mem.read_u32(l);
+            prof.on_load();
+            reg_write(regs, op.a, v);
+            let s = reg_read(regs, op.c).wrapping_add(op.imm2);
+            if s & 3 != 0 {
+                return Err(SimError::Unaligned { addr: s, pc: pc.wrapping_add(4) });
+            }
+            prof.on_store();
+            mem.write_u32(s, reg_read(regs, op.e));
+            false
+        }
+        OpCode::FLwLw => {
+            let l1 = reg_read(regs, op.b).wrapping_add(op.imm);
+            if l1 & 3 != 0 {
+                return Err(SimError::Unaligned { addr: l1, pc });
+            }
+            let v1 = mem.read_u32(l1);
+            prof.on_load();
+            reg_write(regs, op.a, v1);
+            let l2 = reg_read(regs, op.c).wrapping_add(op.imm2);
+            if l2 & 3 != 0 {
+                return Err(SimError::Unaligned { addr: l2, pc: pc.wrapping_add(4) });
+            }
+            let v2 = mem.read_u32(l2);
+            prof.on_load();
+            reg_write(regs, op.d, v2);
+            false
+        }
+        OpCode::FLwAddiu => {
+            let l = reg_read(regs, op.b).wrapping_add(op.imm);
+            if l & 3 != 0 {
+                return Err(SimError::Unaligned { addr: l, pc });
+            }
+            let v = mem.read_u32(l);
+            prof.on_load();
+            reg_write(regs, op.a, v);
+            reg_write(regs, op.d, reg_read(regs, op.e).wrapping_add(op.imm2));
+            false
+        }
+        OpCode::FLwAddu => {
+            let l = reg_read(regs, op.b).wrapping_add(op.imm);
+            if l & 3 != 0 {
+                return Err(SimError::Unaligned { addr: l, pc });
+            }
+            let v = mem.read_u32(l);
+            prof.on_load();
+            reg_write(regs, op.a, v);
+            reg_write(regs, op.d, reg_read(regs, op.e).wrapping_add(reg_read(regs, op.c)));
+            false
+        }
+        OpCode::FAdduSw => {
+            reg_write(regs, op.d, reg_read(regs, op.b).wrapping_add(reg_read(regs, op.c)));
+            let s = reg_read(regs, op.a).wrapping_add(op.imm);
+            if s & 3 != 0 {
+                return Err(SimError::Unaligned { addr: s, pc: pc.wrapping_add(4) });
+            }
+            prof.on_store();
+            mem.write_u32(s, reg_read(regs, op.e));
+            false
+        }
+        OpCode::FAdduAddiu => {
+            reg_write(regs, op.a, reg_read(regs, op.b).wrapping_add(reg_read(regs, op.c)));
+            reg_write(regs, op.d, reg_read(regs, op.e).wrapping_add(op.imm2));
+            false
+        }
+        OpCode::FSllAddiu => {
+            reg_write(regs, op.a, reg_read(regs, op.b) << (op.imm & 31));
+            reg_write(regs, op.d, reg_read(regs, op.e).wrapping_add(op.imm2));
+            false
+        }
+        OpCode::FAddiuSrl => {
+            reg_write(regs, op.a, reg_read(regs, op.b).wrapping_add(op.imm));
+            reg_write(regs, op.d, reg_read(regs, op.e) >> (op.imm2 & 31));
+            false
+        }
+        OpCode::FSrlAddiu => {
+            reg_write(regs, op.a, reg_read(regs, op.b) >> (op.imm & 31));
+            reg_write(regs, op.d, reg_read(regs, op.e).wrapping_add(op.imm2));
+            false
+        }
+        OpCode::FOriAddiu => {
+            reg_write(regs, op.a, reg_read(regs, op.b) | op.imm);
+            reg_write(regs, op.d, reg_read(regs, op.e).wrapping_add(op.imm2));
+            false
+        }
+        OpCode::FCmpBeqz
+        | OpCode::FCmpBnez
+        | OpCode::FAddiuCmpBeqz
+        | OpCode::FAddiuCmpBnez => {
+            // Fused compare-and-branch is a control op: it is dispatched
+            // only through the control epilogue, never through exec_op.
+            unreachable!("fused compare-and-branch outside the control epilogue")
         }
         OpCode::Beq => reg_read(regs, op.b) == reg_read(regs, op.c),
         OpCode::Bne => reg_read(regs, op.b) != reg_read(regs, op.c),
@@ -951,42 +1918,42 @@ fn exec_op<const PROFILE: bool>(
         OpCode::J => return Ok(Outcome::Jump(op.imm)),
         OpCode::Jal => {
             reg_write(regs, 31, pc.wrapping_add(8));
-            if PROFILE {
-                *profile.calls.entry(op.imm).or_insert(0) += 1;
-            }
+            prof.on_call(op.imm);
             return Ok(Outcome::Jump(op.imm));
         }
         OpCode::Jr => return Ok(Outcome::Jump(reg_read(regs, op.b))),
         OpCode::Jalr => {
             let target = reg_read(regs, op.b);
             reg_write(regs, op.a, pc.wrapping_add(8));
-            if PROFILE {
-                *profile.calls.entry(target).or_insert(0) += 1;
-            }
+            prof.on_call(target);
             return Ok(Outcome::Jump(target));
         }
         OpCode::Break => return Ok(Outcome::Brk(op.imm)),
     };
     if taken {
-        if PROFILE {
-            profile.taken[idx] += 1;
-        }
+        prof.on_taken(idx);
         Ok(Outcome::Jump(op.imm))
     } else {
         Ok(Outcome::Next)
     }
 }
 
-/// Executes a run of `ops` (all sequential, none control-transferring)
-/// starting at `base_pc` / text index `start_idx`.
+/// Executes a run of `take` text slots (all sequential, none
+/// control-transferring) starting at `base_pc` / text index `start_idx`,
+/// dispatching from the fused stream `fops` (falling back to the unfused
+/// `ops` when a fused op would overrun the step budget — `take` can only
+/// split a superinstruction at a budget boundary, never at the run end,
+/// because fusion consumes plain ops only).
 ///
 /// On success returns the cycle sum of the whole run; on a fault at
-/// relative op `k` returns `(k, cycles-including-faulting-op, error)` so the
-/// caller can reconstruct the exact architectural counters the per-op loop
-/// would have produced.
+/// relative slot `k` returns `(k, cycles-including-faulting-op, error)` so
+/// the caller can reconstruct the exact architectural counters the per-op
+/// engine would have produced. Either way the profiler sees exactly one
+/// `on_block` range covering every retired slot.
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-fn run_block<const PROFILE: bool>(
+fn run_block<P: Profiler>(
+    fops: &[Op],
     ops: &[Op],
     base_pc: u32,
     start_idx: usize,
@@ -994,24 +1961,50 @@ fn run_block<const PROFILE: bool>(
     hi: &mut u32,
     lo: &mut u32,
     mem: &mut Memory,
-    profile: &mut Profile,
+    prof: &mut P,
 ) -> Result<u64, (usize, u64, SimError)> {
+    let take = fops.len();
     let mut cyc_sum = 0u64;
-    for (k, &op) in ops.iter().enumerate() {
-        cyc_sum += u64::from(op.cyc);
-        if PROFILE {
-            profile.counts[start_idx + k] += 1;
-            profile.total_instrs += 1;
-            profile.total_cycles += u64::from(op.cyc);
+    let mut k = 0usize;
+    while k < take {
+        let mut op = fops[k];
+        let mut w = op.width as usize;
+        if w > 1 && k + w > take {
+            // Budget boundary mid-superinstruction: retire the original
+            // ops one at a time so MaxSteps fires at the exact slot.
+            op = ops[k];
+            w = 1;
         }
+        cyc_sum += u64::from(op.cyc);
         let pc = base_pc.wrapping_add((k as u32) * 4);
-        match exec_op::<PROFILE>(op, pc, start_idx + k, regs, hi, lo, mem, profile) {
+        match exec_op::<P>(op, pc, start_idx + k, regs, hi, lo, mem, prof) {
             Ok(Outcome::Next) => {}
             // Sequential runs contain no control ops by construction.
             Ok(_) => unreachable!("control op inside sequential run"),
-            Err(e) => return Err((k, cyc_sum, e)),
+            Err(e) => {
+                // A fused op reports the faulting constituent through the
+                // error's pc; constituents after it never executed, so
+                // their cycles come back off the sum (their costs live in
+                // the unfused stream).
+                let mut fk = k + w - 1;
+                if w > 1 {
+                    if let SimError::Unaligned { pc: epc, .. } = e {
+                        let rel = (epc.wrapping_sub(base_pc) / 4) as usize;
+                        if rel >= k && rel < k + w {
+                            for later in &ops[rel + 1..k + w] {
+                                cyc_sum -= u64::from(later.cyc);
+                            }
+                            fk = rel;
+                        }
+                    }
+                }
+                prof.on_block(start_idx, fk + 1, cyc_sum);
+                return Err((fk, cyc_sum, e));
+            }
         }
+        k += w;
     }
+    prof.on_block(start_idx, take, cyc_sum);
     Ok(cyc_sum)
 }
 
@@ -1026,8 +2019,14 @@ pub struct Machine {
     lo: u32,
     pc: u32,
     next_pc: u32,
-    /// Pre-decoded micro-ops, parallel to the text section.
+    /// Pre-decoded micro-ops, parallel to the text section (always
+    /// unfused: single-stepping, delay slots, and budget boundaries
+    /// dispatch from here).
     ops: Vec<Op>,
+    /// Fused dispatch stream, parallel to the text section: slot `i` holds
+    /// the superinstruction starting at `i` (consumed slots keep their
+    /// unfused op for direct control-flow entry). See [`fuse`].
+    fops: Vec<Op>,
     /// Per-index dispatch plan (run length + fusable-epilogue flag); see
     /// [`build_plans`].
     plans: Vec<u32>,
@@ -1070,7 +2069,9 @@ impl Machine {
                 lower(instr, pc, config.cycles.cycles_for(instr))
             })
             .collect();
-        let plans = build_plans(&ops);
+        let entries = entry_points(&ops, binary.text_base, binary.entry);
+        let fops = fuse(&ops, &entries, config.fusion);
+        let plans = build_plans(&fops, &ops);
         let mut mem = Memory::new();
         mem.write_slice(binary.data_base, &binary.data);
         let mut regs = [0u32; 32];
@@ -1085,6 +2086,7 @@ impl Machine {
             pc: binary.entry,
             next_pc: binary.entry.wrapping_add(4),
             ops,
+            fops,
             plans,
             text_base: binary.text_base,
             mem,
@@ -1119,24 +2121,77 @@ impl Machine {
     ///
     /// # Errors
     ///
-    /// Any [`SimError`]; the machine state is left at the faulting point.
+    /// Any [`SimError`]; the machine state (including the partially
+    /// accumulated profile) is left at the faulting point.
     pub fn run(&mut self) -> Result<Exit, SimError> {
-        self.run_loop::<true>()
+        let mut prof = std::mem::replace(&mut self.profile, Profile::new(self.text_base, 0));
+        match self.run_loop(&mut prof) {
+            Ok(reason) => {
+                self.profile = Profile::new(self.text_base, self.ops.len());
+                Ok(self.exit_with(reason, prof))
+            }
+            Err(e) => {
+                self.profile = prof;
+                Err(e)
+            }
+        }
     }
 
     /// Like [`Machine::run`], but with every profile-counter update
-    /// compiled out — for runs that only need architectural results
-    /// (checksums, total cycles/instructions). The returned [`Exit`]
-    /// carries an empty [`Profile`].
+    /// compiled out (a [`NullProfiler`] run) — for runs that only need
+    /// architectural results (checksums, total cycles/instructions). The
+    /// returned [`Exit`] carries an empty [`Profile`].
     ///
     /// # Errors
     ///
     /// Same as [`Machine::run`].
     pub fn run_unprofiled(&mut self) -> Result<Exit, SimError> {
-        self.run_loop::<false>()
+        self.run_with(&mut NullProfiler)
     }
 
-    fn run_loop<const PROFILE: bool>(&mut self) -> Result<Exit, SimError> {
+    /// Runs with a caller-supplied [`Profiler`], monomorphizing the
+    /// dispatch loop over its hooks — profiling cost is exactly what the
+    /// profiler asks for. The returned [`Exit`] carries
+    /// [`Profiler::take_profile`]'s result; on an error the profiler keeps
+    /// its partial data.
+    ///
+    /// ```
+    /// use binpart_mips::{Asm, Reg, BinaryBuilder};
+    /// use binpart_mips::sim::{BlockCountProfiler, Machine};
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut a = Asm::new();
+    /// a.li(Reg::V0, 7);
+    /// a.jr(Reg::Ra);
+    /// a.nop();
+    /// let binary = BinaryBuilder::new().text(a.finish()?).build();
+    /// let mut prof = BlockCountProfiler::new();
+    /// let exit = Machine::new(&binary)?.run_with(&mut prof)?;
+    /// assert_eq!(exit.profile.count_at(binpart_mips::DEFAULT_TEXT_BASE), 1);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::run`].
+    pub fn run_with<P: Profiler>(&mut self, prof: &mut P) -> Result<Exit, SimError> {
+        prof.begin(self.text_base, self.ops.len());
+        let reason = self.run_loop(prof)?;
+        let profile = prof.take_profile(self.text_base, self.ops.len());
+        Ok(self.exit_with(reason, profile))
+    }
+
+    fn exit_with(&self, reason: ExitReason, profile: Profile) -> Exit {
+        Exit {
+            reason,
+            regs: self.regs,
+            cycles: self.cycles,
+            instrs: self.instrs,
+            profile,
+        }
+    }
+
+    fn run_loop<P: Profiler>(&mut self, prof: &mut P) -> Result<ExitReason, SimError> {
         enum Stop {
             Halt,
             Brk(u32),
@@ -1155,9 +2210,9 @@ impl Machine {
         let mut instrs = self.instrs;
         let stop = {
             let ops = &self.ops[..];
+            let fops = &self.fops[..];
             let plans = &self.plans[..];
             let mem = &mut self.mem;
-            let profile = &mut self.profile;
             loop {
                 if pc == HALT_PC {
                     break Stop::Halt;
@@ -1185,7 +2240,8 @@ impl Machine {
                     let budget = max_steps - instrs;
                     let take = len.min(budget) as usize;
                     if take > 0 {
-                        match run_block::<PROFILE>(
+                        match run_block::<P>(
+                            &fops[idx..idx + take],
                             &ops[idx..idx + take],
                             pc,
                             idx,
@@ -1193,7 +2249,7 @@ impl Machine {
                             &mut hi,
                             &mut lo,
                             mem,
-                            profile,
+                            prof,
                         ) {
                             Ok(cyc_sum) => {
                                 instrs += take as u64;
@@ -1212,11 +2268,21 @@ impl Machine {
                     }
                     // Fused control + delay slot epilogue (precomputed
                     // flag; only the budget needs re-checking at run time).
+                    // The control op comes from the fused stream, so it may
+                    // be a compare-and-branch superinstruction covering
+                    // `width` text slots; the delay slot always dispatches
+                    // one unfused op.
                     let cidx = idx + take;
-                    // (budget >= len + 2 implies the whole run was taken.)
-                    let fusable = plan & PLAN_FUSED != 0 && budget >= len + 2;
+                    // (budget >= len + width + 1 implies the whole run was
+                    // taken; the flag guarantees cidx and the slot are in
+                    // bounds.)
+                    let fusable = plan & PLAN_FUSED != 0 && {
+                        let cw = u64::from(fops[cidx].width);
+                        budget >= len + 1 + cw
+                    };
                     if fusable {
-                        let cop = ops[cidx];
+                        let cop = fops[cidx];
+                        let cw = cop.width as usize;
                         let ctl_pc = pc;
                         // Resolve the transfer before the slot runs (the
                         // slot must see link writes, and the target must
@@ -1242,56 +2308,67 @@ impl Machine {
                             OpCode::Bgez => {
                                 ((reg_read(&regs, cop.b) as i32) >= 0).then_some(cop.imm)
                             }
+                            OpCode::FCmpBeqz => {
+                                let v = cmp_value(&regs, cop);
+                                reg_write(&mut regs, cop.a, v);
+                                (v == 0).then_some(cop.imm)
+                            }
+                            OpCode::FCmpBnez => {
+                                let v = cmp_value(&regs, cop);
+                                reg_write(&mut regs, cop.a, v);
+                                (v != 0).then_some(cop.imm)
+                            }
+                            OpCode::FAddiuCmpBeqz => {
+                                let v = addiu_cmp_value(&mut regs, cop);
+                                (v == 0).then_some(cop.imm)
+                            }
+                            OpCode::FAddiuCmpBnez => {
+                                let v = addiu_cmp_value(&mut regs, cop);
+                                (v != 0).then_some(cop.imm)
+                            }
                             OpCode::J => Some(cop.imm),
                             OpCode::Jal => {
                                 reg_write(&mut regs, 31, ctl_pc.wrapping_add(8));
-                                if PROFILE {
-                                    *profile.calls.entry(cop.imm).or_insert(0) += 1;
-                                }
+                                prof.on_call(cop.imm);
                                 Some(cop.imm)
                             }
                             OpCode::Jr => Some(reg_read(&regs, cop.b)),
                             OpCode::Jalr => {
                                 let t = reg_read(&regs, cop.b);
                                 reg_write(&mut regs, cop.a, ctl_pc.wrapping_add(8));
-                                if PROFILE {
-                                    *profile.calls.entry(t).or_insert(0) += 1;
-                                }
+                                prof.on_call(t);
                                 Some(t)
                             }
                             _ => unreachable!("fusable excludes non-control and break"),
                         };
-                        instrs += 1;
-                        cycles += u64::from(cop.cyc);
-                        if PROFILE {
-                            profile.counts[cidx] += 1;
-                            profile.total_instrs += 1;
-                            profile.total_cycles += u64::from(cop.cyc);
-                            if target.is_some() && cop.code != OpCode::J && cop.code != OpCode::Jal
-                                && cop.code != OpCode::Jr && cop.code != OpCode::Jalr
-                            {
-                                profile.taken[cidx] += 1;
-                            }
+                        let slot_idx = cidx + cw;
+                        let sop = ops[slot_idx];
+                        instrs += cw as u64 + 1;
+                        cycles += u64::from(cop.cyc) + u64::from(sop.cyc);
+                        // One contiguous retired range: control
+                        // constituents + delay slot (the slot is counted
+                        // even when it faults, matching the reference).
+                        prof.on_block(cidx, cw + 1, u64::from(cop.cyc) + u64::from(sop.cyc));
+                        if target.is_some()
+                            && !matches!(
+                                cop.code,
+                                OpCode::J | OpCode::Jal | OpCode::Jr | OpCode::Jalr
+                            )
+                        {
+                            // The branch is the control op's last slot.
+                            prof.on_taken(cidx + cw - 1);
                         }
-                        let after_slot = target.unwrap_or_else(|| ctl_pc.wrapping_add(8));
-                        let slot_pc = ctl_pc.wrapping_add(4);
-                        let sop = ops[cidx + 1];
-                        instrs += 1;
-                        cycles += u64::from(sop.cyc);
-                        if PROFILE {
-                            profile.counts[cidx + 1] += 1;
-                            profile.total_instrs += 1;
-                            profile.total_cycles += u64::from(sop.cyc);
-                        }
-                        match exec_op::<PROFILE>(
+                        let slot_pc = ctl_pc.wrapping_add(4 * cw as u32);
+                        let after_slot = target.unwrap_or_else(|| slot_pc.wrapping_add(4));
+                        match exec_op::<P>(
                             sop,
                             slot_pc,
-                            cidx + 1,
+                            slot_idx,
                             &mut regs,
                             &mut hi,
                             &mut lo,
                             mem,
-                            profile,
+                            prof,
                         ) {
                             Ok(Outcome::Next) => {}
                             Ok(_) => unreachable!("control op in fused delay slot"),
@@ -1315,12 +2392,8 @@ impl Machine {
                 let op = ops[idx];
                 instrs += 1;
                 cycles += u64::from(op.cyc);
-                if PROFILE {
-                    profile.counts[idx] += 1;
-                    profile.total_instrs += 1;
-                    profile.total_cycles += u64::from(op.cyc);
-                }
-                match exec_op::<PROFILE>(op, pc, idx, &mut regs, &mut hi, &mut lo, mem, profile) {
+                prof.on_block(idx, 1, u64::from(op.cyc));
+                match exec_op::<P>(op, pc, idx, &mut regs, &mut hi, &mut lo, mem, prof) {
                     Ok(Outcome::Next) => {
                         let t = next_pc.wrapping_add(4);
                         pc = next_pc;
@@ -1343,29 +2416,9 @@ impl Machine {
         self.cycles = cycles;
         self.instrs = instrs;
         match stop {
-            Stop::Halt => Ok(self.take_exit::<PROFILE>(ExitReason::Halt)),
-            Stop::Brk(code) => Ok(self.take_exit::<PROFILE>(ExitReason::Break(code))),
+            Stop::Halt => Ok(ExitReason::Halt),
+            Stop::Brk(code) => Ok(ExitReason::Break(code)),
             Stop::Err(e) => Err(e),
-        }
-    }
-
-    /// Builds the [`Exit`], moving the profile out instead of cloning it
-    /// (an unprofiled run hands out an empty profile). The machine is left
-    /// with a fresh zeroed profile of the right length, so `step()` and
-    /// further runs keep working after an exit.
-    fn take_exit<const PROFILE: bool>(&mut self, reason: ExitReason) -> Exit {
-        let profile = if PROFILE {
-            let fresh = Profile::new(self.text_base, self.ops.len());
-            std::mem::replace(&mut self.profile, fresh)
-        } else {
-            Profile::new(self.text_base, 0)
-        };
-        Exit {
-            reason,
-            regs: self.regs,
-            cycles: self.cycles,
-            instrs: self.instrs,
-            profile,
         }
     }
 
@@ -1386,10 +2439,8 @@ impl Machine {
         let op = self.ops[idx];
         self.instrs += 1;
         self.cycles += u64::from(op.cyc);
-        self.profile.counts[idx] += 1;
-        self.profile.total_instrs += 1;
-        self.profile.total_cycles += u64::from(op.cyc);
-        let outcome = exec_op::<true>(
+        self.profile.on_block(idx, 1, u64::from(op.cyc));
+        let outcome = exec_op::<Profile>(
             op,
             pc,
             idx,
@@ -1702,6 +2753,289 @@ mod tests {
         // A second full run from a fresh pc also works on the same machine.
         m2.set_reg(Reg::V0, 0);
         assert_eq!(m2.profile().count_at(crate::DEFAULT_TEXT_BASE), 0);
+    }
+
+    // ----------------------- Fusion unit tests ---------------------------
+
+    /// Runs `build` under every fusion level and asserts bit-identical
+    /// `Exit` state and `Profile` against the unfused engine; returns the
+    /// unfused exit for further assertions.
+    fn assert_fusion_exact(build: impl Fn(&mut Asm)) -> Exit {
+        let mut a = Asm::new();
+        build(&mut a);
+        let text = a.finish().expect("assembles");
+        let binary = BinaryBuilder::new().text(text).build();
+        let run = |fusion: FusionConfig| {
+            let config = SimConfig {
+                fusion,
+                ..SimConfig::default()
+            };
+            Machine::with_config(&binary, config)
+                .expect("loads")
+                .run()
+                .expect("runs")
+        };
+        let off = run(FusionConfig::Off);
+        for fusion in [FusionConfig::Default, FusionConfig::Aggressive] {
+            let fused = run(fusion);
+            assert_eq!(fused.reason, off.reason, "{fusion:?}: exit reason");
+            assert_eq!(fused.regs, off.regs, "{fusion:?}: registers");
+            assert_eq!(fused.cycles, off.cycles, "{fusion:?}: cycles");
+            assert_eq!(fused.instrs, off.instrs, "{fusion:?}: instrs");
+            assert_eq!(fused.profile, off.profile, "{fusion:?}: profile");
+        }
+        off
+    }
+
+    #[test]
+    fn fusion_addiu_addiu_chained_and_independent() {
+        let exit = assert_fusion_exact(|a| {
+            a.addiu(Reg::T0, Reg::Zero, 5);
+            a.addiu(Reg::T1, Reg::T0, 3); // chained: reads T0 just written
+            a.addiu(Reg::T2, Reg::A0, 7); // independent
+            a.addiu(Reg::T3, Reg::T3, 1); // self-chained
+            a.addu(Reg::V0, Reg::T1, Reg::T2);
+            a.jr(Reg::Ra);
+            a.nop();
+        });
+        assert_eq!(exit.reg(Reg::V0), 8 + 7);
+        assert_eq!(exit.reg(Reg::T3), 1);
+    }
+
+    #[test]
+    fn fusion_mult_mflo_and_mac_chain() {
+        let exit = assert_fusion_exact(|a| {
+            a.li(Reg::T0, -6);
+            a.li(Reg::T1, 7);
+            a.li(Reg::S0, 100);
+            a.mult(Reg::T0, Reg::T1);
+            a.mflo(Reg::T2);
+            a.addu(Reg::V0, Reg::S0, Reg::T2); // mult+mflo+addu MAC triple
+            a.multu(Reg::T1, Reg::T1);
+            a.mflo(Reg::V1); // multu+mflo pair
+            a.mfhi(Reg::A1); // hi must still be architecturally written
+            a.jr(Reg::Ra);
+            a.nop();
+        });
+        assert_eq!(exit.reg(Reg::V0) as i32, 58);
+        assert_eq!(exit.reg(Reg::V1), 49);
+        assert_eq!(exit.reg(Reg::A1), 0);
+    }
+
+    #[test]
+    fn fusion_li_idioms() {
+        let exit = assert_fusion_exact(|a| {
+            a.lui(Reg::T0, 0x1234);
+            a.ori(Reg::T0, Reg::T0, 0x5678); // li via lui+ori
+            a.lui(Reg::T1, 0x2000);
+            a.addiu(Reg::T1, Reg::T1, -4); // li via lui+addiu
+            a.addu(Reg::V0, Reg::T0, Reg::Zero);
+            a.addu(Reg::V1, Reg::T1, Reg::Zero);
+            a.jr(Reg::Ra);
+            a.nop();
+        });
+        assert_eq!(exit.reg(Reg::V0), 0x1234_5678);
+        assert_eq!(exit.reg(Reg::V1), 0x1fff_fffc);
+    }
+
+    #[test]
+    fn fusion_compare_and_branch_loops() {
+        // slt+bne back edge (and the addiu+slt+bne triple) drive a counted
+        // loop; taken counts and the compare destination must match the
+        // unfused engine exactly.
+        let exit = assert_fusion_exact(|a| {
+            let top = a.new_label();
+            a.li(Reg::T0, 0); // i
+            a.li(Reg::V0, 0); // sum
+            a.li(Reg::T2, 10); // n
+            a.bind(top);
+            a.addu(Reg::V0, Reg::V0, Reg::T0);
+            a.addiu(Reg::T0, Reg::T0, 1);
+            a.slt(Reg::T1, Reg::T0, Reg::T2);
+            a.bne(Reg::T1, Reg::Zero, top);
+            a.nop();
+            a.jr(Reg::Ra);
+            a.nop();
+        });
+        assert_eq!(exit.reg(Reg::V0), 45);
+        assert_eq!(exit.reg(Reg::T1), 0); // compare result still written
+    }
+
+    #[test]
+    fn fusion_sltu_beq_and_slti_variants() {
+        let exit = assert_fusion_exact(|a| {
+            let skip = a.new_label();
+            let end = a.new_label();
+            a.li(Reg::T0, 3);
+            a.sltiu(Reg::T1, Reg::T0, 10);
+            a.beq(Reg::T1, Reg::Zero, skip); // not taken (3 < 10)
+            a.nop();
+            a.li(Reg::V0, 77);
+            a.bind(skip);
+            a.sltu(Reg::T2, Reg::T0, Reg::Zero); // 3 < 0 unsigned: 0
+            a.bne(Reg::T2, Reg::Zero, end); // not taken
+            a.nop();
+            a.li(Reg::V1, 55);
+            a.bind(end);
+            a.jr(Reg::Ra);
+            a.nop();
+        });
+        assert_eq!(exit.reg(Reg::V0), 77);
+        assert_eq!(exit.reg(Reg::V1), 55);
+    }
+
+    #[test]
+    fn fusion_array_index_memory_idioms() {
+        let exit = assert_fusion_exact(|a| {
+            // a[i] load/store via sll+addu+lw / sll+addu+sw, plus the
+            // addiu+lw pointer-bump and the -O0 spill pairs.
+            a.li(Reg::S0, 0x2000); // base
+            a.li(Reg::T0, 3); // index
+            a.li(Reg::T1, 42);
+            a.sll(Reg::T2, Reg::T0, 2);
+            a.addu(Reg::T2, Reg::S0, Reg::T2);
+            a.sw(Reg::T1, 0, Reg::T2); // a[3] = 42 (sll+addu+sw)
+            a.sll(Reg::T3, Reg::T0, 2);
+            a.addu(Reg::T3, Reg::S0, Reg::T3);
+            a.lw(Reg::V0, 0, Reg::T3); // v0 = a[3] (sll+addu+lw)
+            a.addiu(Reg::T4, Reg::S0, 12);
+            a.lw(Reg::V1, 0, Reg::T4); // addiu+lw
+            a.sw(Reg::V1, 4, Reg::Sp); // lw;sw then sw;lw pairs
+            a.lw(Reg::A0, 4, Reg::Sp);
+            a.jr(Reg::Ra);
+            a.nop();
+        });
+        assert_eq!(exit.reg(Reg::V0), 42);
+        assert_eq!(exit.reg(Reg::V1), 42);
+        assert_eq!(exit.reg(Reg::A0), 42);
+    }
+
+    #[test]
+    fn fusion_disabled_across_branch_targets() {
+        // The second addiu is a branch target: the pair must not fuse, and
+        // entering at it must retire exactly one op with correct counts.
+        let exit = assert_fusion_exact(|a| {
+            let mid = a.new_label();
+            let done = a.new_label();
+            a.li(Reg::T0, 1);
+            a.beq(Reg::Zero, Reg::Zero, mid);
+            a.nop();
+            a.addiu(Reg::V0, Reg::Zero, 100); // skipped by the branch
+            a.bind(mid);
+            a.addiu(Reg::V0, Reg::V0, 5); // branch target mid-"pair"
+            a.beq(Reg::Zero, Reg::Zero, done);
+            a.nop();
+            a.bind(done);
+            a.jr(Reg::Ra);
+            a.nop();
+        });
+        // The first addiu never ran; only the target one did.
+        assert_eq!(exit.reg(Reg::V0), 5);
+        assert_eq!(exit.profile.counts[3], 0);
+        assert_eq!(exit.profile.counts[4], 1);
+    }
+
+    #[test]
+    fn fusion_first_constituent_in_delay_slot_executes_once() {
+        // The delay slot op would pair with its successor; when executed
+        // *as a slot* it must retire alone (the successor belongs to the
+        // branch target path only if control falls through).
+        let exit = assert_fusion_exact(|a| {
+            let target = a.new_label();
+            a.li(Reg::T0, 1);
+            a.beq(Reg::Zero, Reg::Zero, target);
+            a.addiu(Reg::V0, Reg::Zero, 7); // delay slot: first of a "pair"
+            a.addiu(Reg::V0, Reg::V0, 100); // skipped (taken branch)
+            a.bind(target);
+            a.addiu(Reg::V1, Reg::V0, 1);
+            a.jr(Reg::Ra);
+            a.nop();
+        });
+        assert_eq!(exit.reg(Reg::V0), 7);
+        assert_eq!(exit.reg(Reg::V1), 8);
+        assert_eq!(exit.profile.counts[2], 1); // slot ran once
+        assert_eq!(exit.profile.counts[3], 0); // successor skipped
+    }
+
+    #[test]
+    fn fusion_step_budget_splits_superinstruction() {
+        // A budget that expires between two constituents must retire only
+        // the first one, exactly like the unfused engine.
+        let mut a = Asm::new();
+        a.addiu(Reg::T0, Reg::Zero, 1);
+        a.addiu(Reg::T1, Reg::Zero, 2); // fused pair with the first
+        a.jr(Reg::Ra);
+        a.nop();
+        let binary = BinaryBuilder::new().text(a.finish().unwrap()).build();
+        for fusion in [FusionConfig::Off, FusionConfig::Default, FusionConfig::Aggressive] {
+            let config = SimConfig {
+                max_steps: 1,
+                fusion,
+                ..SimConfig::default()
+            };
+            let mut m = Machine::with_config(&binary, config).unwrap();
+            let err = m.run().unwrap_err();
+            assert!(matches!(err, SimError::MaxStepsExceeded { limit: 1 }), "{fusion:?}");
+            assert_eq!(m.reg(Reg::T0), 1, "{fusion:?}: first constituent retired");
+            assert_eq!(m.reg(Reg::T1), 0, "{fusion:?}: second must not run");
+        }
+    }
+
+    #[test]
+    fn fusion_partial_fault_inside_pair_counts_exactly() {
+        // sw;lw pair where the *store* (first constituent) faults: the
+        // load must not execute and the partial profile must match the
+        // unfused engine (fault pc at the sw).
+        let build = |a: &mut Asm| {
+            a.li(Reg::T0, 2); // unaligned word address
+            a.li(Reg::T1, 9);
+            a.sw(Reg::T1, 0, Reg::T0); // faults
+            a.lw(Reg::V0, 0, Reg::Sp); // must not run
+            a.jr(Reg::Ra);
+            a.nop();
+        };
+        let run = |fusion: FusionConfig| {
+            let mut a = Asm::new();
+            build(&mut a);
+            let binary = BinaryBuilder::new().text(a.finish().unwrap()).build();
+            let config = SimConfig {
+                fusion,
+                ..SimConfig::default()
+            };
+            let mut m = Machine::with_config(&binary, config).unwrap();
+            let err = m.run().unwrap_err();
+            (err, m.profile().clone(), m.pc())
+        };
+        let (err_off, prof_off, pc_off) = run(FusionConfig::Off);
+        let (err_agg, prof_agg, pc_agg) = run(FusionConfig::Aggressive);
+        assert_eq!(err_off, err_agg);
+        assert!(matches!(err_agg, SimError::Unaligned { addr: 2, .. }));
+        assert_eq!(prof_off, prof_agg, "partial profiles");
+        assert_eq!(pc_off, pc_agg, "fault pc");
+    }
+
+    #[test]
+    fn fusion_generic_alu_pairs() {
+        let exit = assert_fusion_exact(|a| {
+            a.li(Reg::T0, 0x00f0);
+            a.addu(Reg::T1, Reg::T0, Reg::T0);
+            a.addiu(Reg::T1, Reg::T1, 1); // addu+addiu
+            a.sll(Reg::T2, Reg::T1, 4);
+            a.addiu(Reg::T3, Reg::T2, -3); // sll+addiu
+            a.addiu(Reg::T4, Reg::T3, 2);
+            a.srl(Reg::T5, Reg::T4, 1); // addiu+srl
+            a.srl(Reg::T6, Reg::T5, 1);
+            a.addiu(Reg::T7, Reg::T6, 5); // srl+addiu
+            a.ori(Reg::S0, Reg::T7, 0x3);
+            a.addiu(Reg::V0, Reg::S0, 1); // ori+addiu
+            a.jr(Reg::Ra);
+            a.nop();
+        });
+        let t1 = 0x00f0u32 * 2 + 1;
+        let t3 = (t1 << 4).wrapping_sub(3);
+        let t5 = t3.wrapping_add(2) >> 1;
+        let t7 = (t5 >> 1).wrapping_add(5);
+        assert_eq!(exit.reg(Reg::V0), (t7 | 3).wrapping_add(1));
     }
 
     // ------------------------- Memory unit tests -------------------------

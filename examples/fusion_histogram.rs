@@ -1,0 +1,99 @@
+//! Dynamic adjacent-pair histogram over the benchmark suite: which
+//! instruction pairs dominate execution at each optimization level, i.e.
+//! where superinstruction fusion candidates live. This is the measurement
+//! behind the `FusionConfig` pattern table in `binpart_mips::sim`.
+//!
+//! Run with: `cargo run --release --example fusion_histogram [-O0|-O1|-O2|-O3]`
+
+use binpart::minicc::OptLevel;
+use binpart::mips::sim::Machine;
+use binpart::mips::Instr;
+use binpart::workloads::suite;
+use std::collections::HashMap;
+
+fn mnemonic(i: Instr) -> &'static str {
+    use Instr::*;
+    match i {
+        Add { .. } | Addu { .. } => "addu",
+        Sub { .. } | Subu { .. } => "subu",
+        And { .. } => "and",
+        Or { .. } => "or",
+        Xor { .. } => "xor",
+        Nor { .. } => "nor",
+        Slt { .. } => "slt",
+        Sltu { .. } => "sltu",
+        Sll { .. } => "sll",
+        Srl { .. } => "srl",
+        Sra { .. } => "sra",
+        Sllv { .. } => "sllv",
+        Srlv { .. } => "srlv",
+        Srav { .. } => "srav",
+        Mult { .. } => "mult",
+        Multu { .. } => "multu",
+        Div { .. } => "div",
+        Divu { .. } => "divu",
+        Mfhi { .. } => "mfhi",
+        Mflo { .. } => "mflo",
+        Mthi { .. } => "mthi",
+        Mtlo { .. } => "mtlo",
+        Addi { .. } | Addiu { .. } => "addiu",
+        Slti { .. } => "slti",
+        Sltiu { .. } => "sltiu",
+        Andi { .. } => "andi",
+        Ori { .. } => "ori",
+        Xori { .. } => "xori",
+        Lui { .. } => "lui",
+        Lb { .. } => "lb",
+        Lbu { .. } => "lbu",
+        Lh { .. } => "lh",
+        Lhu { .. } => "lhu",
+        Lw { .. } => "lw",
+        Sb { .. } => "sb",
+        Sh { .. } => "sh",
+        Sw { .. } => "sw",
+        Beq { .. } => "beq",
+        Bne { .. } => "bne",
+        Blez { .. } => "blez",
+        Bgtz { .. } => "bgtz",
+        Bltz { .. } => "bltz",
+        Bgez { .. } => "bgez",
+        J { .. } => "j",
+        Jal { .. } => "jal",
+        Jr { .. } => "jr",
+        Jalr { .. } => "jalr",
+        Break { .. } => "break",
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let level = match std::env::args().nth(1).as_deref() {
+        Some("-O0") => OptLevel::O0,
+        Some("-O2") => OptLevel::O2,
+        Some("-O3") => OptLevel::O3,
+        _ => OptLevel::O1,
+    };
+    let mut pairs: HashMap<(&str, &str), u64> = HashMap::new();
+    let mut total = 0u64;
+    for b in suite() {
+        let binary = b.compile(level)?;
+        let text = binary.decode_text()?;
+        let exit = Machine::new(&binary)?.run()?;
+        total += exit.profile.total_instrs;
+        for i in 0..text.len().saturating_sub(1) {
+            // Weight a static pair by the dynamic count of its first
+            // instruction: an upper bound on how often the pair retires
+            // back to back.
+            let n = exit.profile.counts[i];
+            if n > 0 {
+                *pairs.entry((mnemonic(text[i]), mnemonic(text[i + 1]))).or_insert(0) += n;
+            }
+        }
+    }
+    let mut rows: Vec<_> = pairs.into_iter().collect();
+    rows.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    println!("top adjacent pairs at {} ({} dynamic instrs):", level.flag(), total);
+    for ((a, b), n) in rows.into_iter().take(25) {
+        println!("{:>6.2}%  {a} ; {b}", 100.0 * n as f64 / total as f64);
+    }
+    Ok(())
+}

@@ -1,38 +1,91 @@
 //! Differential verification of the fast simulation engine against the
 //! retained seed engine (`binpart::mips::reference`): over the entire
-//! workload suite at every optimization level, both engines must produce
-//! bit-identical architectural results (`Exit`) and identical `Profile`
-//! counts. This is the license for every fast-path trick in
-//! `binpart::mips::sim` (micro-op lowering, block dispatch, fused
-//! control/delay-slot epilogues, the memory TLB).
+//! workload suite at every optimization level — and at every
+//! superinstruction fusion level — both engines must produce bit-identical
+//! architectural results (`Exit`) and identical `Profile` counts. This is
+//! the license for every fast-path trick in `binpart::mips::sim` (micro-op
+//! lowering, block dispatch, fused control/delay-slot epilogues,
+//! superinstruction fusion, the memory TLB) and for the pay-as-you-go
+//! `BlockCountProfiler`.
 
 use binpart::minicc::OptLevel;
 use binpart::mips::reference::ReferenceMachine;
-use binpart::mips::sim::{Machine, SimConfig, SimError};
+use binpart::mips::sim::{BlockCountProfiler, FusionConfig, Machine, SimConfig, SimError};
 use binpart::workloads::suite;
 
+const FUSION_LEVELS: [FusionConfig; 3] = [
+    FusionConfig::Off,
+    FusionConfig::Default,
+    FusionConfig::Aggressive,
+];
+
+fn config(fusion: FusionConfig) -> SimConfig {
+    SimConfig {
+        fusion,
+        ..SimConfig::default()
+    }
+}
+
 #[test]
-fn fast_engine_matches_reference_on_whole_suite() {
+fn fast_engine_matches_reference_on_whole_suite_at_every_fusion_level() {
     for b in suite() {
         for level in OptLevel::ALL {
             let binary = b.compile(level).unwrap();
-            let fast = Machine::new(&binary)
-                .unwrap()
-                .run()
-                .unwrap_or_else(|e| panic!("{} {level}: fast engine failed: {e}", b.name));
             let reference = ReferenceMachine::new(&binary)
                 .unwrap()
                 .run()
                 .unwrap_or_else(|e| panic!("{} {level}: reference failed: {e}", b.name));
+            for fusion in FUSION_LEVELS {
+                let tag = format!("{} {level} fusion={fusion:?}", b.name);
+                let fast = Machine::with_config(&binary, config(fusion))
+                    .unwrap()
+                    .run()
+                    .unwrap_or_else(|e| panic!("{tag}: fast engine failed: {e}"));
+                assert_eq!(fast.reason, reference.reason, "{tag}: exit reason");
+                assert_eq!(fast.regs, reference.regs, "{tag}: register file");
+                assert_eq!(fast.cycles, reference.cycles, "{tag}: cycles");
+                assert_eq!(fast.instrs, reference.instrs, "{tag}: instrs");
+                // Full profile equality: per-instruction counts, branch
+                // taken counts, call counts, loads/stores, totals.
+                assert_eq!(fast.profile, reference.profile, "{tag}: profile");
+            }
+        }
+    }
+}
 
-            let tag = format!("{} {level}", b.name);
-            assert_eq!(fast.reason, reference.reason, "{tag}: exit reason");
-            assert_eq!(fast.regs, reference.regs, "{tag}: register file");
-            assert_eq!(fast.cycles, reference.cycles, "{tag}: cycles");
-            assert_eq!(fast.instrs, reference.instrs, "{tag}: instrs");
-            // Full profile equality: per-instruction counts, branch taken
-            // counts, call counts, loads/stores, totals.
-            assert_eq!(fast.profile, reference.profile, "{tag}: profile");
+#[test]
+fn block_count_profiler_is_observationally_exact_on_whole_suite() {
+    // The cheap profiler must reconstruct *exact* per-instruction counts
+    // (and totals) from block boundary deltas alone, at every fusion
+    // level — it only forgoes taken/call/load/store attribution.
+    for b in suite() {
+        for level in OptLevel::ALL {
+            let binary = b.compile(level).unwrap();
+            let reference = ReferenceMachine::new(&binary).unwrap().run().unwrap();
+            for fusion in [FusionConfig::Off, FusionConfig::Aggressive] {
+                let tag = format!("{} {level} fusion={fusion:?}", b.name);
+                let mut prof = BlockCountProfiler::new();
+                let fast = Machine::with_config(&binary, config(fusion))
+                    .unwrap()
+                    .run_with(&mut prof)
+                    .unwrap_or_else(|e| panic!("{tag}: blockcount run failed: {e}"));
+                assert_eq!(fast.reason, reference.reason, "{tag}: exit reason");
+                assert_eq!(fast.regs, reference.regs, "{tag}: register file");
+                assert_eq!(fast.cycles, reference.cycles, "{tag}: cycles");
+                assert_eq!(fast.instrs, reference.instrs, "{tag}: instrs");
+                assert_eq!(
+                    fast.profile.counts, reference.profile.counts,
+                    "{tag}: per-instruction counts"
+                );
+                assert_eq!(
+                    fast.profile.total_instrs, reference.profile.total_instrs,
+                    "{tag}: total instrs"
+                );
+                assert_eq!(
+                    fast.profile.total_cycles, reference.profile.total_cycles,
+                    "{tag}: total cycles"
+                );
+            }
         }
     }
 }
@@ -53,22 +106,32 @@ fn unprofiled_run_matches_reference_architectural_state() {
 #[test]
 fn engines_agree_on_step_limit_boundary() {
     // MaxSteps must fire at exactly the same instruction in both engines,
-    // including mid-block and around fused control/delay-slot pairs.
+    // including mid-block, around fused control/delay-slot pairs, and in
+    // the middle of a superinstruction (which must fall back to per-op
+    // retirement at the budget boundary).
     let b = suite().into_iter().find(|b| b.name == "crc").unwrap();
     let binary = b.compile(OptLevel::O1).unwrap();
-    for max_steps in [1, 2, 3, 7, 100, 101, 102, 103, 1000, 12345] {
-        let config = SimConfig {
-            max_steps,
-            ..SimConfig::default()
-        };
-        let fast = Machine::with_config(&binary, config).unwrap().run();
-        let reference = ReferenceMachine::with_config(&binary, config).unwrap().run();
-        match (&fast, &reference) {
-            (Err(SimError::MaxStepsExceeded { limit: a }), Err(SimError::MaxStepsExceeded { limit: b })) => {
-                assert_eq!(a, b, "at {max_steps}")
+    for fusion in FUSION_LEVELS {
+        for max_steps in [1, 2, 3, 7, 100, 101, 102, 103, 1000, 12345] {
+            let config = SimConfig {
+                max_steps,
+                fusion,
+                ..SimConfig::default()
+            };
+            let fast = Machine::with_config(&binary, config).unwrap().run();
+            let reference = ReferenceMachine::with_config(&binary, config).unwrap().run();
+            match (&fast, &reference) {
+                (
+                    Err(SimError::MaxStepsExceeded { limit: a }),
+                    Err(SimError::MaxStepsExceeded { limit: b }),
+                ) => {
+                    assert_eq!(a, b, "at {max_steps} fusion={fusion:?}")
+                }
+                (Ok(x), Ok(y)) => assert_eq!(x.regs, y.regs, "at {max_steps} fusion={fusion:?}"),
+                _ => panic!(
+                    "divergent outcome at {max_steps} fusion={fusion:?}: {fast:?} vs {reference:?}"
+                ),
             }
-            (Ok(x), Ok(y)) => assert_eq!(x.regs, y.regs, "at {max_steps}"),
-            _ => panic!("divergent outcome at {max_steps}: {fast:?} vs {reference:?}"),
         }
     }
 }
@@ -86,8 +149,44 @@ fn engines_agree_on_alignment_faults() {
     a.jr(Reg::Ra);
     a.nop();
     let binary = BinaryBuilder::new().text(a.finish().unwrap()).build();
-    let fast = Machine::new(&binary).unwrap().run().unwrap_err();
     let reference = ReferenceMachine::new(&binary).unwrap().run().unwrap_err();
-    assert_eq!(fast, reference);
-    assert!(matches!(fast, SimError::Unaligned { addr: 6, .. }));
+    for fusion in FUSION_LEVELS {
+        let fast = Machine::with_config(&binary, config(fusion))
+            .unwrap()
+            .run()
+            .unwrap_err();
+        assert_eq!(fast, reference, "fusion={fusion:?}");
+        assert!(matches!(fast, SimError::Unaligned { addr: 6, .. }));
+    }
+}
+
+#[test]
+fn fused_memory_idioms_fault_with_exact_pc() {
+    use binpart::mips::{Asm, BinaryBuilder, Reg};
+    // sll/addu/lw triple whose load lands on an unaligned address: the
+    // fault pc must point at the *lw* (last constituent), not the fused
+    // op's first slot, in every engine.
+    let mut a = Asm::new();
+    a.li(Reg::T1, 1); // index 1
+    a.li(Reg::T2, 2); // "base" 2 → addr = (1 << 2) + 2 = 6, unaligned
+    a.sll(Reg::T3, Reg::T1, 2);
+    a.addu(Reg::T3, Reg::T2, Reg::T3);
+    a.lw(Reg::V0, 0, Reg::T3);
+    a.jr(Reg::Ra);
+    a.nop();
+    let binary = BinaryBuilder::new().text(a.finish().unwrap()).build();
+    let reference = ReferenceMachine::new(&binary).unwrap().run().unwrap_err();
+    for fusion in FUSION_LEVELS {
+        let mut machine = Machine::with_config(&binary, config(fusion)).unwrap();
+        let fast = machine.run().unwrap_err();
+        assert_eq!(fast, reference, "fusion={fusion:?}");
+        assert!(matches!(fast, SimError::Unaligned { addr: 6, .. }));
+        // Partial profiles agree too (the faulting op is counted).
+        let r2 = {
+            let mut m = ReferenceMachine::new(&binary).unwrap();
+            let _ = m.run();
+            m.profile().clone()
+        };
+        assert_eq!(machine.profile(), &r2, "fusion={fusion:?}: partial profile");
+    }
 }
