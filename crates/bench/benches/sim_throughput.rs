@@ -202,6 +202,9 @@ fn smoke() {
             "sim_instrs_per_sec_unfused",
             "sim_instrs_per_sec_seed",
             "blockcount_profile_overhead_pct",
+            "decompile_funcs_per_sec",
+            "sweep_points_per_sec",
+            "sweep_speedup_vs_naive",
             "full_suite_wall_clock_s",
         ] {
             assert!(json.contains(key), "BENCH_sim.json missing {key}:\n{json}");

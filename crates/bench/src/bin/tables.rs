@@ -61,6 +61,15 @@ struct SimReport {
     /// Same for the full profiler (counts + taken + calls + loads/stores).
     full_overhead_pct: f64,
     total_instrs: u64,
+    /// Decompile-stage throughput over the matrix (functions/second,
+    /// jump-table recovery on so every binary completes).
+    decompile_funcs_per_sec: f64,
+    /// Staged design-space sweep throughput (points/second, single-core,
+    /// 5 clocks × 5 budgets × 4 levels on autcor00).
+    sweep_points_per_sec: f64,
+    /// Wall-clock ratio of the naive per-point `Flow::run` loop to the
+    /// staged sweep over the same grid (single-core).
+    sweep_speedup_vs_naive: f64,
     suite_wall_s: Option<f64>,
 }
 
@@ -129,6 +138,21 @@ fn sim_report(suite_wall_s: Option<f64>) -> SimReport {
             })
             .sum()
     });
+    // Decompile-stage throughput over the same matrix (recovery on, so
+    // the two jump-table benchmarks complete too).
+    let dopts = binpart_core::DecompileOptions {
+        recover_jump_tables: true,
+        ..Default::default()
+    };
+    let (decompile_s, funcs) = best(&|| {
+        bins.iter()
+            .map(|bin| match binpart_core::decompile(bin, dopts) {
+                Ok(p) => p.stats.functions as u64,
+                Err(_) => 0,
+            })
+            .sum()
+    });
+    let (sweep_points_per_sec, sweep_speedup_vs_naive) = sweep_report();
     let ips = |s: f64| total as f64 / s;
     SimReport {
         fast_ips: ips(fast_s),
@@ -138,8 +162,44 @@ fn sim_report(suite_wall_s: Option<f64>) -> SimReport {
         blockcount_overhead_pct: 100.0 * (blockcount_s - fast_s) / fast_s,
         full_overhead_pct: 100.0 * (full_s - fast_s) / fast_s,
         total_instrs: total,
+        decompile_funcs_per_sec: funcs as f64 / decompile_s,
+        sweep_points_per_sec,
+        sweep_speedup_vs_naive,
         suite_wall_s,
     }
+}
+
+/// Measures the staged design-space sweep (5 clocks × 5 budgets × 4 opt
+/// levels on autcor00, fresh caches per pass) against the naive per-point
+/// `Flow::run` loop over the identical grid. Pinned to one thread so the
+/// staging win — not the host's core count — is what the snapshot tracks.
+fn sweep_report() -> (f64, f64) {
+    use binpart_explore::Sweep;
+    let b = binpart_workloads::suite()
+        .into_iter()
+        .find(|b| b.name == "autcor00")
+        .expect("suite has autcor00");
+    let mut base = binpart_core::flow::FlowOptions::default();
+    base.decompile.recover_jump_tables = true;
+    let sweep = Sweep::with_base(base)
+        .clocks([40e6, 100e6, 200e6, 300e6, 400e6])
+        .area_budgets([5_000, 15_000, 40_000, 100_000, 250_000])
+        .opt_levels(OptLevel::ALL);
+    let points = sweep.len() as u64;
+    let prev_threads = std::env::var("BINPART_THREADS").ok();
+    std::env::set_var("BINPART_THREADS", "1");
+    let compile =
+        |level: OptLevel| b.compile(level).map_err(|e| e.to_string());
+    let (staged_s, staged_n) = binpart_bench::best_of(3, &|| sweep.run(compile).points.len() as u64);
+    let (naive_s, naive_n) =
+        binpart_bench::best_of(3, &|| sweep.run_naive(compile).points.len() as u64);
+    match prev_threads {
+        Some(v) => std::env::set_var("BINPART_THREADS", v),
+        None => std::env::remove_var("BINPART_THREADS"),
+    }
+    assert_eq!(staged_n, points);
+    assert_eq!(naive_n, points);
+    (points as f64 / staged_s, naive_s / staged_s)
 }
 
 fn write_bench_json(r: &SimReport) {
@@ -155,7 +215,7 @@ fn write_bench_json(r: &SimReport) {
         })
         .map_or("null".to_string(), |s: f64| format!("{s:.6}"));
     let json = format!(
-        "{{\n  \"sim_instrs_per_sec_fast\": {:.0},\n  \"sim_instrs_per_sec_unfused\": {:.0},\n  \"sim_instrs_per_sec_fused\": {:.0},\n  \"sim_instrs_per_sec_seed\": {:.0},\n  \"sim_speedup\": {:.2},\n  \"fusion_speedup\": {:.3},\n  \"blockcount_profile_overhead_pct\": {:.1},\n  \"full_profile_overhead_pct\": {:.1},\n  \"matrix_total_instrs\": {},\n  \"full_suite_wall_clock_s\": {}\n}}\n",
+        "{{\n  \"sim_instrs_per_sec_fast\": {:.0},\n  \"sim_instrs_per_sec_unfused\": {:.0},\n  \"sim_instrs_per_sec_fused\": {:.0},\n  \"sim_instrs_per_sec_seed\": {:.0},\n  \"sim_speedup\": {:.2},\n  \"fusion_speedup\": {:.3},\n  \"blockcount_profile_overhead_pct\": {:.1},\n  \"full_profile_overhead_pct\": {:.1},\n  \"matrix_total_instrs\": {},\n  \"decompile_funcs_per_sec\": {:.0},\n  \"sweep_points_per_sec\": {:.0},\n  \"sweep_speedup_vs_naive\": {:.2},\n  \"full_suite_wall_clock_s\": {}\n}}\n",
         r.fast_ips,
         r.unfused_ips,
         r.fused_ips,
@@ -165,18 +225,24 @@ fn write_bench_json(r: &SimReport) {
         r.blockcount_overhead_pct,
         r.full_overhead_pct,
         r.total_instrs,
+        r.decompile_funcs_per_sec,
+        r.sweep_points_per_sec,
+        r.sweep_speedup_vs_naive,
         suite_wall,
     );
     match std::fs::write(path, &json) {
         Ok(()) => println!(
-            "wrote {path}: fast {:.0} M instrs/s (unfused {:.0}, fused {:.0}), seed {:.0} M instrs/s ({:.1}x); blockcount profiling {:+.1}%, full {:+.1}%",
+            "wrote {path}: fast {:.0} M instrs/s (unfused {:.0}, fused {:.0}), seed {:.0} M instrs/s ({:.1}x); blockcount profiling {:+.1}%, full {:+.1}%; decompile {:.0} funcs/s; sweep {:.0} pts/s ({:.1}x vs naive)",
             r.fast_ips / 1e6,
             r.unfused_ips / 1e6,
             r.fused_ips / 1e6,
             r.seed_ips / 1e6,
             r.fast_ips / r.seed_ips,
             r.blockcount_overhead_pct,
-            r.full_overhead_pct
+            r.full_overhead_pct,
+            r.decompile_funcs_per_sec,
+            r.sweep_points_per_sec,
+            r.sweep_speedup_vs_naive,
         ),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }

@@ -32,6 +32,11 @@ pub struct Dominators {
     frontier: Vec<Vec<BlockId>>,
     children: Vec<Vec<BlockId>>,
     rpo_index: Vec<usize>,
+    /// Euler-tour interval of each block in the dominator tree:
+    /// `a` dominates `b` iff `tin[a] <= tin[b] < tout[a]`, making
+    /// [`Dominators::dominates`] O(1) instead of an idom-chain walk.
+    tin: Vec<u32>,
+    tout: Vec<u32>,
 }
 
 impl Dominators {
@@ -117,12 +122,32 @@ impl Dominators {
             }
         }
 
+        // Euler tour of the dominator tree for O(1) ancestor queries.
+        let mut tin = vec![0u32; n];
+        let mut tout = vec![0u32; n];
+        let mut clock = 0u32;
+        let mut stack: Vec<(BlockId, bool)> = vec![(f.entry, false)];
+        while let Some((b, exiting)) = stack.pop() {
+            if exiting {
+                tout[b.index()] = clock;
+                continue;
+            }
+            tin[b.index()] = clock;
+            clock += 1;
+            stack.push((b, true));
+            for &c in &children[b.index()] {
+                stack.push((c, false));
+            }
+        }
+
         Dominators {
             idom,
             rpo,
             frontier,
             children,
             rpo_index,
+            tin,
+            tout,
         }
     }
 
@@ -136,18 +161,17 @@ impl Dominators {
         }
     }
 
-    /// Returns `true` if `a` dominates `b` (reflexive).
+    /// Returns `true` if `a` dominates `b` (reflexive). O(1) via the
+    /// Euler-tour numbering of the dominator tree.
     pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
-        let mut cur = b;
-        loop {
-            if cur == a {
-                return true;
-            }
-            match self.idom(cur) {
-                Some(d) => cur = d,
-                None => return false,
-            }
+        if a == b {
+            return true;
         }
+        if !self.is_reachable(a) || !self.is_reachable(b) {
+            return false;
+        }
+        self.tin[a.index()] <= self.tin[b.index()]
+            && self.tin[b.index()] < self.tout[a.index()]
     }
 
     /// Dominance frontier of `b`.
@@ -244,6 +268,37 @@ mod tests {
         assert!(dom.frontier(b3).contains(&b2));
         // b2's frontier contains b1 (back edge merge).
         assert!(dom.frontier(b2).contains(&b1));
+    }
+
+    #[test]
+    fn euler_tour_dominates_matches_idom_chain_walk() {
+        // The O(1) interval test must agree with the definitional chain
+        // walk on every pair, including unreachable blocks.
+        let (mut f, _) = chk_graph();
+        let dead = f.add_block();
+        f.block_mut(dead).term = Terminator::Return { value: None };
+        let dom = Dominators::compute(&f);
+        let chain_walk = |a: BlockId, b: BlockId| -> bool {
+            let mut cur = b;
+            loop {
+                if cur == a {
+                    return true;
+                }
+                match dom.idom(cur) {
+                    Some(d) => cur = d,
+                    None => return false,
+                }
+            }
+        };
+        for a in f.block_ids() {
+            for b in f.block_ids() {
+                assert_eq!(
+                    dom.dominates(a, b),
+                    chain_walk(a, b),
+                    "disagree on {a:?} dom {b:?}"
+                );
+            }
+        }
     }
 
     #[test]

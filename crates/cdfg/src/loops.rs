@@ -31,9 +31,10 @@ pub struct Loop {
 }
 
 impl Loop {
-    /// Returns `true` if `b` belongs to the loop.
+    /// Returns `true` if `b` belongs to the loop. `blocks` is kept sorted
+    /// by [`LoopForest::compute`], so this is a binary search.
     pub fn contains(&self, b: BlockId) -> bool {
-        self.blocks.contains(&b)
+        self.blocks.binary_search(&b).is_ok()
     }
 }
 
@@ -69,9 +70,15 @@ impl LoopForest {
     }
 
     /// Like [`LoopForest::compute`] with a precomputed dominator tree.
+    ///
+    /// Loop bodies and exit sets are built over dense bitsets indexed by
+    /// block number (the block arena is flat), so membership tests during
+    /// the reverse-reachability walk are O(1) instead of list scans.
     pub fn compute_with(f: &Function, dom: &Dominators) -> LoopForest {
         let preds = cfg::predecessors(f);
+        let nblocks = f.blocks.len();
         let mut headers: Vec<BlockId> = Vec::new();
+        let mut is_header = vec![false; nblocks];
         let mut back_edges: Vec<(BlockId, BlockId)> = Vec::new(); // (latch, header)
         for b in f.block_ids() {
             if !dom.is_reachable(b) {
@@ -80,16 +87,23 @@ impl LoopForest {
             for s in f.block(b).term.successors() {
                 if dom.dominates(s, b) {
                     back_edges.push((b, s));
-                    if !headers.contains(&s) {
+                    if !is_header[s.index()] {
+                        is_header[s.index()] = true;
                         headers.push(s);
                     }
                 }
             }
         }
         // Build loop bodies: union of reverse-reachable blocks from each
-        // latch without passing the header.
+        // latch without passing the header. Membership bitsets are
+        // epoch-stamped with the loop index so one allocation serves all
+        // loops; they are retained for the nesting pass below.
         let mut loops: Vec<Loop> = Vec::new();
-        for &h in &headers {
+        let mut in_body: Vec<Vec<bool>> = Vec::with_capacity(headers.len());
+        let mut exit_seen = vec![0u32; nblocks];
+        for (li, &h) in headers.iter().enumerate() {
+            let mut member = vec![false; nblocks];
+            member[h.index()] = true;
             let mut body = vec![h];
             let mut latches = Vec::new();
             let mut stack: Vec<BlockId> = Vec::new();
@@ -98,23 +112,27 @@ impl LoopForest {
                     continue;
                 }
                 latches.push(latch);
-                if !body.contains(&latch) {
+                if !member[latch.index()] {
+                    member[latch.index()] = true;
                     body.push(latch);
                     stack.push(latch);
                 }
             }
             while let Some(b) = stack.pop() {
                 for &p in &preds[b.index()] {
-                    if dom.is_reachable(p) && !body.contains(&p) {
+                    if dom.is_reachable(p) && !member[p.index()] {
+                        member[p.index()] = true;
                         body.push(p);
                         stack.push(p);
                     }
                 }
             }
             let mut exits = Vec::new();
+            let epoch = li as u32 + 1;
             for &b in &body {
                 for s in f.block(b).term.successors() {
-                    if !body.contains(&s) && !exits.contains(&s) {
+                    if !member[s.index()] && exit_seen[s.index()] != epoch {
+                        exit_seen[s.index()] = epoch;
                         exits.push(s);
                     }
                 }
@@ -131,6 +149,7 @@ impl LoopForest {
                 induction: None,
                 trip_count: None,
             });
+            in_body.push(member);
         }
         // Nesting: loop A is the parent of B if A != B and A contains B's
         // header; the parent is the smallest such container.
@@ -149,7 +168,7 @@ impl LoopForest {
                 if loops[j].blocks.len() <= loops[i].blocks.len() {
                     continue;
                 }
-                if loops[j].contains(header) {
+                if in_body[j][header.index()] {
                     best = match best {
                         None => Some(j),
                         Some(b) if loops[j].blocks.len() < loops[b].blocks.len() => Some(j),
@@ -214,25 +233,28 @@ impl LoopForest {
         if !f.is_ssa {
             return;
         }
-        // def site per vreg
-        let mut def_block: Vec<Option<BlockId>> = vec![None; f.vreg_count() as usize];
-        let mut def_op: Vec<Option<Op>> = vec![None; f.vreg_count() as usize];
+        // Def sites per vreg as (block, op index) — ops are looked up by
+        // reference instead of cloning every op in the function.
+        let mut def_site: Vec<Option<(BlockId, u32)>> = vec![None; f.vreg_count() as usize];
         for b in f.block_ids() {
-            for inst in &f.block(b).ops {
+            for (k, inst) in f.block(b).ops.iter().enumerate() {
                 if let Some(d) = inst.op.dst() {
-                    def_block[d.index()] = Some(b);
-                    def_op[d.index()] = Some(inst.op.clone());
+                    def_site[d.index()] = Some((b, k as u32));
                 }
             }
         }
+        let def_op = |r: VReg| -> Option<&Op> {
+            let (b, k) = def_site.get(r.index()).copied().flatten()?;
+            Some(&f.block(b).ops[k as usize].op)
+        };
         // Follows Copy/Const chains so "init" and bounds recover literal
         // values even when the lifter materialized them into registers.
         let resolve = |mut o: Operand| -> Operand {
             for _ in 0..8 {
                 let Operand::Reg(r) = o else { break };
-                match def_op.get(r.index()).and_then(|d| d.clone()) {
-                    Some(Op::Const { value, .. }) => return Operand::Const(value),
-                    Some(Op::Copy { src, .. }) => o = src,
+                match def_op(r) {
+                    Some(Op::Const { value, .. }) => return Operand::Const(*value),
+                    Some(Op::Copy { src, .. }) => o = *src,
                     _ => break,
                 }
             }
@@ -252,7 +274,7 @@ impl LoopForest {
                 let mut init = None;
                 let mut next = None;
                 for (p, a) in args {
-                    if l.blocks.contains(p) {
+                    if l.contains(*p) {
                         next = a.as_reg();
                     } else {
                         init = Some(resolve(*a));
@@ -261,8 +283,7 @@ impl LoopForest {
                 let (Some(init), Some(next_reg)) = (init, next) else {
                     continue;
                 };
-                let Some(Op::Bin { op: BinOp::Add, lhs, rhs, .. }) =
-                    def_op[next_reg.index()].clone()
+                let Some(&Op::Bin { op: BinOp::Add, lhs, rhs, .. }) = def_op(next_reg)
                 else {
                     continue;
                 };
@@ -292,12 +313,12 @@ impl LoopForest {
                 let Terminator::Branch { cond, t, f: fl } = &f.block(b).term else {
                     continue;
                 };
-                let exits_loop = !l.blocks.contains(t) || !l.blocks.contains(fl);
+                let exits_loop = !l.contains(*t) || !l.contains(*fl);
                 if !exits_loop {
                     continue;
                 }
                 let Some(cr) = cond.as_reg() else { continue };
-                let Some(Op::Bin { op, lhs, rhs, .. }) = def_op[cr.index()].clone() else {
+                let Some(&Op::Bin { op, lhs, rhs, .. }) = def_op(cr) else {
                     continue;
                 };
                 // normalize: IV-ish on the left, constant bound on the right
@@ -336,7 +357,7 @@ impl LoopForest {
                 // phi: init + k*step ; next: init + (k+1)*step
                 let base = if uses_next { init_c + iv.step } else { init_c };
                 // continue-while-true if the true edge stays in the loop
-                let cont_on_true = l.blocks.contains(t);
+                let cont_on_true = l.contains(*t);
                 let count = trip_count_from(op, cont_on_true, base, iv.step, bound);
                 if let Some(c) = count {
                     l.trip_count = Some(c);

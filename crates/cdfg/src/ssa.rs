@@ -34,14 +34,281 @@ impl SsaInfo {
 /// Returns which original registers were live into the function (reads of
 /// registers with no dominating definition); the decompiler uses those to
 /// recover the calling convention.
+///
+/// Every working structure is a dense array indexed by register or block
+/// number — the original-name space is fixed at entry, so definition
+/// sites, rename stacks, and live-in slots all live in flat `Vec`s rather
+/// than hash maps. [`reference_construct`] keeps the original map-based
+/// implementation as a differential oracle; both produce bit-identical
+/// functions (same phi placement, same fresh-name order).
 pub fn construct(f: &mut Function) -> SsaInfo {
     cfg::remove_unreachable(f);
     let dom = Dominators::compute(f);
     let preds = cfg::predecessors(f);
     let nblocks = f.blocks.len();
+    // Original (pre-SSA) name space: every register mentioned before
+    // renaming is below this bound.
+    let n0 = f.vreg_count() as usize;
 
     // Collect definition sites per original variable, and the "globals"
     // (names that are upward-exposed in some block => live across an edge).
+    // `globals` keeps first-appearance order (it determines phi insertion
+    // order); membership tests use bitsets.
+    // CSR layout for definition sites: one flat array plus per-variable
+    // offsets, instead of a heap-allocated list per variable.
+    let mut def_count: Vec<u32> = vec![0; n0 + 1];
+    let mut globals: Vec<VReg> = Vec::new();
+    let mut is_global = crate::dataflow::RegSet::new(n0);
+    // Epoch-stamped "defined in current block" marker: avoids clearing a
+    // bitset per block.
+    let mut defined_epoch: Vec<u32> = vec![0; n0];
+    for b in f.block_ids() {
+        let epoch = b.index() as u32 + 1;
+        let mut note_use = |o: &Operand, defined_epoch: &[u32]| {
+            if let Operand::Reg(r) = o {
+                if defined_epoch[r.index()] != epoch && is_global.insert(*r) {
+                    globals.push(*r);
+                }
+            }
+        };
+        for inst in &f.block(b).ops {
+            inst.op.for_each_use(|o| note_use(o, &defined_epoch));
+            if let Some(d) = inst.op.dst() {
+                defined_epoch[d.index()] = epoch;
+                def_count[d.index() + 1] += 1;
+            }
+        }
+        f.block(b)
+            .term
+            .for_each_use(|o| note_use(o, &defined_epoch));
+    }
+    for i in 1..=n0 {
+        def_count[i] += def_count[i - 1];
+    }
+    let def_off = def_count; // prefix sums: defs of var v sit in off[v]..off[v+1]
+    let mut def_flat: Vec<BlockId> = vec![BlockId(0); *def_off.last().unwrap() as usize];
+    let mut cursor: Vec<u32> = def_off[..n0].to_vec();
+    for b in f.block_ids() {
+        for inst in &f.block(b).ops {
+            if let Some(d) = inst.op.dst() {
+                def_flat[cursor[d.index()] as usize] = b;
+                cursor[d.index()] += 1;
+            }
+        }
+    }
+
+    // Phi insertion at iterated dominance frontiers (only for globals).
+    let mut placed = vec![0u32; nblocks];
+    let mut ever_on_work = vec![0u32; nblocks];
+    let mut work: Vec<BlockId> = Vec::new();
+    for (vi, &var) in globals.iter().enumerate() {
+        let defs =
+            &def_flat[def_off[var.index()] as usize..def_off[var.index() + 1] as usize];
+        if defs.is_empty() {
+            continue;
+        }
+        let epoch = vi as u32 + 1;
+        work.clear();
+        work.extend_from_slice(defs);
+        for &b in &work {
+            ever_on_work[b.index()] = epoch;
+        }
+        while let Some(b) = work.pop() {
+            for &df in dom.frontier(b) {
+                if placed[df.index()] == epoch {
+                    continue;
+                }
+                placed[df.index()] = epoch;
+                let args = preds[df.index()]
+                    .iter()
+                    .map(|&p| (p, Operand::Reg(var)))
+                    .collect();
+                let block = f.block_mut(df);
+                block.ops.insert(0, Inst::new(Op::Phi { dst: var, args }));
+                if ever_on_work[df.index()] != epoch {
+                    ever_on_work[df.index()] = epoch;
+                    work.push(df);
+                }
+            }
+        }
+    }
+
+    // Renaming. All pre-rename names are < n0, so the current-name table
+    // and live-in slots are flat arrays over the original name space. The
+    // per-variable rename *stack* of the textbook algorithm is replaced by
+    // a current-name array plus an undo log per dom-tree frame: entering a
+    // block records (var, previous name) for each definition, exiting
+    // restores them — the same top-of-stack the recursive walk sees,
+    // without a heap-allocated stack per variable.
+    const NO_NAME: VReg = VReg(u32::MAX);
+    let mut current: Vec<VReg> = vec![NO_NAME; n0];
+    let mut live_in_names: Vec<Option<VReg>> = vec![None; n0];
+    let mut info = SsaInfo::default();
+    let mut current_name = |r: VReg,
+                            current: &[VReg],
+                            live_in_names: &mut [Option<VReg>]|
+     -> VReg {
+        let cur = current[r.index()];
+        if cur != NO_NAME {
+            return cur;
+        }
+        *live_in_names[r.index()].get_or_insert_with(|| {
+            let name = VReg(LIVE_IN_BASE + info.live_ins.len() as u32);
+            info.live_ins.push((r, name));
+            name
+        })
+    };
+
+    // Iterative dom-tree walk to avoid recursion depth limits.
+    enum Frame {
+        Enter(BlockId),
+        Exit(Vec<(VReg, VReg)>),
+    }
+    let mut stack = vec![Frame::Enter(f.entry)];
+    while let Some(frame) = stack.pop() {
+        match frame {
+            Frame::Enter(b) => {
+                // Undo log: (var, name to restore on frame exit).
+                let mut pushed: Vec<(VReg, VReg)> = Vec::new();
+                // Rename within the block.
+                let mut new_ops: Vec<Inst> = Vec::new();
+                let ops = std::mem::take(&mut f.block_mut(b).ops);
+
+                for mut inst in ops {
+                    let is_phi = matches!(inst.op, Op::Phi { .. });
+                    if !is_phi {
+                        inst.op.for_each_use_mut(|o| {
+                            if let Operand::Reg(r) = o {
+                                let cur = current_name(*r, &current, &mut live_in_names);
+                                *o = Operand::Reg(cur);
+                            }
+                        });
+                    }
+                    if let Some(d) = inst.op.dst() {
+                        let fresh = f.new_vreg();
+                        inst.op.set_dst(fresh);
+                        pushed.push((d, current[d.index()]));
+                        current[d.index()] = fresh;
+                    }
+                    new_ops.push(inst);
+                }
+                f.block_mut(b).ops = new_ops;
+                let mut term = std::mem::replace(&mut f.block_mut(b).term, Terminator::None);
+                term.for_each_use_mut(|o| {
+                    if let Operand::Reg(r) = o {
+                        let cur = current_name(*r, &current, &mut live_in_names);
+                        *o = Operand::Reg(cur);
+                    }
+                });
+                f.block_mut(b).term = term;
+                // Fill phi arguments in successors.
+                for s in f.block(b).term.successors() {
+                    let nphis = f
+                        .block(s)
+                        .ops
+                        .iter()
+                        .take_while(|i| matches!(i.op, Op::Phi { .. }))
+                        .count();
+                    for k in 0..nphis {
+                        // The arg slot for predecessor b still holds the
+                        // original variable this phi renames.
+                        let block = f.block_mut(s);
+                        if let Op::Phi { args, .. } = &mut block.ops[k].op {
+                            for (p, a) in args.iter_mut() {
+                                if *p == b {
+                                    // Slots already renamed (>= n0) are
+                                    // skipped: a block can appear twice in
+                                    // a successor list.
+                                    if let Operand::Reg(orig) = a {
+                                        if orig.index() < n0 {
+                                            let cur =
+                                                current_name(*orig, &current, &mut live_in_names);
+                                            *a = Operand::Reg(cur);
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+                stack.push(Frame::Exit(pushed));
+                for &c in dom.children(b) {
+                    stack.push(Frame::Enter(c));
+                }
+            }
+            Frame::Exit(pushed) => {
+                // Restore in reverse so a block with several definitions of
+                // the same variable unwinds to its pre-block name.
+                for (var, prev) in pushed.into_iter().rev() {
+                    current[var.index()] = prev;
+                }
+            }
+        }
+    }
+
+    // Live-in placeholders were minted in a provisional high range; remap
+    // them into the function's normal register space (indexable by their
+    // offset from the base).
+    if !info.live_ins.is_empty() {
+        let mut remap: Vec<VReg> = Vec::with_capacity(info.live_ins.len());
+        for (_, name) in info.live_ins.iter_mut() {
+            let fresh = f.new_vreg();
+            remap.push(fresh);
+            *name = fresh;
+        }
+        let resolve = |o: &mut Operand| {
+            if let Operand::Reg(r) = o {
+                if r.0 >= LIVE_IN_BASE {
+                    *o = Operand::Reg(remap[(r.0 - LIVE_IN_BASE) as usize]);
+                }
+            }
+        };
+        for b in f.block_ids().collect::<Vec<_>>() {
+            let block = f.block_mut(b);
+            for inst in &mut block.ops {
+                inst.op.for_each_use_mut(resolve);
+            }
+            block.term.for_each_use_mut(resolve);
+        }
+    }
+
+    f.is_ssa = true;
+    info
+}
+
+// Live-in names are minted from a provisional high range while the function
+// is being rewritten, then remapped to ordinary registers at the end. The
+// base comfortably exceeds any lifted function's register count.
+const LIVE_IN_BASE: u32 = 1 << 20;
+
+/// The original map-based SSA construction, retained verbatim as the
+/// differential oracle for [`construct`] (see `tests/differential.rs`):
+/// both must produce bit-identical functions — same phi placement, same
+/// fresh-name numbering, same live-in order.
+pub fn reference_construct(f: &mut Function) -> SsaInfo {
+    fn current_name(
+        r: VReg,
+        stacks: &HashMap<VReg, Vec<VReg>>,
+        live_in_names: &mut HashMap<VReg, VReg>,
+        info: &mut SsaInfo,
+    ) -> VReg {
+        if let Some(s) = stacks.get(&r) {
+            if let Some(&top) = s.last() {
+                return top;
+            }
+        }
+        *live_in_names.entry(r).or_insert_with(|| {
+            let name = VReg(LIVE_IN_BASE + info.live_ins.len() as u32);
+            info.live_ins.push((r, name));
+            name
+        })
+    }
+
+    cfg::remove_unreachable(f);
+    let dom = Dominators::compute(f);
+    let preds = cfg::predecessors(f);
+    let nblocks = f.blocks.len();
+
     let mut def_blocks: HashMap<VReg, Vec<BlockId>> = HashMap::new();
     let mut globals: Vec<VReg> = Vec::new();
     for b in f.block_ids() {
@@ -68,8 +335,6 @@ pub fn construct(f: &mut Function) -> SsaInfo {
             .for_each_use(|o| note_use(o, &defined_here, &mut globals));
     }
 
-    // Phi insertion at iterated dominance frontiers (only for globals).
-    let mut phis: Vec<HashMap<VReg, usize>> = vec![HashMap::new(); nblocks]; // var -> op index
     for &var in &globals {
         let Some(defs) = def_blocks.get(&var) else {
             continue;
@@ -95,10 +360,6 @@ pub fn construct(f: &mut Function) -> SsaInfo {
                     .collect();
                 let block = f.block_mut(df);
                 block.ops.insert(0, Inst::new(Op::Phi { dst: var, args }));
-                for m in phis[df.index()].values_mut() {
-                    *m += 1;
-                }
-                phis[df.index()].insert(var, 0);
                 if !ever_on_work[df.index()] {
                     ever_on_work[df.index()] = true;
                     work.push(df);
@@ -107,26 +368,22 @@ pub fn construct(f: &mut Function) -> SsaInfo {
         }
     }
 
-    // Renaming.
     let mut stacks: HashMap<VReg, Vec<VReg>> = HashMap::new();
     let mut live_in_names: HashMap<VReg, VReg> = HashMap::new();
     let mut info = SsaInfo::default();
 
-    // Iterative dom-tree walk to avoid recursion depth limits.
     enum Frame {
         Enter(BlockId),
         Exit(Vec<(VReg, usize)>),
     }
     let mut stack = vec![Frame::Enter(f.entry)];
-    // Pre-collect successor lists and phi layouts before mutation loops.
     while let Some(frame) = stack.pop() {
         match frame {
             Frame::Enter(b) => {
                 let mut pushed: Vec<(VReg, usize)> = Vec::new();
-                // Rename within the block.
                 let mut new_ops: Vec<Inst> = Vec::new();
                 let ops = std::mem::take(&mut f.block_mut(b).ops);
-                
+
                 for mut inst in ops {
                     let is_phi = matches!(inst.op, Op::Phi { .. });
                     if !is_phi {
@@ -154,9 +411,9 @@ pub fn construct(f: &mut Function) -> SsaInfo {
                     }
                 });
                 f.block_mut(b).term = term;
-                // Fill phi arguments in successors.
                 for s in f.block(b).term.successors() {
-                    let idxs: Vec<usize> = f.block(s)
+                    let idxs: Vec<usize> = f
+                        .block(s)
                         .ops
                         .iter()
                         .enumerate()
@@ -164,14 +421,17 @@ pub fn construct(f: &mut Function) -> SsaInfo {
                         .map(|(k, _)| k)
                         .collect();
                     for k in idxs {
-                        // Determine the original variable this phi renames:
-                        // stored in the arg slot for predecessor b.
                         let block = f.block_mut(s);
                         if let Op::Phi { args, .. } = &mut block.ops[k].op {
                             for (p, a) in args.iter_mut() {
                                 if *p == b {
                                     if let Operand::Reg(orig) = a {
-                                        let cur = current_name(*orig, &stacks, &mut live_in_names, &mut info);
+                                        let cur = current_name(
+                                            *orig,
+                                            &stacks,
+                                            &mut live_in_names,
+                                            &mut info,
+                                        );
                                         *a = Operand::Reg(cur);
                                     }
                                 }
@@ -195,8 +455,6 @@ pub fn construct(f: &mut Function) -> SsaInfo {
         }
     }
 
-    // Live-in placeholders were minted in a provisional high range; remap
-    // them into the function's normal register space.
     if !info.live_ins.is_empty() {
         let mut remap: HashMap<VReg, VReg> = HashMap::new();
         for (_, name) in info.live_ins.iter_mut() {
@@ -227,29 +485,6 @@ pub fn construct(f: &mut Function) -> SsaInfo {
 
     f.is_ssa = true;
     info
-}
-
-// Live-in names are minted from a provisional high range while the function
-// is being rewritten, then remapped to ordinary registers at the end. The
-// base comfortably exceeds any lifted function's register count.
-const LIVE_IN_BASE: u32 = 1 << 20;
-
-fn current_name(
-    r: VReg,
-    stacks: &HashMap<VReg, Vec<VReg>>,
-    live_in_names: &mut HashMap<VReg, VReg>,
-    info: &mut SsaInfo,
-) -> VReg {
-    if let Some(s) = stacks.get(&r) {
-        if let Some(&top) = s.last() {
-            return top;
-        }
-    }
-    *live_in_names.entry(r).or_insert_with(|| {
-        let name = VReg(LIVE_IN_BASE + info.live_ins.len() as u32);
-        info.live_ins.push((r, name));
-        name
-    })
 }
 
 /// SSA well-formedness violation found by [`verify`].
@@ -301,7 +536,7 @@ impl std::error::Error for SsaViolation {}
 pub fn verify(f: &Function) -> Result<(), SsaViolation> {
     let dom = Dominators::compute(f);
     let preds = cfg::predecessors(f);
-    let mut def_site: HashMap<VReg, (BlockId, usize)> = HashMap::new();
+    let mut def_site: Vec<Option<(BlockId, usize)>> = vec![None; f.vreg_count() as usize];
     for b in f.block_ids() {
         let mut seen_non_phi = false;
         for (k, inst) in f.block(b).ops.iter().enumerate() {
@@ -313,7 +548,7 @@ pub fn verify(f: &Function) -> Result<(), SsaViolation> {
                 seen_non_phi = true;
             }
             if let Some(d) = inst.op.dst() {
-                if def_site.insert(d, (b, k)).is_some() {
+                if def_site[d.index()].replace((b, k)).is_some() {
                     return Err(SsaViolation::MultipleDefs(d));
                 }
             }
@@ -334,7 +569,7 @@ pub fn verify(f: &Function) -> Result<(), SsaViolation> {
             if let Op::Phi { args, .. } = &inst.op {
                 for (p, a) in args {
                     if let Operand::Reg(r) = a {
-                        if let Some(&(db, _)) = def_site.get(r) {
+                        if let Some((db, _)) = def_site.get(r.index()).copied().flatten() {
                             if !dom.dominates(db, *p) {
                                 return Err(SsaViolation::UseNotDominated { reg: *r, block: *p });
                             }
@@ -345,7 +580,7 @@ pub fn verify(f: &Function) -> Result<(), SsaViolation> {
                 let mut bad = None;
                 inst.op.for_each_use(|o| {
                     if let Operand::Reg(r) = o {
-                        if let Some(&(db, dk)) = def_site.get(r) {
+                        if let Some((db, dk)) = def_site.get(r.index()).copied().flatten() {
                             let ok = if db == b { dk < k } else { dom.dominates(db, b) };
                             if !ok && bad.is_none() {
                                 bad = Some(*r);
@@ -361,7 +596,7 @@ pub fn verify(f: &Function) -> Result<(), SsaViolation> {
         let mut bad = None;
         f.block(b).term.for_each_use(|o| {
             if let Operand::Reg(r) = o {
-                if let Some(&(db, _)) = def_site.get(r) {
+                if let Some((db, _)) = def_site.get(r.index()).copied().flatten() {
                     if !(db == b || dom.dominates(db, b)) && bad.is_none() {
                         bad = Some(*r);
                     }

@@ -195,8 +195,11 @@ pub fn recover(f: &Function) -> ControlTree {
     }
     let entry = 0usize;
 
+    // The predecessor lists are refilled in place between reductions (one
+    // allocation up front instead of one set per reduction step).
+    let mut preds: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
     loop {
-        let preds = compute_preds(&nodes);
+        compute_preds(&nodes, &mut preds);
         if reduce_once(&mut nodes, &preds, entry) {
             continue;
         }
@@ -205,20 +208,22 @@ pub fn recover(f: &Function) -> ControlTree {
 
     let remaining: Vec<usize> = (0..nodes.len()).filter(|&i| nodes[i].alive).collect();
     let root = if remaining.len() == 1 {
-        nodes[remaining[0]].payload.clone()
+        std::mem::replace(&mut nodes[remaining[0]].payload, ControlNode::Seq(vec![]))
     } else {
         ControlNode::Unstructured(
             remaining
                 .into_iter()
-                .map(|i| nodes[i].payload.clone())
+                .map(|i| std::mem::replace(&mut nodes[i].payload, ControlNode::Seq(vec![])))
                 .collect(),
         )
     };
     ControlTree { root }
 }
 
-fn compute_preds(nodes: &[ANode]) -> Vec<Vec<usize>> {
-    let mut preds = vec![Vec::new(); nodes.len()];
+fn compute_preds(nodes: &[ANode], preds: &mut [Vec<usize>]) {
+    for p in preds.iter_mut() {
+        p.clear();
+    }
     for (i, n) in nodes.iter().enumerate() {
         if !n.alive {
             continue;
@@ -229,7 +234,6 @@ fn compute_preds(nodes: &[ANode]) -> Vec<Vec<usize>> {
             }
         }
     }
-    preds
 }
 
 fn seq(a: ControlNode, b: ControlNode) -> ControlNode {

@@ -1,5 +1,11 @@
 //! The end-to-end flow: run the binary for a profile, decompile it,
 //! partition it, synthesize the kernels, and evaluate the hybrid platform.
+//!
+//! [`Flow::run`] executes the whole pipeline for one option set. Sweeping
+//! many option points over the same binary? Use the staged flow
+//! ([`crate::stage::StagedFlow`]) — the same pipeline split into cached
+//! stages (profile / decompile / estimate / evaluate) with bit-identical
+//! results, so only the stages whose inputs changed re-run.
 
 use crate::decompile::{self, DecompiledProgram};
 use crate::lift::{DecompileError, DecompileOptions};
@@ -37,6 +43,23 @@ impl Default for FlowOptions {
             library: TechLibrary::virtex2(),
             sim: SimConfig::default(),
         }
+    }
+}
+
+impl FlowOptions {
+    /// The default option set with the simulator's **aggressive**
+    /// superinstruction fusion enabled for the profiling pass.
+    ///
+    /// Fusion is observationally exact at every level (bit-identical
+    /// `Exit` and `Profile`; see `binpart_mips::sim`), so this preset
+    /// changes *nothing* about the flow's results — it only makes the
+    /// software-profiling stage faster (measured ~1.2-1.4x on the suite
+    /// matrix, see `BENCH_sim.json`'s `fusion_speedup`). The experiment
+    /// harness profiles with this preset.
+    pub fn aggressive_sim() -> FlowOptions {
+        let mut options = FlowOptions::default();
+        options.sim.fusion = binpart_mips::sim::FusionConfig::Aggressive;
+        options
     }
 }
 

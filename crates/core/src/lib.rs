@@ -25,9 +25,14 @@ pub mod flow;
 pub mod lift;
 pub mod opts;
 pub mod partition;
+pub mod stage;
 
 pub use decompile::{attach_profile, decompile, DecompileStats, DecompiledProgram};
 pub use flow::{Flow, FlowError, FlowOptions, FlowReport};
 pub use lift::{DecompileError, DecompileOptions};
 pub use opts::PassStats;
-pub use partition::{Partition, PartitionOptions, SelectedKernel};
+pub use partition::{
+    harvest_candidates, partition_with_candidates, Candidate, CandidateSet, Partition,
+    PartitionOptions, SelectedKernel,
+};
+pub use stage::{EstimatedProgram, StagedFlow, StagedReport};

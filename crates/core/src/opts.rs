@@ -14,7 +14,6 @@
 //!   back into their original single-body form.
 
 use binpart_cdfg::cfg;
-use binpart_cdfg::dataflow::DefUse;
 use binpart_cdfg::ir::{BinOp, BlockId, Function, Inst, Op, Operand, Terminator, UnOp, VReg};
 use binpart_cdfg::loops::LoopForest;
 use std::collections::HashMap;
@@ -62,6 +61,53 @@ impl PassStats {
 /// addresses per block, and promotes word-sized slots whose addresses never
 /// escape to fresh virtual registers. Slots above the lowest escaping base
 /// (local arrays, address-taken scalars) are left in memory.
+/// Epoch-stamped dense map from register to sp-relative offset, reset per
+/// block in O(1) (used by [`stack_op_removal`]).
+struct DenseDerived {
+    epoch: u32,
+    stamp: Vec<u32>,
+    off: Vec<i64>,
+}
+
+impl DenseDerived {
+    fn new(n: usize) -> DenseDerived {
+        DenseDerived {
+            epoch: 0,
+            stamp: vec![0; n],
+            off: vec![0; n],
+        }
+    }
+
+    fn next_block(&mut self) {
+        self.epoch += 1;
+    }
+
+    fn insert(&mut self, r: VReg, c: i64) {
+        if r.index() < self.stamp.len() {
+            self.stamp[r.index()] = self.epoch;
+            self.off[r.index()] = c;
+        }
+    }
+
+    fn remove(&mut self, r: &VReg) {
+        if r.index() < self.stamp.len() {
+            self.stamp[r.index()] = 0;
+        }
+    }
+
+    fn get(&self, r: &VReg) -> Option<&i64> {
+        if r.index() < self.stamp.len() && self.stamp[r.index()] == self.epoch {
+            Some(&self.off[r.index()])
+        } else {
+            None
+        }
+    }
+
+    fn contains_key(&self, r: &VReg) -> bool {
+        self.get(r).is_some()
+    }
+}
+
 pub fn stack_op_removal(f: &mut Function, stats: &mut PassStats) {
     const SP: VReg = VReg(29);
     // 1. Find the frame size from the entry block's `sp = sp + (-N)`.
@@ -92,8 +138,12 @@ pub fn stack_op_removal(f: &mut Function, stats: &mut PassStats) {
     let mut slot_access: HashMap<i64, Acc> = HashMap::new();
     let mut min_escape: i64 = frame;
     let mut whole_frame_escape = false;
+    // Per-block sp-derived values as an epoch-stamped dense array (one
+    // allocation for the whole pass instead of a hash map per block).
+    let nv0 = f.vreg_count() as usize;
+    let mut derived = DenseDerived::new(nv0);
     for b in f.block_ids() {
-        let mut derived: HashMap<VReg, i64> = HashMap::new();
+        derived.next_block();
         for inst in &f.block(b).ops {
             // Which of this op's *uses* are sp or sp-derived, and how?
             match &inst.op {
@@ -234,8 +284,9 @@ pub fn stack_op_removal(f: &mut Function, stats: &mut PassStats) {
         slot_reg.insert(off, f.new_vreg());
     }
     stats.stack_slots_promoted += promotable.len();
+    let mut derived = DenseDerived::new(nv0.max(f.vreg_count() as usize));
     for b in f.block_ids().collect::<Vec<_>>() {
-        let mut derived: HashMap<VReg, i64> = HashMap::new();
+        derived.next_block();
         let ops = std::mem::take(&mut f.block_mut(b).ops);
         let mut new_ops = Vec::with_capacity(ops.len());
         for inst in ops {
@@ -317,128 +368,18 @@ pub fn stack_op_removal(f: &mut Function, stats: &mut PassStats) {
 /// SSA constant/copy propagation with branch folding. This is the pass that
 /// removes "arithmetic instructions with an immediate of zero used as
 /// register moves" — the instruction-set overhead the paper calls out.
+///
+/// Worklist-driven: one seeding sweep builds a dense value map (indexed by
+/// register number) and per-register use-block lists; after that, only
+/// blocks that use a register whose value changed are revisited, instead of
+/// re-sweeping the whole function to a fixpoint. Constant-branch folding
+/// (which renumbers blocks via unreachable-code removal) runs between
+/// worklist rounds.
 pub fn const_copy_prop(f: &mut Function, stats: &mut PassStats) {
-    for _ in 0..8 {
-        let mut changed = false;
-        // Map single-def values to replacements.
-        let mut value: HashMap<VReg, Operand> = HashMap::new();
-        for b in f.block_ids() {
-            for inst in &f.block(b).ops {
-                match &inst.op {
-                    Op::Const { dst, value: v } => {
-                        value.insert(*dst, Operand::Const(*v));
-                    }
-                    Op::Copy { dst, src } => {
-                        value.insert(*dst, *src);
-                    }
-                    Op::Phi { dst, args } => {
-                        // Phi whose args are all identical (or the phi
-                        // itself) collapses.
-                        let mut uniq: Option<Operand> = None;
-                        let mut ok = true;
-                        for (_, a) in args {
-                            if a.as_reg() == Some(*dst) {
-                                continue;
-                            }
-                            match uniq {
-                                None => uniq = Some(*a),
-                                Some(u) if u == *a => {}
-                                _ => {
-                                    ok = false;
-                                    break;
-                                }
-                            }
-                        }
-                        if ok {
-                            if let Some(u) = uniq {
-                                value.insert(*dst, u);
-                            }
-                        }
-                    }
-                    _ => {}
-                }
-            }
-        }
-        let resolve = |mut o: Operand| -> Operand {
-            for _ in 0..16 {
-                match o {
-                    Operand::Reg(r) => match value.get(&r) {
-                        Some(&n) if n != o => o = n,
-                        _ => break,
-                    },
-                    Operand::Const(_) => break,
-                }
-            }
-            o
-        };
-        // Rewrite uses & fold.
-        for b in f.block_ids().collect::<Vec<_>>() {
-            let block = f.block_mut(b);
-            for inst in &mut block.ops {
-                if matches!(inst.op, Op::Phi { .. }) {
-                    // phi args resolve too (values dominate the edge)
-                    inst.op.for_each_use_mut(|o| {
-                        let n = resolve(*o);
-                        if n != *o {
-                            *o = n;
-                            changed = true;
-                        }
-                    });
-                    continue;
-                }
-                inst.op.for_each_use_mut(|o| {
-                    let n = resolve(*o);
-                    if n != *o {
-                        *o = n;
-                        changed = true;
-                    }
-                });
-                // Fold.
-                let folded: Option<Op> = match &inst.op {
-                    Op::Bin { op, dst, lhs, rhs } => match (lhs, rhs) {
-                        (Operand::Const(a), Operand::Const(b)) => Some(Op::Const {
-                            dst: *dst,
-                            value: op.fold(*a, *b),
-                        }),
-                        (x, Operand::Const(0))
-                            if matches!(
-                                op,
-                                BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor | BinOp::Shl
-                                    | BinOp::ShrL | BinOp::ShrA
-                            ) =>
-                        {
-                            Some(Op::Copy { dst: *dst, src: *x })
-                        }
-                        (Operand::Const(0), y) if matches!(op, BinOp::Add | BinOp::Or) => {
-                            Some(Op::Copy { dst: *dst, src: *y })
-                        }
-                        _ => None,
-                    },
-                    Op::Un { op, dst, src: Operand::Const(c) } => Some(Op::Const {
-                        dst: *dst,
-                        value: op.fold(*c),
-                    }),
-                    _ => None,
-                };
-                if let Some(n) = folded {
-                    if matches!(n, Op::Const { .. }) {
-                        stats.consts_folded += 1;
-                    } else {
-                        stats.moves_removed += 1;
-                    }
-                    inst.op = n;
-                    changed = true;
-                }
-            }
-            block.term.for_each_use_mut(|o| {
-                let n = resolve(*o);
-                if n != *o {
-                    *o = n;
-                    changed = true;
-                }
-            });
-        }
+    loop {
+        propagate_worklist(f, stats);
         // Fold constant branches (and prune phi edges of dropped targets).
+        let mut folded = false;
         for b in f.block_ids().collect::<Vec<_>>() {
             if let Terminator::Branch {
                 cond: Operand::Const(c),
@@ -451,15 +392,277 @@ pub fn const_copy_prop(f: &mut Function, stats: &mut PassStats) {
                 if dropped != taken {
                     prune_phi_edge(f, b, dropped);
                 }
-                changed = true;
+                folded = true;
             }
         }
-        changed |= cfg::remove_unreachable(f) > 0;
-        changed |= dce(f, stats);
-        if !changed {
+        let removed = cfg::remove_unreachable(f) > 0;
+        dce(f, stats);
+        // Only CFG mutations (branch folds, edge pruning, block removal)
+        // can expose new propagation work — they shrink phi argument lists
+        // and thus enable new collapses. Pure value changes were already
+        // driven to a fixpoint by the worklist, and DCE cannot enable any
+        // rewrite.
+        if !folded && !removed {
             break;
         }
     }
+}
+
+/// Drives constant/copy rewriting and op folding to a fixpoint with a
+/// block-level worklist. Returns `true` if anything changed. Does not
+/// mutate the CFG (no block removal), so block ids stay stable throughout.
+///
+/// One ordered pass over all blocks handles the common case outright
+/// (values propagate forward in block order); only when a value changes
+/// mid-pass — a loop-carried copy, a phi collapse — is the CSR use-block
+/// index built to drive targeted re-visits.
+fn propagate_worklist(f: &mut Function, stats: &mut PassStats) -> bool {
+    let nv = f.vreg_count() as usize;
+    let nb = f.blocks.len();
+    // Dense value map: register -> known replacement.
+    let mut value: Vec<Option<Operand>> = vec![None; nv];
+    for b in f.block_ids() {
+        for inst in &f.block(b).ops {
+            match &inst.op {
+                Op::Const { dst, value: v } => {
+                    value[dst.index()] = Some(Operand::Const(*v));
+                }
+                Op::Copy { dst, src } => {
+                    value[dst.index()] = Some(*src);
+                }
+                Op::Phi { dst, args } => {
+                    if let Some(u) = phi_collapse(*dst, args) {
+                        value[dst.index()] = Some(u);
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    // (register, block) pairs whose operand was rewritten to a register —
+    // the register's uses moved, so the CSR built later must be augmented.
+    let mut use_extra: Vec<(u32, u32)> = Vec::new();
+    let mut changed = false;
+    // Registers whose value became known (or changed) during the initial
+    // ordered pass; their use sites may sit in already-visited blocks.
+    let mut pending: Vec<VReg> = Vec::new();
+    let mut pending_set = vec![false; nv];
+    let mut newly: Vec<VReg> = Vec::new();
+    for bi in 0..nb as u32 {
+        newly.clear();
+        visit_block(f, bi, &mut value, &mut newly, &mut use_extra, stats, &mut changed);
+        for &d in &newly {
+            if !pending_set[d.index()] {
+                pending_set[d.index()] = true;
+                pending.push(d);
+            }
+        }
+    }
+    if pending.is_empty() {
+        return changed;
+    }
+
+    // Build the use-block index (CSR: flat array + per-register offsets)
+    // over the *rewritten* IR and re-visit only blocks that still use a
+    // changed register. The rewrites recorded in `use_extra` so far are
+    // subsumed by this index (it sees the post-rewrite operands), so the
+    // overflow list restarts empty and only collects worklist-phase
+    // rewrites.
+    use_extra.clear();
+    let mut use_count: Vec<u32> = vec![0; nv + 1];
+    for b in f.block_ids() {
+        let count = |o: &Operand, use_count: &mut [u32]| {
+            if let Operand::Reg(r) = o {
+                use_count[r.index() + 1] += 1;
+            }
+        };
+        for inst in &f.block(b).ops {
+            inst.op.for_each_use(|o| count(o, &mut use_count));
+        }
+        f.block(b).term.for_each_use(|o| count(o, &mut use_count));
+    }
+    for i in 1..=nv {
+        use_count[i] += use_count[i - 1];
+    }
+    let use_off = use_count;
+    let mut use_flat: Vec<u32> = vec![0; *use_off.last().unwrap() as usize];
+    let mut cursor: Vec<u32> = use_off[..nv].to_vec();
+    for b in f.block_ids() {
+        let bi = b.index() as u32;
+        let fill = |o: &Operand, use_flat: &mut [u32], cursor: &mut [u32]| {
+            if let Operand::Reg(r) = o {
+                use_flat[cursor[r.index()] as usize] = bi;
+                cursor[r.index()] += 1;
+            }
+        };
+        for inst in &f.block(b).ops {
+            inst.op.for_each_use(|o| fill(o, &mut use_flat, &mut cursor));
+        }
+        f.block(b)
+            .term
+            .for_each_use(|o| fill(o, &mut use_flat, &mut cursor));
+    }
+
+    let mut in_work = vec![false; nb];
+    let mut work: Vec<u32> = Vec::new();
+    let enqueue_users = |d: VReg,
+                             use_extra: &[(u32, u32)],
+                             in_work: &mut [bool],
+                             work: &mut Vec<u32>| {
+        let slice = &use_flat[use_off[d.index()] as usize..use_off[d.index() + 1] as usize];
+        for &ub in slice {
+            if !in_work[ub as usize] {
+                in_work[ub as usize] = true;
+                work.push(ub);
+            }
+        }
+        for &(r, ub) in use_extra {
+            if r == d.0 && !in_work[ub as usize] {
+                in_work[ub as usize] = true;
+                work.push(ub);
+            }
+        }
+    };
+    for &d in &pending {
+        enqueue_users(d, &use_extra, &mut in_work, &mut work);
+    }
+    while let Some(bi) = work.pop() {
+        in_work[bi as usize] = false;
+        newly.clear();
+        visit_block(f, bi, &mut value, &mut newly, &mut use_extra, stats, &mut changed);
+        for &d in &newly {
+            enqueue_users(d, &use_extra, &mut in_work, &mut work);
+        }
+    }
+    changed
+}
+
+/// One worklist visit: rewrites every use in block `bi` through the value
+/// map, folds ops, and records registers whose value changed in `newly`.
+fn visit_block(
+    f: &mut Function,
+    bi: u32,
+    value: &mut [Option<Operand>],
+    newly: &mut Vec<VReg>,
+    use_extra: &mut Vec<(u32, u32)>,
+    stats: &mut PassStats,
+    changed: &mut bool,
+) {
+    // Chains are acyclic in well-formed SSA, so `len + 1` hops fully
+    // resolves any chain; the cap only guards degenerate cycles.
+    let hop_cap = value.len() + 1;
+    let resolve = |mut o: Operand, value: &[Option<Operand>]| -> Operand {
+        for _ in 0..hop_cap {
+            match o {
+                Operand::Reg(r) => match value[r.index()] {
+                    Some(n) if n != o => o = n,
+                    _ => break,
+                },
+                Operand::Const(_) => break,
+            }
+        }
+        o
+    };
+    let block = f.block_mut(BlockId(bi));
+    for inst in &mut block.ops {
+        // Rewrite uses (phi args resolve too: values dominate the edge).
+        inst.op.for_each_use_mut(|o| {
+            let n = resolve(*o, value);
+            if n != *o {
+                *o = n;
+                *changed = true;
+                if let Operand::Reg(r) = n {
+                    use_extra.push((r.0, bi));
+                }
+            }
+        });
+        // Fold.
+        if let Op::Phi { dst, args } = &inst.op {
+            if let Some(u) = phi_collapse(*dst, args) {
+                if value[dst.index()] != Some(u) {
+                    value[dst.index()] = Some(u);
+                    newly.push(*dst);
+                }
+            }
+            continue;
+        }
+        let folded: Option<Op> = match &inst.op {
+            Op::Bin { op, dst, lhs, rhs } => match (lhs, rhs) {
+                (Operand::Const(a), Operand::Const(b)) => Some(Op::Const {
+                    dst: *dst,
+                    value: op.fold(*a, *b),
+                }),
+                (x, Operand::Const(0))
+                    if matches!(
+                        op,
+                        BinOp::Add | BinOp::Sub | BinOp::Or | BinOp::Xor | BinOp::Shl
+                            | BinOp::ShrL | BinOp::ShrA
+                    ) =>
+                {
+                    Some(Op::Copy { dst: *dst, src: *x })
+                }
+                (Operand::Const(0), y) if matches!(op, BinOp::Add | BinOp::Or) => {
+                    Some(Op::Copy { dst: *dst, src: *y })
+                }
+                _ => None,
+            },
+            Op::Un { op, dst, src: Operand::Const(c) } => Some(Op::Const {
+                dst: *dst,
+                value: op.fold(*c),
+            }),
+            _ => None,
+        };
+        if let Some(n) = folded {
+            if matches!(n, Op::Const { .. }) {
+                stats.consts_folded += 1;
+            } else {
+                stats.moves_removed += 1;
+            }
+            let v = match &n {
+                Op::Const { value, .. } => Operand::Const(*value),
+                Op::Copy { src, .. } => *src,
+                _ => unreachable!(),
+            };
+            if let Some(d) = n.dst() {
+                if value[d.index()] != Some(v) {
+                    value[d.index()] = Some(v);
+                    newly.push(d);
+                }
+            }
+            inst.op = n;
+            *changed = true;
+        }
+    }
+    let block = f.block_mut(BlockId(bi));
+    let mut term = std::mem::replace(&mut block.term, Terminator::None);
+    term.for_each_use_mut(|o| {
+        let n = resolve(*o, value);
+        if n != *o {
+            *o = n;
+            *changed = true;
+            if let Operand::Reg(r) = n {
+                use_extra.push((r.0, bi));
+            }
+        }
+    });
+    f.block_mut(BlockId(bi)).term = term;
+}
+
+/// A phi whose arguments are all identical (or the phi itself) collapses to
+/// that unique value.
+fn phi_collapse(dst: VReg, args: &[(BlockId, Operand)]) -> Option<Operand> {
+    let mut uniq: Option<Operand> = None;
+    for (_, a) in args {
+        if a.as_reg() == Some(dst) {
+            continue;
+        }
+        match uniq {
+            None => uniq = Some(*a),
+            Some(u) if u == *a => {}
+            _ => return None,
+        }
+    }
+    uniq
 }
 
 /// Removes the `pred` incoming edge from `succ`'s phis.
@@ -472,61 +675,146 @@ fn prune_phi_edge(f: &mut Function, pred: BlockId, succ: BlockId) {
 }
 
 /// Dead-code elimination (SSA). Returns `true` on change.
+///
+/// Worklist-driven: one sweep counts uses and seeds the initial dead set;
+/// removing an op decrements its operands' use counts, and registers that
+/// hit zero enqueue their defining ops — no whole-function re-sweeps. The
+/// removed set is the same fixpoint the iterated-sweep formulation reaches
+/// (the largest set of sideeffect-free ops whose results are transitively
+/// unused).
 pub fn dce(f: &mut Function, stats: &mut PassStats) -> bool {
-    let mut any = false;
-    loop {
-        let mut used: Vec<bool> = vec![false; f.vreg_count() as usize];
-        for b in f.block_ids() {
-            for inst in &f.block(b).ops {
-                inst.op.for_each_use(|o| {
-                    if let Operand::Reg(r) = o {
-                        if r.index() < used.len() {
-                            used[r.index()] = true;
-                        }
-                    }
-                });
-            }
-            f.block(b).term.for_each_use(|o| {
+    let nv = f.vreg_count() as usize;
+    let mut uses: Vec<u32> = vec![0; nv];
+    // Defining ops per register, CSR-laid-out. Not assumed SSA — a register
+    // may have several defs (pre-SSA callers), all candidates.
+    let mut def_count: Vec<u32> = vec![0; nv + 1];
+    // Flat op index base per block (ops are addressed as base + k).
+    let mut op_base: Vec<u32> = Vec::with_capacity(f.blocks.len() + 1);
+    let mut total_ops = 0u32;
+    for b in f.block_ids() {
+        op_base.push(total_ops);
+        total_ops += f.block(b).ops.len() as u32;
+        for inst in &f.block(b).ops {
+            inst.op.for_each_use(|o| {
                 if let Operand::Reg(r) = o {
-                    if r.index() < used.len() {
-                        used[r.index()] = true;
+                    if r.index() < nv {
+                        uses[r.index()] += 1;
                     }
                 }
             });
-        }
-        let mut changed = false;
-        for b in f.block_ids().collect::<Vec<_>>() {
-            let block = f.block_mut(b);
-            let before = block.ops.len();
-            block.ops.retain(|inst| {
-                if inst.op.has_side_effects() {
-                    return true;
+            if let Some(d) = inst.op.dst() {
+                if d.index() < nv {
+                    def_count[d.index() + 1] += 1;
                 }
-                match inst.op.dst() {
-                    Some(d) => d.index() >= used.len() || used[d.index()],
-                    None => true,
-                }
-            });
-            if block.ops.len() != before {
-                stats.dead_removed += before - block.ops.len();
-                changed = true;
             }
         }
-        any |= changed;
-        if !changed {
-            break;
+        f.block(b).term.for_each_use(|o| {
+            if let Operand::Reg(r) = o {
+                if r.index() < nv {
+                    uses[r.index()] += 1;
+                }
+            }
+        });
+    }
+    op_base.push(total_ops);
+    for i in 1..=nv {
+        def_count[i] += def_count[i - 1];
+    }
+    let def_off = def_count;
+    let mut def_flat: Vec<(u32, u32)> = vec![(0, 0); *def_off.last().unwrap() as usize];
+    let mut cursor: Vec<u32> = def_off[..nv].to_vec();
+    for b in f.block_ids() {
+        for (k, inst) in f.block(b).ops.iter().enumerate() {
+            if let Some(d) = inst.op.dst() {
+                if d.index() < nv {
+                    def_flat[cursor[d.index()] as usize] = (b.index() as u32, k as u32);
+                    cursor[d.index()] += 1;
+                }
+            }
         }
     }
-    any
+    let removable = |op: &Op, uses: &[u32]| -> bool {
+        if op.has_side_effects() {
+            return false;
+        }
+        match op.dst() {
+            Some(d) => d.index() < uses.len() && uses[d.index()] == 0,
+            None => false,
+        }
+    };
+    // Seed: every op already dead.
+    let mut dead = vec![false; total_ops as usize];
+    let mut work: Vec<(u32, u32)> = Vec::new();
+    for b in f.block_ids() {
+        for (k, inst) in f.block(b).ops.iter().enumerate() {
+            if removable(&inst.op, &uses) {
+                work.push((b.index() as u32, k as u32));
+            }
+        }
+    }
+    let mut removed = 0usize;
+    let mut zeroed: Vec<VReg> = Vec::new();
+    while let Some((bi, k)) = work.pop() {
+        let flat = (op_base[bi as usize] + k) as usize;
+        if dead[flat] {
+            continue;
+        }
+        let op = &f.blocks[bi as usize].ops[k as usize].op;
+        if !removable(op, &uses) {
+            continue;
+        }
+        dead[flat] = true;
+        removed += 1;
+        // Decrement operand counts; zero-use registers wake their defs.
+        zeroed.clear();
+        op.for_each_use(|o| {
+            if let Operand::Reg(r) = o {
+                if r.index() < nv {
+                    uses[r.index()] -= 1;
+                    if uses[r.index()] == 0 {
+                        zeroed.push(*r);
+                    }
+                }
+            }
+        });
+        for &r in &zeroed {
+            let defs =
+                &def_flat[def_off[r.index()] as usize..def_off[r.index() + 1] as usize];
+            for &(db, dk) in defs {
+                if !dead[(op_base[db as usize] + dk) as usize] {
+                    work.push((db, dk));
+                }
+            }
+        }
+    }
+    if removed == 0 {
+        return false;
+    }
+    for (bi, block) in f.blocks.iter_mut().enumerate() {
+        let base = op_base[bi] as usize;
+        let mut k = 0;
+        block.ops.retain(|_| {
+            let keep = !dead[base + k];
+            k += 1;
+            keep
+        });
+    }
+    stats.dead_removed += removed;
+    true
 }
 
 // --------------------------------------------------------- size reduction
 
 /// Operator size reduction: forward bit-width inference (with induction-
 /// variable ranges from the loop forest) written into `f.vreg_bits`.
+///
+/// Worklist-driven sparse fixpoint: widths start at the optimistic minimum
+/// and only the ops consuming a register whose width grew are re-evaluated.
+/// Every transfer function is monotone in its operand widths, so the
+/// unique least fixpoint is reached regardless of evaluation order —
+/// identical to the old iterated whole-function sweep.
 pub fn size_reduction(f: &mut Function, stats: &mut PassStats) {
     let n = f.vreg_count() as usize;
-    let mut bits: Vec<u8> = vec![32; n];
     // Seed induction variables from loop trip counts.
     let forest = LoopForest::compute(f);
     let mut iv_bits: HashMap<VReg, u8> = HashMap::new();
@@ -555,96 +843,156 @@ pub fn size_reduction(f: &mut Function, stats: &mut PassStats) {
             Operand::Reg(r) => bits.get(r.index()).copied().unwrap_or(32),
         }
     };
-    // Initialize to a narrow optimistic value then widen to fixpoint.
-    for b in bits.iter_mut() {
-        *b = 1;
-    }
-    for _ in 0..12 {
-        let mut changed = false;
-        for blk in f.block_ids() {
-            for inst in &f.block(blk).ops {
-                let Some(d) = inst.op.dst() else { continue };
-                if d.index() >= n {
-                    continue;
+    // The width an op's destination needs given current operand widths.
+    let transfer = |op: &Op, d: VReg, bits: &[u8], iv_bits: &HashMap<VReg, u8>| -> Option<u8> {
+        Some(match op {
+            Op::Const { value, .. } => width_of(&Operand::Const(*value), bits),
+            Op::Copy { src, .. } => width_of(src, bits),
+            Op::Phi { args, .. } => {
+                if let Some(&ivw) = iv_bits.get(&d) {
+                    ivw
+                } else {
+                    args.iter().map(|(_, a)| width_of(a, bits)).max().unwrap_or(32)
                 }
-                let w: u8 = match &inst.op {
-                    Op::Const { value, .. } => width_of(&Operand::Const(*value), &bits),
-                    Op::Copy { src, .. } => width_of(src, &bits),
-                    Op::Phi { args, .. } => {
-                        if let Some(&ivw) = iv_bits.get(&d) {
-                            ivw
-                        } else {
-                            args.iter().map(|(_, a)| width_of(a, &bits)).max().unwrap_or(32)
-                        }
+            }
+            Op::Un { op, src, .. } => match op {
+                UnOp::ZextB => 8.min(width_of(src, bits)),
+                UnOp::ZextH => 16.min(width_of(src, bits)),
+                UnOp::SextB => {
+                    let w = width_of(src, bits);
+                    if w <= 7 {
+                        w
+                    } else {
+                        32
                     }
-                    Op::Un { op, src, .. } => match op {
-                        UnOp::ZextB => 8.min(width_of(src, &bits)),
-                        UnOp::ZextH => 16.min(width_of(src, &bits)),
-                        UnOp::SextB => {
-                            let w = width_of(src, &bits);
-                            if w <= 7 {
-                                w
-                            } else {
-                                32
-                            }
-                        }
-                        UnOp::SextH => {
-                            let w = width_of(src, &bits);
-                            if w <= 15 {
-                                w
-                            } else {
-                                32
-                            }
-                        }
+                }
+                UnOp::SextH => {
+                    let w = width_of(src, bits);
+                    if w <= 15 {
+                        w
+                    } else {
+                        32
+                    }
+                }
+                _ => 32,
+            },
+            Op::Bin { op, lhs, rhs, .. } => {
+                if let Some(&ivw) = iv_bits.get(&d) {
+                    ivw
+                } else {
+                    let a = width_of(lhs, bits);
+                    let b = width_of(rhs, bits);
+                    match op {
+                        BinOp::And => a.min(b),
+                        BinOp::Or | BinOp::Xor | BinOp::Nor => a.max(b),
+                        BinOp::Add => (a.max(b) + 1).min(32),
+                        BinOp::Mul => (a as u32 + b as u32).min(32) as u8,
+                        BinOp::Shl => match rhs.as_const() {
+                            Some(s) => (a as u32 + (s as u32 & 31)).min(32) as u8,
+                            None => 32,
+                        },
+                        BinOp::ShrL => match rhs.as_const() {
+                            Some(s) => a.saturating_sub((s & 31) as u8).max(1),
+                            None => a,
+                        },
+                        BinOp::ShrA if a < 32 => a,
+                        op if op.is_compare() => 1,
                         _ => 32,
-                    },
-                    Op::Bin { op, lhs, rhs, .. } => {
-                        if let Some(&ivw) = iv_bits.get(&d) {
-                            ivw
-                        } else {
-                            let a = width_of(lhs, &bits);
-                            let b = width_of(rhs, &bits);
-                            match op {
-                                BinOp::And => a.min(b),
-                                BinOp::Or | BinOp::Xor | BinOp::Nor => a.max(b),
-                                BinOp::Add => (a.max(b) + 1).min(32),
-                                BinOp::Mul => (a as u32 + b as u32).min(32) as u8,
-                                BinOp::Shl => match rhs.as_const() {
-                                    Some(s) => (a as u32 + (s as u32 & 31)).min(32) as u8,
-                                    None => 32,
-                                },
-                                BinOp::ShrL => match rhs.as_const() {
-                                    Some(s) => a.saturating_sub((s & 31) as u8).max(1),
-                                    None => a,
-                                },
-                                BinOp::ShrA
-                                    if a < 32 => {
-                                        a
-                                    }
-                                op if op.is_compare() => 1,
-                                _ => 32,
-                            }
-                        }
                     }
-                    Op::Load { width, signed, .. } => {
-                        if *signed && width.bits() < 32 {
-                            32
-                        } else {
-                            width.bits()
-                        }
-                    }
-                    Op::Call { .. } => 32,
-                    Op::Store { .. } => continue,
-                };
-                if w > bits[d.index()] {
-                    bits[d.index()] = w;
-                    changed = true;
+                }
+            }
+            Op::Load { width, signed, .. } => {
+                if *signed && width.bits() < 32 {
+                    32
+                } else {
+                    width.bits()
+                }
+            }
+            Op::Call { .. } => 32,
+            Op::Store { .. } => return None,
+        })
+    };
+
+    // Flat def list + per-register consumer lists (the IR is not mutated
+    // during inference, so op indices stay valid).
+    let mut def_ops: Vec<(BlockId, usize, VReg)> = Vec::new();
+    for blk in f.block_ids() {
+        for (k, inst) in f.block(blk).ops.iter().enumerate() {
+            if let Some(d) = inst.op.dst() {
+                if d.index() < n {
+                    def_ops.push((blk, k, d));
                 }
             }
         }
-        if !changed {
+    }
+    // CSR consumer lists: ops to re-evaluate when a register's width grows.
+    let mut cons_count: Vec<u32> = vec![0; n + 1];
+    for &(blk, k, _) in def_ops.iter() {
+        f.block(blk).ops[k].op.for_each_use(|o| {
+            if let Operand::Reg(r) = o {
+                if r.index() < n {
+                    cons_count[r.index() + 1] += 1;
+                }
+            }
+        });
+    }
+    for i in 1..=n {
+        cons_count[i] += cons_count[i - 1];
+    }
+    let cons_off = cons_count;
+    let mut cons_flat: Vec<u32> = vec![0; *cons_off.last().unwrap() as usize];
+    let mut cursor: Vec<u32> = cons_off[..n].to_vec();
+    for (i, &(blk, k, _)) in def_ops.iter().enumerate() {
+        f.block(blk).ops[k].op.for_each_use(|o| {
+            if let Operand::Reg(r) = o {
+                if r.index() < n {
+                    cons_flat[cursor[r.index()] as usize] = i as u32;
+                    cursor[r.index()] += 1;
+                }
+            }
+        });
+    }
+
+    // Initialize to the narrow optimistic value then widen round by round.
+    // The 12-round cap is semantic, not merely a convergence budget: it is
+    // the widening cutoff for loop-carried accumulators (whose widths would
+    // otherwise grow one bit per round all the way to 32), so the dirty-op
+    // worklist must reproduce sweep-round visibility exactly — an op
+    // re-dirtied by an *earlier* op in the same round is evaluated within
+    // the round; one re-dirtied by a *later* op waits for the next round.
+    let mut bits: Vec<u8> = vec![1; n];
+    let nops = def_ops.len();
+    let mut dirty = vec![true; nops];
+    let mut next = vec![false; nops];
+    for _round in 0..12 {
+        let mut any = false;
+        for i in 0..nops {
+            if !dirty[i] {
+                continue;
+            }
+            dirty[i] = false;
+            let (blk, k, d) = def_ops[i];
+            let Some(w) = transfer(&f.block(blk).ops[k].op, d, &bits, &iv_bits) else {
+                continue;
+            };
+            if w > bits[d.index()] {
+                bits[d.index()] = w;
+                any = true;
+                let cons = &cons_flat
+                    [cons_off[d.index()] as usize..cons_off[d.index() + 1] as usize];
+                for &c in cons {
+                    if (c as usize) > i {
+                        dirty[c as usize] = true;
+                    } else {
+                        next[c as usize] = true;
+                    }
+                }
+            }
+        }
+        if !any {
             break;
         }
+        std::mem::swap(&mut dirty, &mut next);
     }
     stats.values_narrowed += bits.iter().filter(|&&b| b < 32).count();
     f.vreg_bits = bits;
@@ -656,7 +1004,28 @@ pub fn size_reduction(f: &mut Function, stats: &mut PassStats) {
 /// single multiplication, undoing compiler strength reduction so the
 /// synthesis tool can choose the implementation.
 pub fn strength_promotion(f: &mut Function, stats: &mut PassStats) {
-    let du = DefUse::compute(f);
+    // Flat def-site table (SSA: at most one def per register); the pass
+    // only walks definitions, so the full use-chain side of `DefUse` is
+    // never built.
+    let nv = f.vreg_count() as usize;
+    let mut def_site: Vec<Option<(BlockId, u32)>> = vec![None; nv];
+    for b in f.block_ids() {
+        for (k, inst) in f.block(b).ops.iter().enumerate() {
+            if let Some(d) = inst.op.dst() {
+                if d.index() < nv {
+                    def_site[d.index()] = Some((b, k as u32));
+                }
+            }
+        }
+    }
+    fn def_of<'f>(
+        f: &'f Function,
+        def_site: &[Option<(BlockId, u32)>],
+        v: VReg,
+    ) -> Option<&'f Op> {
+        let (b, k) = def_site.get(v.index()).copied().flatten()?;
+        Some(&f.block(b).ops[k as usize].op)
+    }
     // linear form: value = k * base + c
     #[derive(Clone, Copy)]
     struct Lin {
@@ -668,7 +1037,7 @@ pub fn strength_promotion(f: &mut Function, stats: &mut PassStats) {
     fn linear(
         v: VReg,
         f: &Function,
-        du: &DefUse,
+        du: &[Option<(BlockId, u32)>],
         depth: u32,
     ) -> Lin {
         let leaf = Lin {
@@ -680,8 +1049,8 @@ pub fn strength_promotion(f: &mut Function, stats: &mut PassStats) {
         if depth > 8 {
             return leaf;
         }
-        let Some(op) = du.def_of(f, v) else { return leaf };
-        let operand = |o: &Operand, f: &Function, du: &DefUse| -> Lin {
+        let Some(op) = def_of(f, du, v) else { return leaf };
+        let operand = |o: &Operand, f: &Function, du: &[Option<(BlockId, u32)>]| -> Lin {
             match o {
                 Operand::Const(c) => Lin {
                     base: None,
@@ -747,7 +1116,7 @@ pub fn strength_promotion(f: &mut Function, stats: &mut PassStats) {
             if !matches!(op, BinOp::Add | BinOp::Sub) {
                 continue;
             }
-            let lin = linear(*dst, f, &du, 0);
+            let lin = linear(*dst, f, &def_site, 0);
             let Some(base) = lin.base else { continue };
             if base == *dst {
                 continue;
@@ -807,21 +1176,28 @@ pub fn loop_reroll(f: &mut Function, stats: &mut PassStats) {
             // does not apply; walk the chain from each phi's latch argument
             // back to the phi.
             for &body in &candidates_blocks {
-                for inst in f.block(l.header).ops.clone() {
-                    let Op::Phi { dst, args } = &inst.op else {
+                // Collect (phi dst, latch arg) pairs up front — a small
+                // copy instead of cloning every header op.
+                let phis: Vec<(VReg, VReg)> = f
+                    .block(l.header)
+                    .ops
+                    .iter()
+                    .filter_map(|inst| {
+                        let Op::Phi { dst, args } = &inst.op else {
+                            return None;
+                        };
+                        let back = args
+                            .iter()
+                            .find(|(p, _)| l.contains(*p))
+                            .and_then(|(_, a)| a.as_reg())?;
+                        Some((*dst, back))
+                    })
+                    .collect();
+                for (dst, back) in phis {
+                    let Some(step) = chain_step(f, body, dst, back) else {
                         continue;
                     };
-                    let Some(back) = args
-                        .iter()
-                        .find(|(p, _)| l.blocks.contains(p))
-                        .and_then(|(_, a)| a.as_reg())
-                    else {
-                        continue;
-                    };
-                    let Some(step) = chain_step(f, body, *dst, back) else {
-                        continue;
-                    };
-                    if try_reroll(f, l.header, body, *dst, step) {
+                    if try_reroll(f, l.header, body, dst, step) {
                         stats.loops_rerolled += 1;
                         rerolled = true;
                         break 'loops; // structure changed: recompute forest
@@ -939,25 +1315,32 @@ fn try_reroll(f: &mut Function, header: BlockId, body: BlockId, iv_phi: VReg, st
             return false;
         }
         // Isomorphism: identical op kinds and constants across sections.
-        let shape = |inst: &Inst| -> String {
-            match &inst.op {
-                Op::Bin { op, rhs, .. } => match rhs.as_const() {
-                    Some(c) => format!("bin:{op}:{c}"),
-                    None => format!("bin:{op}"),
-                },
-                Op::Un { op, .. } => format!("un:{op}"),
-                Op::Load { width, signed, .. } => format!("load:{}:{}", width.bits(), signed),
-                Op::Store { width, .. } => format!("store:{}", width.bits()),
-                Op::Const { value, .. } => format!("const:{value}"),
-                Op::Copy { .. } => "copy".to_string(),
-                Op::Phi { .. } => "phi".to_string(),
-                Op::Call { target, .. } => format!("call:{target}"),
+        // Compared structurally (discriminant + the constants the old
+        // string signature encoded) without allocating signature strings.
+        fn shape_eq(a: &Inst, b: &Inst) -> bool {
+            match (&a.op, &b.op) {
+                (
+                    Op::Bin { op: oa, rhs: ra, .. },
+                    Op::Bin { op: ob, rhs: rb, .. },
+                ) => oa == ob && ra.as_const() == rb.as_const(),
+                (Op::Un { op: oa, .. }, Op::Un { op: ob, .. }) => oa == ob,
+                (
+                    Op::Load { width: wa, signed: sa, .. },
+                    Op::Load { width: wb, signed: sb, .. },
+                ) => wa == wb && sa == sb,
+                (Op::Store { width: wa, .. }, Op::Store { width: wb, .. }) => wa == wb,
+                (Op::Const { value: va, .. }, Op::Const { value: vb, .. }) => va == vb,
+                (Op::Copy { .. }, Op::Copy { .. }) => true,
+                (Op::Phi { .. }, Op::Phi { .. }) => true,
+                (Op::Call { target: ta, .. }, Op::Call { target: tb, .. }) => ta == tb,
+                _ => false,
             }
-        };
-        let first: Vec<String> = sections[0].iter().map(shape).collect();
+        }
+        let first = sections[0];
         for s in &sections[1..] {
-            let sig: Vec<String> = s.iter().map(shape).collect();
-            if sig != first {
+            if s.len() != first.len()
+                || !s.iter().zip(first.iter()).all(|(x, y)| shape_eq(x, y))
+            {
                 return false;
             }
         }

@@ -98,35 +98,57 @@ impl Partition {
     }
 }
 
-struct Candidate {
-    func_index: usize,
-    blocks: Vec<BlockId>,
-    name: String,
-    sw_cycles: u64,
-    invocations: u64,
-    regions: RegionSummary,
-    suitability: f64,
+/// One hardware-candidate region (an outermost call-free loop nest), with
+/// its profile weight and memory summary. Produced by
+/// [`harvest_candidates`]; invariant across platform clock, area budget,
+/// and partitioner tuning.
+#[derive(Debug, Clone)]
+pub struct Candidate {
+    /// Index into [`DecompiledProgram::functions`].
+    pub func_index: usize,
+    /// Region blocks (a loop nest).
+    pub blocks: Vec<BlockId>,
+    /// Kernel display name.
+    pub name: String,
+    /// Profiled software cycles the region covers.
+    pub sw_cycles: u64,
+    /// Loop entries (CPU→FPGA invocations if selected).
+    pub invocations: u64,
+    /// Memory summary from alias analysis.
+    pub regions: RegionSummary,
+    /// Hardware suitability weight (divisions, unresolved pointers).
+    pub suitability: f64,
 }
 
-/// Runs the three-step partitioner.
+/// All hardware candidates of one profiled program — the partitioner's
+/// platform-independent input artifact. Harvested once, reused for every
+/// (platform, budget) point of a sweep.
+#[derive(Debug, Clone)]
+pub struct CandidateSet {
+    /// Candidates in discovery order (function order × loop order),
+    /// *unfiltered* — [`PartitionOptions::min_share`] is applied at
+    /// selection time so one harvest serves any option set.
+    pub candidates: Vec<Candidate>,
+    /// Start of the data section (for block-RAM extent computation).
+    pub data_base: u32,
+    /// End of the data section.
+    pub data_end: u32,
+}
+
+/// Harvests every outermost call-free loop nest of `prog` as a hardware
+/// candidate, with profile weights from `profile` and `cycles`.
 ///
-/// `total_sw_cycles` is the whole-program profiled cycle count; candidates
-/// are outermost loop nests without calls.
-#[allow(clippy::too_many_arguments)]
-pub fn partition_90_10(
+/// This is the profile/alias-analysis half of [`partition_90_10`], split
+/// out so sweeps can run it once per program: nothing here depends on the
+/// platform clock, the FPGA area budget, or the partitioner options.
+pub fn harvest_candidates(
     prog: &DecompiledProgram,
     binary: &Binary,
     profile: &Profile,
     cycles: &CycleModel,
-    total_sw_cycles: u64,
-    options: &PartitionOptions,
-    budget: &ResourceBudget,
-    library: &TechLibrary,
-) -> Partition {
+) -> CandidateSet {
     let data_base = binary.data_base;
     let data_end = binary.data_end();
-    let mut log = Vec::new();
-    // ---- gather candidates: outermost call-free loop nests ----
     let mut candidates: Vec<Candidate> = Vec::new();
     for (fi, f) in prog.functions.iter().enumerate() {
         let forest = LoopForest::compute(f);
@@ -138,9 +160,6 @@ pub fn partition_90_10(
                 continue;
             }
             let sw = sw_cycles_of_blocks(f, &l.blocks, binary, profile, cycles);
-            if (sw as f64) < options.min_share * total_sw_cycles as f64 {
-                continue;
-            }
             // loop entries: count of header minus latch-edge executions
             let latch_count: u64 = l
                 .latches
@@ -184,6 +203,61 @@ pub fn partition_90_10(
             });
         }
     }
+    CandidateSet {
+        candidates,
+        data_base,
+        data_end,
+    }
+}
+
+/// Runs the three-step partitioner.
+///
+/// `total_sw_cycles` is the whole-program profiled cycle count; candidates
+/// are outermost loop nests without calls. Equivalent to
+/// [`harvest_candidates`] followed by [`partition_with_candidates`] with no
+/// cache.
+#[allow(clippy::too_many_arguments)]
+pub fn partition_90_10(
+    prog: &DecompiledProgram,
+    binary: &Binary,
+    profile: &Profile,
+    cycles: &CycleModel,
+    total_sw_cycles: u64,
+    options: &PartitionOptions,
+    budget: &ResourceBudget,
+    library: &TechLibrary,
+) -> Partition {
+    let set = harvest_candidates(prog, binary, profile, cycles);
+    partition_with_candidates(prog, &set, total_sw_cycles, options, budget, library, None)
+}
+
+/// The selection half of [`partition_90_10`]: applies the `min_share`
+/// filter, ranks, and runs steps 1–3 over a pre-harvested candidate set,
+/// optionally memoizing synthesis through `cache`.
+///
+/// With a `cache`, results are still bit-identical to the uncached path —
+/// synthesis is deterministic and the cache key covers every input (see
+/// [`binpart_synth::estimate`]); the cache must only be shared across calls
+/// passing the same `prog` (the staged flow guarantees this by owning one
+/// cache per estimated-program artifact).
+pub fn partition_with_candidates(
+    prog: &DecompiledProgram,
+    set: &CandidateSet,
+    total_sw_cycles: u64,
+    options: &PartitionOptions,
+    budget: &ResourceBudget,
+    library: &TechLibrary,
+    cache: Option<&binpart_synth::EstimateCache>,
+) -> Partition {
+    let data_end = set.data_end;
+    let mut log = Vec::new();
+    // min_share filter (deferred from harvest so the candidate set is
+    // option-independent), then profile ranking.
+    let mut candidates: Vec<&Candidate> = set
+        .candidates
+        .iter()
+        .filter(|c| (c.sw_cycles as f64) >= options.min_share * total_sw_cycles as f64)
+        .collect();
     candidates.sort_by_key(|c| std::cmp::Reverse(c.sw_cycles));
 
     let mut kernels: Vec<SelectedKernel> = Vec::new();
@@ -205,7 +279,10 @@ pub fn partition_90_10(
             budget: *budget,
             library: library.clone(),
         };
-        let r = synthesize(&input).ok()?;
+        let r = match cache {
+            Some(cache) => cache.synthesize(c.func_index, &input).ok()?,
+            None => synthesize(&input).ok()?,
+        };
         if area_used + r.area.gate_equivalents > options.area_budget_gates {
             return None;
         }

@@ -1,0 +1,444 @@
+//! The staged, memoized decompilation flow.
+//!
+//! [`Flow::run`](crate::flow::Flow::run) is a monolith: profile →
+//! decompile → partition → synthesize → evaluate, end to end, for one
+//! option set. A design-space sweep (platform clock × FPGA area budget ×
+//! compiler level × simulator configuration) re-enters that pipeline at
+//! hundreds of points whose *inputs mostly repeat*: the software profile
+//! does not depend on the platform, the recovered CDFG does not depend on
+//! the area budget, and a kernel's synthesis result depends on neither.
+//!
+//! [`StagedFlow`] splits the pipeline into four explicit stages with
+//! cached artifacts:
+//!
+//! | stage | input → output | invalidated by |
+//! |---|---|---|
+//! | [`profile`](StagedFlow::profile) | binary → [`Exit`] (cycles + block counts) | [`SimConfig`] (cycle model, step budget, stack, fusion) |
+//! | [`decompile`](StagedFlow::decompile) | binary → [`DecompiledProgram`] (pre-profile CDFG) | [`DecompileOptions`] |
+//! | [`estimate`](StagedFlow::estimate) | profile + CDFG → [`EstimatedProgram`] (profiled CDFG + candidate loops + synthesis memo) | `DecompileOptions` or `SimConfig` |
+//! | [`evaluate`](StagedFlow::evaluate) | artifact + platform/budget/options → [`StagedReport`] | nothing cached — cheap selection + arithmetic |
+//!
+//! Platform clock, FPGA area budget, and every [`PartitionOptions`] knob
+//! live entirely in the `evaluate` stage, so a clock × budget sweep pays
+//! for simulation, CDFG recovery, candidate harvesting, and (via the
+//! per-kernel [`EstimateCache`]) each kernel's synthesis **once**, then
+//! evaluates points at selection-loop speed. The `binpart-explore` crate
+//! builds its grid sweeps on exactly this structure.
+//!
+//! Every stage is observationally identical to the monolithic flow:
+//! [`evaluate`](StagedFlow::evaluate) returns bit-identical
+//! [`HybridReport`]s and kernel selections to [`Flow::run`] with the same
+//! options (asserted across the benchmark × opt-level matrix by
+//! `tests/staged_differential.rs`).
+//!
+//! Artifacts are built at most once per key even under concurrency: each
+//! cache slot is guarded by its own [`OnceLock`], so parallel sweep
+//! points asking for different artifacts never serialize on each other.
+//!
+//! # Example
+//!
+//! ```
+//! use binpart_core::flow::FlowOptions;
+//! use binpart_core::stage::StagedFlow;
+//! use binpart_minicc::{compile, OptLevel};
+//! use binpart_platform::Platform;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let binary = compile(
+//!     "int a[64];
+//!      int main(void) { int i; int s = 0;
+//!        for (i = 0; i < 64; i++) a[i] = i * 3;
+//!        for (i = 0; i < 64; i++) s += a[i];
+//!        return s; }",
+//!     OptLevel::O1,
+//! )?;
+//! let staged = StagedFlow::new(&binary);
+//! // 5 clocks × 3 budgets = 15 points, one profile + one decompile +
+//! // one synthesis per kernel in total.
+//! for clock in [40e6, 100e6, 200e6, 300e6, 400e6] {
+//!     for budget in [15_000u64, 40_000, 250_000] {
+//!         let mut options = FlowOptions {
+//!             platform: Platform::mips_virtex2(clock),
+//!             ..Default::default()
+//!         };
+//!         options.partition.area_budget_gates = budget;
+//!         let report = staged.evaluate(&options)?;
+//!         assert!(report.hybrid.app_speedup >= 1.0);
+//!     }
+//! }
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::decompile::{self, DecompileStats, DecompiledProgram};
+use crate::flow::{FlowError, FlowOptions, FlowReport};
+use crate::lift::DecompileOptions;
+use crate::partition::{
+    harvest_candidates, partition_with_candidates, CandidateSet, Partition, PartitionOptions,
+};
+use binpart_mips::sim::{BlockCountProfiler, Exit, Machine, SimConfig};
+use binpart_mips::Binary;
+use binpart_platform::{HardwareKernel, HybridReport};
+use binpart_synth::EstimateCache;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+// Referenced by the module docs.
+#[allow(unused_imports)]
+use crate::flow::Flow;
+
+/// The product of the [`estimate`](StagedFlow::estimate) stage: a profiled
+/// CDFG, its harvested hardware candidates, and a shared per-kernel
+/// synthesis memo. Everything the `evaluate` stage reads.
+#[derive(Debug)]
+pub struct EstimatedProgram {
+    /// Decompiled program with profile counts attached.
+    pub program: DecompiledProgram,
+    /// Hardware candidates (outermost call-free loop nests).
+    pub candidates: CandidateSet,
+    /// Memoized per-kernel synthesis results, shared by every evaluation
+    /// of this artifact.
+    pub cache: EstimateCache,
+    /// Profiled all-software cycles.
+    pub sw_cycles: u64,
+    /// `$v0` at software exit.
+    pub sw_exit_value: u32,
+    /// Decompilation statistics.
+    pub stats: DecompileStats,
+}
+
+/// A [`FlowReport`] without the owned program copy — what a sweep point
+/// needs. Identical numbers to the monolithic flow.
+#[derive(Debug, Clone)]
+pub struct StagedReport {
+    /// Profiled all-software cycles.
+    pub sw_cycles: u64,
+    /// Value in `$v0` when the software run exited.
+    pub sw_exit_value: u32,
+    /// Hybrid execution-time/energy evaluation.
+    pub hybrid: HybridReport,
+    /// Decompilation statistics (E4).
+    pub stats: DecompileStats,
+    /// The partition (kernels, areas, decision log).
+    pub partition: Partition,
+}
+
+type Slot<T> = Arc<OnceLock<Result<Arc<T>, FlowError>>>;
+
+/// The staged flow over one binary. See the module docs for the stage
+/// table and cache-invalidation rules.
+pub struct StagedFlow<'b> {
+    binary: &'b Binary,
+    profiles: Mutex<HashMap<SimConfig, Slot<Exit>>>,
+    programs: Mutex<HashMap<DecompileOptions, Slot<DecompiledProgram>>>,
+    estimated: Mutex<HashMap<(DecompileOptions, SimConfig), Slot<EstimatedProgram>>>,
+}
+
+fn slot<K: std::hash::Hash + Eq + Clone, T>(
+    map: &Mutex<HashMap<K, Slot<T>>>,
+    key: &K,
+) -> Slot<T> {
+    let mut map = map.lock().expect("stage cache poisoned");
+    map.entry(key.clone())
+        .or_insert_with(|| Arc::new(OnceLock::new()))
+        .clone()
+}
+
+impl<'b> StagedFlow<'b> {
+    /// A staged flow over `binary` with empty caches.
+    pub fn new(binary: &'b Binary) -> StagedFlow<'b> {
+        StagedFlow {
+            binary,
+            profiles: Mutex::new(HashMap::new()),
+            programs: Mutex::new(HashMap::new()),
+            estimated: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The binary this flow stages.
+    pub fn binary(&self) -> &Binary {
+        self.binary
+    }
+
+    /// Stage 1 — software run: cycles + block-count profile under `sim`.
+    /// Simulated once per distinct [`SimConfig`]; uses the pay-as-you-go
+    /// [`BlockCountProfiler`] exactly like [`Flow::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Sim`] if the run faults or exceeds the step
+    /// budget.
+    pub fn profile(&self, sim: SimConfig) -> Result<Arc<Exit>, FlowError> {
+        slot(&self.profiles, &sim)
+            .get_or_init(|| {
+                let mut machine = Machine::with_config(self.binary, sim)?;
+                let mut prof = BlockCountProfiler::new();
+                Ok(Arc::new(machine.run_with(&mut prof)?))
+            })
+            .clone()
+    }
+
+    /// Stage 2 — CDFG recovery (pre-profile). Decompiled once per distinct
+    /// [`DecompileOptions`]; failures (the paper's jump-table cases) are
+    /// cached as errors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::Decompile`] when recovery fails.
+    pub fn decompile(
+        &self,
+        options: DecompileOptions,
+    ) -> Result<Arc<DecompiledProgram>, FlowError> {
+        slot(&self.programs, &options)
+            .get_or_init(|| Ok(Arc::new(decompile::decompile(self.binary, options)?)))
+            .clone()
+    }
+
+    /// Stage 3 — profile attachment, candidate harvesting, and the shared
+    /// synthesis memo. Built once per (decompile options, sim config) pair
+    /// from the stage-1/-2 artifacts.
+    ///
+    /// The cache key normalizes [`SimConfig::fusion`] away: fusion is
+    /// observationally exact (bit-identical `Exit` + `Profile`), so sweep
+    /// points that differ only in fusion share one artifact instead of
+    /// re-profiling, re-cloning, and re-synthesizing per configuration.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stage-1/-2 failures.
+    pub fn estimate(
+        &self,
+        decompile_options: DecompileOptions,
+        sim: SimConfig,
+    ) -> Result<Arc<EstimatedProgram>, FlowError> {
+        let normalized = SimConfig {
+            fusion: binpart_mips::sim::FusionConfig::default(),
+            ..sim
+        };
+        slot(&self.estimated, &(decompile_options, normalized))
+            .get_or_init(|| {
+                let exit = self.profile(sim)?;
+                let base = self.decompile(decompile_options)?;
+                let mut program = (*base).clone();
+                decompile::attach_profile(&mut program, &exit.profile);
+                let candidates =
+                    harvest_candidates(&program, self.binary, &exit.profile, &sim.cycles);
+                let stats = program.stats;
+                Ok(Arc::new(EstimatedProgram {
+                    program,
+                    candidates,
+                    cache: EstimateCache::new(),
+                    sw_cycles: exit.cycles,
+                    sw_exit_value: exit.reg(binpart_mips::Reg::V0),
+                    stats,
+                }))
+            })
+            .clone()
+    }
+
+    /// Stage 4 — partition selection + platform evaluation for one option
+    /// set. Uncached (it is selection-loop cheap); every expensive input
+    /// comes from the stage-3 artifact, including memoized per-kernel
+    /// synthesis.
+    ///
+    /// Bit-identical to [`Flow::run`] with the same options.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stage-1/-2 failures.
+    pub fn evaluate(&self, options: &FlowOptions) -> Result<StagedReport, FlowError> {
+        let est = self.estimate(options.decompile, options.sim)?;
+        Ok(evaluate_artifact(&est, options))
+    }
+
+    /// Monolithic-compatible entry: like [`Flow::run`], but cached. The
+    /// returned [`FlowReport`] clones the profiled program out of the
+    /// artifact; sweeps should prefer [`StagedFlow::evaluate`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates stage-1/-2 failures.
+    pub fn run(&self, options: &FlowOptions) -> Result<FlowReport, FlowError> {
+        let est = self.estimate(options.decompile, options.sim)?;
+        let report = evaluate_artifact(&est, options);
+        Ok(FlowReport {
+            sw_cycles: report.sw_cycles,
+            sw_exit_value: report.sw_exit_value,
+            hybrid: report.hybrid,
+            stats: report.stats,
+            partition: report.partition,
+            program: est.program.clone(),
+        })
+    }
+}
+
+impl std::fmt::Debug for StagedFlow<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StagedFlow")
+            .field("profiles", &self.profiles.lock().unwrap().len())
+            .field("programs", &self.programs.lock().unwrap().len())
+            .field("estimated", &self.estimated.lock().unwrap().len())
+            .finish()
+    }
+}
+
+/// Partition + evaluate one option point against a stage-3 artifact —
+/// the same arithmetic as [`Flow::run_with_program`], with synthesis
+/// served from the artifact's memo.
+fn evaluate_artifact(est: &EstimatedProgram, options: &FlowOptions) -> StagedReport {
+    let mut popts: PartitionOptions = options.partition.clone();
+    popts.cpu_clock_hz = options.platform.cpu.clock_hz;
+    let partition = partition_with_candidates(
+        &est.program,
+        &est.candidates,
+        est.sw_cycles,
+        &popts,
+        &options.budget,
+        &options.library,
+        Some(&est.cache),
+    );
+    let kernels: Vec<HardwareKernel> = partition
+        .kernels
+        .iter()
+        .map(|k| HardwareKernel {
+            name: k.name.clone(),
+            invocations: k.invocations,
+            hw_cycles: k.synth.timing.hw_cycles,
+            clock_hz: k.synth.timing.clock_mhz * 1e6,
+            sw_cycles_replaced: k.sw_cycles,
+            area_gates: k.synth.area.gate_equivalents,
+        })
+        .collect();
+    let hybrid = options.platform.hybrid(est.sw_cycles, &kernels);
+    StagedReport {
+        sw_cycles: est.sw_cycles,
+        sw_exit_value: est.sw_exit_value,
+        hybrid,
+        stats: est.stats,
+        partition,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::Flow;
+    use binpart_minicc::{compile, OptLevel};
+    use binpart_platform::Platform;
+
+    fn kernel_program() -> &'static str {
+        "int a[256]; int coef[16];
+         int main(void) {
+           int i; int j; int acc; int out = 0;
+           for (i = 0; i < 256; i++) a[i] = i & 0xff;
+           for (i = 0; i < 16; i++) coef[i] = i + 1;
+           for (j = 0; j < 200; j++) {
+             acc = 0;
+             for (i = 0; i < 16; i++) acc += a[j + i] * coef[i];
+             out += acc >> 6;
+           }
+           return out;
+         }"
+    }
+
+    #[test]
+    fn staged_matches_monolithic_bit_for_bit() {
+        let binary = compile(kernel_program(), OptLevel::O1).unwrap();
+        let staged = StagedFlow::new(&binary);
+        for clock in [40e6, 200e6, 400e6] {
+            for budget in [10u64, 40_000, 250_000] {
+                let mut options = FlowOptions {
+                    platform: Platform::mips_virtex2(clock),
+                    ..Default::default()
+                };
+                options.partition.area_budget_gates = budget;
+                let mono = Flow::new(options.clone()).run(&binary).unwrap();
+                let st = staged.evaluate(&options).unwrap();
+                assert_eq!(
+                    mono.hybrid.app_speedup.to_bits(),
+                    st.hybrid.app_speedup.to_bits()
+                );
+                assert_eq!(
+                    mono.hybrid.energy_savings.to_bits(),
+                    st.hybrid.energy_savings.to_bits()
+                );
+                assert_eq!(mono.hybrid.total_area_gates, st.hybrid.total_area_gates);
+                assert_eq!(mono.sw_cycles, st.sw_cycles);
+                assert_eq!(mono.sw_exit_value, st.sw_exit_value);
+                assert_eq!(mono.partition.log, st.partition.log);
+                let names =
+                    |p: &Partition| p.kernels.iter().map(|k| k.name.clone()).collect::<Vec<_>>();
+                assert_eq!(names(&mono.partition), names(&st.partition));
+            }
+        }
+    }
+
+    #[test]
+    fn artifacts_are_built_once() {
+        let binary = compile(kernel_program(), OptLevel::O1).unwrap();
+        let staged = StagedFlow::new(&binary);
+        let options = FlowOptions::default();
+        let a = staged.estimate(options.decompile, options.sim).unwrap();
+        let b = staged.estimate(options.decompile, options.sim).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        // Two evaluations at different budgets share kernel synthesis.
+        let _ = staged.evaluate(&options).unwrap();
+        let misses_after_first = a.cache.misses();
+        let mut o2 = options.clone();
+        o2.partition.area_budget_gates = 40_000;
+        let _ = staged.evaluate(&o2).unwrap();
+        assert!(a.cache.hits() > 0, "second evaluation must hit the memo");
+        assert_eq!(
+            a.cache.misses(),
+            misses_after_first,
+            "no new synthesis for a budget-only change"
+        );
+    }
+
+    #[test]
+    fn run_returns_flow_report_with_program() {
+        let binary = compile(kernel_program(), OptLevel::O1).unwrap();
+        let staged = StagedFlow::new(&binary);
+        let options = FlowOptions::default();
+        let direct = Flow::new(options.clone()).run(&binary).unwrap();
+        let cached = staged.run(&options).unwrap();
+        assert_eq!(
+            direct.hybrid.app_speedup.to_bits(),
+            cached.hybrid.app_speedup.to_bits()
+        );
+        assert_eq!(direct.program.functions.len(), cached.program.functions.len());
+        assert_eq!(direct.vhdl(), cached.vhdl());
+    }
+
+    #[test]
+    fn decompile_failures_are_cached_errors() {
+        let src = "int main(void) { int i; int acc = 0;
+            for (i = 0; i < 6; i++) {
+              switch (i) {
+                case 0: acc += 1; break;
+                case 1: acc += 2; break;
+                case 2: acc += 4; break;
+                case 3: acc += 8; break;
+                case 4: acc += 16; break;
+                case 5: acc += 32; break;
+              }
+            }
+            return acc; }";
+        let binary = compile(src, OptLevel::O2).unwrap();
+        let staged = StagedFlow::new(&binary);
+        let options = FlowOptions::default();
+        assert!(matches!(
+            staged.evaluate(&options),
+            Err(FlowError::Decompile(_))
+        ));
+        // Again — served from the cached error, still an error.
+        assert!(matches!(
+            staged.evaluate(&options),
+            Err(FlowError::Decompile(_))
+        ));
+        // Recovery enabled is a different artifact and succeeds.
+        let mut with_recovery = options.clone();
+        with_recovery.decompile.recover_jump_tables = true;
+        assert!(staged.evaluate(&with_recovery).is_ok());
+    }
+}

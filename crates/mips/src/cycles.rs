@@ -18,7 +18,7 @@ use crate::Instr;
 /// assert_eq!(m.cycles_for(Instr::NOP), 1);
 /// assert!(m.cycles_for(Instr::Div { rs: Reg::T0, rt: Reg::T1 }) > 8);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct CycleModel {
     /// Simple ALU / shift / compare / move-from-HI-LO operations.
     pub alu: u32,

@@ -591,7 +591,7 @@ impl Profiler for BlockCountProfiler {
 }
 
 /// Configuration for a [`Machine`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SimConfig {
     /// Cycle cost table.
     pub cycles: CycleModel,
@@ -945,7 +945,7 @@ fn is_control(code: OpCode) -> bool {
 /// constituents' semantics in original order against the real register
 /// file, so architectural state, cycle totals, and [`Profile`] counts are
 /// bit-identical to the unfused (and reference) engine at every level.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum FusionConfig {
     /// No fusion: the dispatch stream is the plain lowered micro-ops.
     Off,

@@ -1,0 +1,250 @@
+//! Per-kernel synthesis-estimate caching.
+//!
+//! Behavioral synthesis is the most expensive step of the partitioning
+//! flow's inner loop: every candidate region is scheduled, bound, and
+//! emitted to VHDL each time the partitioner considers it — and a
+//! design-space sweep considers the *same* regions at every (clock, area
+//! budget) point, because neither affects the synthesis result. This
+//! module memoizes [`synthesize`] per kernel.
+//!
+//! # Keying and sharing rules
+//!
+//! A cache entry is keyed by everything [`synthesize`] reads:
+//!
+//! * the kernel identity — function index + region blocks — **within one
+//!   decompiled program** (profile attached). The cache does not fingerprint
+//!   function bodies, so a cache must only be shared across calls that pass
+//!   the *same* program (same CDFG, same profile counts, same inferred
+//!   widths). The staged flow owns one cache per
+//!   [`EstimatedProgram`](https://docs.rs) artifact, which guarantees this
+//!   by construction.
+//! * the block-RAM placement (`mem_in_bram`, `bram_bytes`);
+//! * the resource budget and technology library, compared exactly
+//!   (float fields by bit pattern) so two different configurations can
+//!   never alias an entry.
+//!
+//! Synthesis is deterministic, so a cached result is bit-identical to a
+//! fresh run — sweeps that share a cache produce exactly the numbers of the
+//! uncached flow.
+//!
+//! The map is guarded per entry (a [`OnceLock`] per key), so concurrent
+//! sweep points asking for *different* kernels never serialize on each
+//! other's synthesis, and points asking for the *same* kernel run it once.
+
+use crate::{synthesize, SynthError, SynthesisInput, SynthesisResult};
+use binpart_cdfg::ir::BlockId;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Exact cache key for one kernel-synthesis call. See the module docs for
+/// the sharing rules.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct KernelKey {
+    /// Index of the function in the decompiled program.
+    pub func_index: usize,
+    /// Region blocks (the loop nest).
+    pub region: Vec<BlockId>,
+    /// Whether arrays live in block RAM.
+    pub mem_in_bram: bool,
+    /// Bytes of array data in block RAM.
+    pub bram_bytes: u64,
+    /// Resource budget, floats by bit pattern.
+    pub budget: (u32, u32, u64),
+    /// Technology library, floats by bit pattern (name included so two
+    /// libraries with equal numbers still compare exactly).
+    pub library: (String, [u64; 6], u64, u32, u32),
+}
+
+impl KernelKey {
+    /// Builds the key for `input` (the function itself is identified by
+    /// `func_index`; see the module docs for why its body is not part of
+    /// the key).
+    pub fn new(func_index: usize, input: &SynthesisInput<'_>) -> KernelKey {
+        let b = &input.budget;
+        let l = &input.library;
+        KernelKey {
+            func_index,
+            region: input.region.clone(),
+            mem_in_bram: input.mem_in_bram,
+            bram_bytes: input.bram_bytes,
+            budget: (b.multipliers, b.mem_ports, b.target_period_ns.to_bits()),
+            library: (
+                l.name.clone(),
+                [
+                    l.lut_delay_ns.to_bits(),
+                    l.ff_overhead_ns.to_bits(),
+                    l.gates_per_lut.to_bits(),
+                    l.gates_per_ff.to_bits(),
+                    l.gates_per_mult.to_bits(),
+                    l.gates_per_bram.to_bits(),
+                ],
+                l.bram_block_bits,
+                l.div_cycles,
+                l.ext_mem_cycles,
+            ),
+        }
+    }
+}
+
+type Entry = Arc<OnceLock<Result<SynthesisResult, SynthError>>>;
+
+/// A shareable memo of [`synthesize`] results. Cloneable `Arc`-style
+/// sharing is left to the caller (wrap in `Arc` to share across threads);
+/// the internal map is already thread-safe.
+#[derive(Debug, Default)]
+pub struct EstimateCache {
+    map: Mutex<HashMap<KernelKey, Entry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl EstimateCache {
+    /// Empty cache.
+    pub fn new() -> EstimateCache {
+        EstimateCache::default()
+    }
+
+    /// Memoized [`synthesize`]: returns the cached result for this kernel
+    /// or synthesizes (exactly once per key, even under concurrency) and
+    /// caches it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates (and caches) [`SynthError`] like the uncached call.
+    pub fn synthesize(
+        &self,
+        func_index: usize,
+        input: &SynthesisInput<'_>,
+    ) -> Result<SynthesisResult, SynthError> {
+        let key = KernelKey::new(func_index, input);
+        let cell = {
+            let mut map = self.map.lock().expect("estimate cache poisoned");
+            map.entry(key).or_insert_with(|| Arc::new(OnceLock::new())).clone()
+        };
+        let mut built = false;
+        let result = cell.get_or_init(|| {
+            built = true;
+            synthesize(input)
+        });
+        if built {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        result.clone()
+    }
+
+    /// Number of cache hits so far (observability for benches and tests).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of synthesis runs actually performed.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct kernels cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("estimate cache poisoned").len()
+    }
+
+    /// Returns `true` when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use binpart_cdfg::ir::{BinOp, Function, MemWidth, Op, Operand, Terminator};
+    use binpart_cdfg::ssa;
+
+    fn kernel() -> Function {
+        let mut f = Function::new("k");
+        let x = f.new_vreg();
+        let y = f.new_vreg();
+        let e = f.entry;
+        f.block_mut(e).push(Op::Load {
+            dst: x,
+            addr: Operand::Const(0x1000),
+            width: MemWidth::W,
+            signed: false,
+        });
+        f.block_mut(e).push(Op::Bin {
+            op: BinOp::Add,
+            dst: y,
+            lhs: Operand::Reg(x),
+            rhs: Operand::Const(3),
+        });
+        f.block_mut(e).push(Op::Store {
+            src: Operand::Reg(y),
+            addr: Operand::Const(0x1000),
+            width: MemWidth::W,
+        });
+        f.block_mut(e).term = Terminator::Return { value: None };
+        f.block_mut(e).profile_count = 10;
+        ssa::construct(&mut f);
+        f
+    }
+
+    #[test]
+    fn cached_result_matches_fresh_synthesis() {
+        let f = kernel();
+        let region: Vec<BlockId> = f.block_ids().collect();
+        let input = SynthesisInput::new(&f, region);
+        let fresh = synthesize(&input).unwrap();
+        let cache = EstimateCache::new();
+        let first = cache.synthesize(0, &input).unwrap();
+        let second = cache.synthesize(0, &input).unwrap();
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(first.area.gate_equivalents, fresh.area.gate_equivalents);
+        assert_eq!(first.timing.hw_cycles, fresh.timing.hw_cycles);
+        assert_eq!(
+            first.timing.clock_mhz.to_bits(),
+            second.timing.clock_mhz.to_bits()
+        );
+        assert_eq!(first.vhdl, second.vhdl);
+    }
+
+    #[test]
+    fn different_bram_placement_is_a_different_entry() {
+        let f = kernel();
+        let region: Vec<BlockId> = f.block_ids().collect();
+        let mut input = SynthesisInput::new(&f, region);
+        let cache = EstimateCache::new();
+        let bram = cache.synthesize(0, &input).unwrap();
+        input.mem_in_bram = false;
+        let ext = cache.synthesize(0, &input).unwrap();
+        assert_eq!(cache.misses(), 2);
+        assert!(ext.timing.hw_cycles > bram.timing.hw_cycles);
+    }
+
+    #[test]
+    fn different_library_is_a_different_entry() {
+        let f = kernel();
+        let region: Vec<BlockId> = f.block_ids().collect();
+        let mut input = SynthesisInput::new(&f, region.clone());
+        let cache = EstimateCache::new();
+        let _ = cache.synthesize(0, &input).unwrap();
+        input.library.gates_per_lut *= 2.0;
+        let _ = cache.synthesize(0, &input).unwrap();
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn errors_are_cached_too() {
+        let mut f = Function::new("e");
+        f.block_mut(f.entry).term = Terminator::Return { value: None };
+        let region: Vec<BlockId> = f.block_ids().collect();
+        let input = SynthesisInput::new(&f, region);
+        let cache = EstimateCache::new();
+        assert_eq!(cache.synthesize(0, &input).unwrap_err(), SynthError::EmptyRegion);
+        assert_eq!(cache.synthesize(0, &input).unwrap_err(), SynthError::EmptyRegion);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+    }
+}

@@ -41,10 +41,12 @@
 //! # }
 //! ```
 
+pub mod estimate;
 pub mod schedule;
 pub mod tech;
 pub mod vhdl;
 
+pub use estimate::{EstimateCache, KernelKey};
 pub use schedule::{AreaEstimate, BlockSchedule, KernelTiming, ResourceBudget};
 pub use tech::{FuClass, TechLibrary};
 

@@ -1,43 +1,89 @@
-//! Sweeps the hypothetical platform's processor clock (the paper's 40/200/
-//! 400 MHz study) plus FPGA area budgets, showing how partitioning
-//! decisions shift.
+//! Design-space exploration of the hypothetical platform: a full grid
+//! sweep over processor clock (the paper's 40/200/400 MHz study, densified)
+//! × FPGA area budget × compiler optimization level, evaluated through the
+//! staged flow (`binpart::core::stage`) so the profile, CDFG, candidate
+//! loops, and per-kernel synthesis results are computed once per binary
+//! and shared by every point.
+//!
+//! Prints the per-axis story the paper tells (speedup falls as the CPU
+//! gets faster; kernels drop out as the budget shrinks) plus the Pareto
+//! frontier of speedup vs area vs energy over the whole grid.
 //!
 //! Run with: `cargo run --release --example explore_platform`
 
-use binpart::core::flow::{Flow, FlowOptions};
+use binpart::explore::Sweep;
 use binpart::minicc::OptLevel;
-use binpart::platform::Platform;
 use binpart::workloads::suite;
+use std::time::Instant;
 
 fn main() {
     let b = suite().into_iter().find(|b| b.name == "autcor00").unwrap();
-    let binary = b.compile(OptLevel::O1).expect("compiles");
     println!("benchmark: {} ({})\n", b.name, b.suite.label());
-    println!("processor clock sweep:");
-    for hz in [40e6, 100e6, 200e6, 300e6, 400e6] {
-        let options = FlowOptions {
-            platform: Platform::mips_virtex2(hz),
-            ..Default::default()
-        };
-        let r = Flow::new(options).run(&binary).expect("flow");
+
+    let mut base = binpart::core::flow::FlowOptions::default();
+    base.decompile.recover_jump_tables = true;
+    let sweep = Sweep::with_base(base)
+        .clocks([40e6, 100e6, 200e6, 300e6, 400e6])
+        .area_budgets([5_000, 15_000, 40_000, 100_000, 250_000])
+        .opt_levels(OptLevel::ALL);
+
+    let t0 = Instant::now();
+    let result = sweep.run(|level| b.compile(level).map_err(|e| e.to_string()));
+    let staged_s = t0.elapsed().as_secs_f64();
+    println!(
+        "swept {} points in {:.3} s (staged, shared artifacts)\n",
+        result.points.len(),
+        staged_s
+    );
+
+    // The paper's clock story at -O1, 250k gates.
+    println!("processor clock sweep (-O1, 250k gate budget):");
+    for (c, r) in result.ok_points().filter(|(c, _)| {
+        c.level == OptLevel::O1 && c.area_budget_gates == 250_000
+    }) {
         println!(
-            "  {:>4} MHz: speedup {:>6.2}x, energy savings {:>3.0}%",
-            hz / 1e6,
-            r.hybrid.app_speedup,
-            r.hybrid.energy_savings * 100.0
+            "  {:>4} MHz: speedup {:>6.2}x, energy savings {:>3.0}%, {} kernels",
+            c.clock_hz / 1e6,
+            r.speedup,
+            r.energy_savings * 100.0,
+            r.kernels
         );
     }
-    println!("\nFPGA area budget sweep (200 MHz):");
-    for budget in [5_000u64, 15_000, 40_000, 100_000, 250_000] {
-        let mut options = FlowOptions::default();
-        options.partition.area_budget_gates = budget;
-        let r = Flow::new(options).run(&binary).expect("flow");
+
+    // The budget story at -O1, 200 MHz.
+    println!("\nFPGA area budget sweep (-O1, 200 MHz):");
+    for (c, r) in result
+        .ok_points()
+        .filter(|(c, _)| c.level == OptLevel::O1 && c.clock_hz == 200e6)
+    {
         println!(
             "  {:>7} gates: {} kernels, speedup {:>6.2}x, used {} gates",
-            budget,
-            r.partition.kernels.len(),
-            r.hybrid.app_speedup,
-            r.hybrid.total_area_gates
+            c.area_budget_gates, r.kernels, r.speedup, r.area_gates
+        );
+    }
+
+    // The whole-grid Pareto frontier.
+    let frontier = result.pareto();
+    println!(
+        "\nPareto frontier (speedup vs area vs energy), {} of {} points:",
+        frontier.len(),
+        result.points.len()
+    );
+    println!(
+        "  {:<6} {:>8} {:>10} {:>9} {:>9} {:>8}",
+        "level", "clock", "budget", "speedup", "energy%", "area"
+    );
+    for p in &frontier {
+        let c = &p.config;
+        let r = p.outcome.as_ref().unwrap();
+        println!(
+            "  {:<6} {:>5} MHz {:>10} {:>8.2}x {:>9.0} {:>8}",
+            c.level.flag(),
+            c.clock_hz / 1e6,
+            c.area_budget_gates,
+            r.speedup,
+            r.energy_savings * 100.0,
+            r.area_gates
         );
     }
 }

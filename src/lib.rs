@@ -15,7 +15,9 @@
 //!   the five decompiler optimizations) and the 90-10 partitioner, wrapped
 //!   in the one-call [`core::flow::Flow`];
 //! * [`synth`] — behavioral synthesis to VHDL with a Virtex-II area/clock
-//!   model;
+//!   model, with per-kernel estimate caching;
+//! * [`explore`] — design-space exploration: grid sweeps over the staged
+//!   flow ([`core::stage`]) with Pareto-frontier extraction;
 //! * [`partition`] — baseline partitioners (knapsack, GCLP, annealing);
 //! * [`platform`] — processor/FPGA/energy models;
 //! * [`workloads`] — the 20-benchmark suite.
@@ -43,6 +45,7 @@
 
 pub use binpart_cdfg as cdfg;
 pub use binpart_core as core;
+pub use binpart_explore as explore;
 pub use binpart_minicc as minicc;
 pub use binpart_mips as mips;
 pub use binpart_partition as partition;
