@@ -1,0 +1,85 @@
+//! Hybrid co-simulation wall clock: the full cosimulate stage (software
+//! oracle + FSMD execution + per-invocation store differential) per
+//! benchmark cell, vs the plain software profile run it verifies against.
+//!
+//! `cargo bench -p binpart-bench --bench cosim -- --smoke` runs the CI
+//! differential smoke instead: over the four-benchmark subset × every
+//! OptLevel, the hybrid exit must be bit-identical to pure software with
+//! zero store divergences and real hardware executed, and `BENCH_sim.json`
+//! (if present) must carry the co-simulation columns non-null.
+
+use binpart_core::flow::FlowOptions;
+use binpart_core::stage::StagedFlow;
+use binpart_minicc::OptLevel;
+use criterion::{criterion_group, Criterion};
+
+fn options() -> FlowOptions {
+    let mut options = FlowOptions::default();
+    options.decompile.recover_jump_tables = true;
+    options
+}
+
+fn bench(c: &mut Criterion) {
+    let b = binpart_workloads::suite()
+        .into_iter()
+        .find(|b| b.name == "autcor00")
+        .expect("suite has autcor00");
+    let binary = b.compile(OptLevel::O1).expect("compiles");
+    let mut group = c.benchmark_group("cosim");
+    group.sample_size(10);
+    group.bench_function("cosimulate_autcor00_o1", |bench| {
+        bench.iter(|| {
+            let staged = StagedFlow::new(&binary);
+            let report = staged.cosimulate(&options()).expect("cosimulates");
+            std::hint::black_box(report.hw_invocations())
+        })
+    });
+    group.finish();
+}
+
+/// CI differential smoke: hybrid Exit == software Exit on the benchmark
+/// subset, zero store divergences, hardware actually executed.
+fn smoke() {
+    let mut hw_invocations = 0u64;
+    for b in binpart_workloads::opt_level_subset() {
+        for level in OptLevel::ALL {
+            let tag = format!("{} {level}", b.name);
+            let binary = b.compile(level).expect("compiles");
+            let staged = StagedFlow::new(&binary);
+            let report = staged.cosimulate(&options()).expect("cosimulates");
+            assert!(
+                report.exit_bit_identical,
+                "{tag}: hybrid exit diverged from pure software"
+            );
+            assert_eq!(
+                report.store_mismatches(),
+                0,
+                "{tag}: hardware store sequence diverged"
+            );
+            hw_invocations += report.hw_invocations();
+        }
+    }
+    assert!(
+        hw_invocations > 0,
+        "smoke subset executed no hardware at all"
+    );
+    println!("smoke: {hw_invocations} hardware invocations, all exits bit-identical");
+    binpart_bench::assert_snapshot_columns(&[
+        "cosim_cycles_per_sec",
+        "estimate_error_pct_mean",
+        "estimate_error_pct_max",
+    ]);
+    println!("smoke: PASS");
+}
+
+criterion_group!(benches, bench);
+
+// A hand-rolled `criterion_main!`: identical dispatch, plus the `--smoke`
+// CI mode (single-pass assertions instead of sampled measurement).
+fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        smoke();
+    } else {
+        benches();
+    }
+}

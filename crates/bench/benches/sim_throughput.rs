@@ -186,33 +186,17 @@ fn smoke() {
         fused.max(aggressive) >= unfused,
         "fusion lost throughput: unfused {unfused:.0}/s, fused {fused:.0}/s, aggressive {aggressive:.0}/s"
     );
-    // Benches run with the package dir as cwd; the snapshot lives at the
-    // workspace root.
-    let snapshot = ["BENCH_sim.json", "../../BENCH_sim.json"]
-        .iter()
-        .find_map(|p| std::fs::read_to_string(p).ok());
-    if let Some(json) = snapshot {
-        assert!(
-            !json.contains("null"),
-            "BENCH_sim.json has null fields:\n{json}"
-        );
-        for key in [
-            "sim_instrs_per_sec_fast",
-            "sim_instrs_per_sec_fused",
-            "sim_instrs_per_sec_unfused",
-            "sim_instrs_per_sec_seed",
-            "blockcount_profile_overhead_pct",
-            "decompile_funcs_per_sec",
-            "sweep_points_per_sec",
-            "sweep_speedup_vs_naive",
-            "full_suite_wall_clock_s",
-        ] {
-            assert!(json.contains(key), "BENCH_sim.json missing {key}:\n{json}");
-        }
-        println!("smoke: BENCH_sim.json fields present and non-null");
-    } else {
-        println!("smoke: BENCH_sim.json not present, skipping field check");
-    }
+    binpart_bench::assert_snapshot_columns(&[
+        "sim_instrs_per_sec_fast",
+        "sim_instrs_per_sec_fused",
+        "sim_instrs_per_sec_unfused",
+        "sim_instrs_per_sec_seed",
+        "blockcount_profile_overhead_pct",
+        "decompile_funcs_per_sec",
+        "sweep_points_per_sec",
+        "sweep_speedup_vs_naive",
+        "full_suite_wall_clock_s",
+    ]);
     println!("smoke: PASS");
 }
 

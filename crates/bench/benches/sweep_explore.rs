@@ -71,30 +71,11 @@ fn smoke() {
         staged_s <= naive_s,
         "staged sweep slower than the naive loop: {staged_s:.4} s vs {naive_s:.4} s"
     );
-    // Benches run with the package dir as cwd; the snapshot lives at the
-    // workspace root.
-    let snapshot = ["BENCH_sim.json", "../../BENCH_sim.json"]
-        .iter()
-        .find_map(|p| std::fs::read_to_string(p).ok());
-    if let Some(json) = snapshot {
-        for key in [
-            "decompile_funcs_per_sec",
-            "sweep_points_per_sec",
-            "sweep_speedup_vs_naive",
-        ] {
-            assert!(json.contains(key), "BENCH_sim.json missing {key}:\n{json}");
-            let field = json
-                .split(&format!("\"{key}\":"))
-                .nth(1)
-                .and_then(|t| t.trim().split([',', '}']).next())
-                .map(str::trim)
-                .unwrap_or("null");
-            assert!(field != "null", "BENCH_sim.json {key} is null:\n{json}");
-        }
-        println!("smoke: BENCH_sim.json sweep columns present and non-null");
-    } else {
-        println!("smoke: BENCH_sim.json not present, skipping field check");
-    }
+    binpart_bench::assert_snapshot_columns(&[
+        "decompile_funcs_per_sec",
+        "sweep_points_per_sec",
+        "sweep_speedup_vs_naive",
+    ]);
     println!("smoke: PASS");
 }
 

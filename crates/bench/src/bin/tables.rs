@@ -70,6 +70,15 @@ struct SimReport {
     /// Wall-clock ratio of the naive per-point `Flow::run` loop to the
     /// staged sweep over the same grid (single-core).
     sweep_speedup_vs_naive: f64,
+    /// Hybrid co-simulation throughput over the matrix: software-equivalent
+    /// cycles co-simulated per second (SW oracle + FSMD + per-invocation
+    /// store differential).
+    cosim_cycles_per_sec: f64,
+    /// Mean |measured − analytic| hardware-cycle error, percent, over every
+    /// hardware-executed kernel of the matrix.
+    estimate_error_pct_mean: f64,
+    /// Maximum |estimate error|, percent.
+    estimate_error_pct_max: f64,
     suite_wall_s: Option<f64>,
 }
 
@@ -153,6 +162,15 @@ fn sim_report(suite_wall_s: Option<f64>) -> SimReport {
             .sum()
     });
     let (sweep_points_per_sec, sweep_speedup_vs_naive) = sweep_report();
+    let cosim = binpart_bench::run_cosim_matrix(3);
+    assert_eq!(
+        cosim.store_mismatches, 0,
+        "hardware store sequences diverged during the snapshot pass"
+    );
+    assert_eq!(
+        cosim.bit_identical_cells, cosim.cells,
+        "hybrid exits diverged during the snapshot pass"
+    );
     let ips = |s: f64| total as f64 / s;
     SimReport {
         fast_ips: ips(fast_s),
@@ -165,6 +183,9 @@ fn sim_report(suite_wall_s: Option<f64>) -> SimReport {
         decompile_funcs_per_sec: funcs as f64 / decompile_s,
         sweep_points_per_sec,
         sweep_speedup_vs_naive,
+        cosim_cycles_per_sec: cosim.cosim_cycles_per_sec,
+        estimate_error_pct_mean: cosim.estimate_error_pct_mean,
+        estimate_error_pct_max: cosim.estimate_error_pct_max,
         suite_wall_s,
     }
 }
@@ -215,7 +236,7 @@ fn write_bench_json(r: &SimReport) {
         })
         .map_or("null".to_string(), |s: f64| format!("{s:.6}"));
     let json = format!(
-        "{{\n  \"sim_instrs_per_sec_fast\": {:.0},\n  \"sim_instrs_per_sec_unfused\": {:.0},\n  \"sim_instrs_per_sec_fused\": {:.0},\n  \"sim_instrs_per_sec_seed\": {:.0},\n  \"sim_speedup\": {:.2},\n  \"fusion_speedup\": {:.3},\n  \"blockcount_profile_overhead_pct\": {:.1},\n  \"full_profile_overhead_pct\": {:.1},\n  \"matrix_total_instrs\": {},\n  \"decompile_funcs_per_sec\": {:.0},\n  \"sweep_points_per_sec\": {:.0},\n  \"sweep_speedup_vs_naive\": {:.2},\n  \"full_suite_wall_clock_s\": {}\n}}\n",
+        "{{\n  \"sim_instrs_per_sec_fast\": {:.0},\n  \"sim_instrs_per_sec_unfused\": {:.0},\n  \"sim_instrs_per_sec_fused\": {:.0},\n  \"sim_instrs_per_sec_seed\": {:.0},\n  \"sim_speedup\": {:.2},\n  \"fusion_speedup\": {:.3},\n  \"blockcount_profile_overhead_pct\": {:.1},\n  \"full_profile_overhead_pct\": {:.1},\n  \"matrix_total_instrs\": {},\n  \"decompile_funcs_per_sec\": {:.0},\n  \"sweep_points_per_sec\": {:.0},\n  \"sweep_speedup_vs_naive\": {:.2},\n  \"cosim_cycles_per_sec\": {:.0},\n  \"estimate_error_pct_mean\": {:.2},\n  \"estimate_error_pct_max\": {:.2},\n  \"full_suite_wall_clock_s\": {}\n}}\n",
         r.fast_ips,
         r.unfused_ips,
         r.fused_ips,
@@ -228,11 +249,14 @@ fn write_bench_json(r: &SimReport) {
         r.decompile_funcs_per_sec,
         r.sweep_points_per_sec,
         r.sweep_speedup_vs_naive,
+        r.cosim_cycles_per_sec,
+        r.estimate_error_pct_mean,
+        r.estimate_error_pct_max,
         suite_wall,
     );
     match std::fs::write(path, &json) {
         Ok(()) => println!(
-            "wrote {path}: fast {:.0} M instrs/s (unfused {:.0}, fused {:.0}), seed {:.0} M instrs/s ({:.1}x); blockcount profiling {:+.1}%, full {:+.1}%; decompile {:.0} funcs/s; sweep {:.0} pts/s ({:.1}x vs naive)",
+            "wrote {path}: fast {:.0} M instrs/s (unfused {:.0}, fused {:.0}), seed {:.0} M instrs/s ({:.1}x); blockcount profiling {:+.1}%, full {:+.1}%; decompile {:.0} funcs/s; sweep {:.0} pts/s ({:.1}x vs naive); cosim {:.1} M cyc/s, estimate error mean {:.1}% max {:.1}%",
             r.fast_ips / 1e6,
             r.unfused_ips / 1e6,
             r.fused_ips / 1e6,
@@ -243,6 +267,9 @@ fn write_bench_json(r: &SimReport) {
             r.decompile_funcs_per_sec,
             r.sweep_points_per_sec,
             r.sweep_speedup_vs_naive,
+            r.cosim_cycles_per_sec / 1e6,
+            r.estimate_error_pct_mean,
+            r.estimate_error_pct_max,
         ),
         Err(e) => eprintln!("could not write {path}: {e}"),
     }

@@ -47,12 +47,13 @@ pub struct CompiledBench {
 }
 
 impl CompiledBench {
-    /// Software run: block-count profile + cycles, simulated once on first
-    /// use. The cheap
-    /// [`BlockCountProfiler`](binpart_mips::sim::BlockCountProfiler)
-    /// reconstructs exact per-instruction counts — everything the
-    /// partitioning experiments consume — without paying for per-op
-    /// full-profile bookkeeping on the profiling pass.
+    /// Software run: block counts + branch bias + cycles, simulated once
+    /// on first use. The cheap
+    /// [`EdgeProfiler`](binpart_mips::sim::EdgeProfiler) reconstructs
+    /// exact per-instruction counts *and* branch taken counts — everything
+    /// the partitioning experiments consume (including the measured
+    /// loop-entry estimates) — without paying for per-op full-profile
+    /// bookkeeping on the profiling pass.
     ///
     /// The run uses [`FlowOptions::aggressive_sim`]'s simulator
     /// configuration (aggressive superinstruction fusion): fusion is
@@ -65,7 +66,7 @@ impl CompiledBench {
             let mut machine =
                 Machine::with_config(&self.binary, FlowOptions::aggressive_sim().sim)
                     .expect("suite decodes");
-            let mut prof = binpart_mips::sim::BlockCountProfiler::new();
+            let mut prof = binpart_mips::sim::EdgeProfiler::new();
             machine.run_with(&mut prof).expect("suite runs")
         })
     }
@@ -170,6 +171,34 @@ pub fn best_of(passes: usize, run: &dyn Fn() -> u64) -> (f64, u64) {
     (best, result)
 }
 
+/// Asserts `BENCH_sim.json` carries each of `keys` with a non-null value.
+/// Benches run with the package dir as cwd while the snapshot lives at the
+/// workspace root, so both locations are probed. Returns `false` (after
+/// printing a note) when the snapshot is absent — fresh checkouts skip the
+/// check. Shared by the CI `--smoke` modes so the snapshot format is
+/// parsed in exactly one place.
+pub fn assert_snapshot_columns(keys: &[&str]) -> bool {
+    let Some(json) = ["BENCH_sim.json", "../../BENCH_sim.json"]
+        .iter()
+        .find_map(|p| std::fs::read_to_string(p).ok())
+    else {
+        println!("smoke: BENCH_sim.json not present, skipping field check");
+        return false;
+    };
+    for key in keys {
+        assert!(json.contains(key), "BENCH_sim.json missing {key}:\n{json}");
+        let field = json
+            .split(&format!("\"{key}\":"))
+            .nth(1)
+            .and_then(|t| t.trim().split([',', '}']).next())
+            .map(str::trim)
+            .unwrap_or("null");
+        assert!(field != "null", "BENCH_sim.json {key} is null:\n{json}");
+    }
+    println!("smoke: BENCH_sim.json columns present and non-null: {keys:?}");
+    true
+}
+
 /// Runs the flow tail for one memoized cell: cached binary + cached profile
 /// + cached (cloned) decompiled program.
 ///
@@ -192,12 +221,92 @@ pub fn run_cell(
         let flow = Flow::new(options);
         let mut machine =
             Machine::with_config(&compiled.binary, sim).expect("suite decodes");
-        let mut prof = binpart_mips::sim::BlockCountProfiler::new();
+        let mut prof = binpart_mips::sim::EdgeProfiler::new();
         let exit = machine.run_with(&mut prof).expect("suite runs");
         return Ok(flow.run_with_program(&compiled.binary, &exit, (*program).clone()));
     }
     let flow = Flow::new(options);
     Ok(flow.run_with_program(&compiled.binary, compiled.exit(), (*program).clone()))
+}
+
+/// Aggregate result of co-simulating the full (benchmark, OptLevel)
+/// matrix — the measured (not modeled) hardware numbers.
+#[derive(Debug, Clone)]
+pub struct CosimMatrixSummary {
+    /// Software-equivalent cycles co-simulated per wall-clock second
+    /// (single pass over the matrix: every cell runs the hybrid machine —
+    /// software + FSMD + per-invocation store differential).
+    pub cosim_cycles_per_sec: f64,
+    /// Mean absolute measured-vs-analytic hardware-cycle error, percent,
+    /// over every hardware-executed kernel of the matrix.
+    pub estimate_error_pct_mean: f64,
+    /// Maximum absolute estimate error, percent.
+    pub estimate_error_pct_max: f64,
+    /// Hardware invocations executed across the matrix.
+    pub hw_invocations: u64,
+    /// Store-sequence divergences (must be zero; asserted by
+    /// `tests/cosim_differential.rs`).
+    pub store_mismatches: u64,
+    /// Matrix cells whose hybrid exit was bit-identical to software.
+    pub bit_identical_cells: usize,
+    /// Matrix cells co-simulated.
+    pub cells: usize,
+}
+
+/// Co-simulates every (benchmark, OptLevel) cell (jump-table recovery on,
+/// so all 20 benchmarks complete) and reports throughput + estimate-error
+/// aggregates. Timing is best-of-`passes`, single-threaded, fresh staged
+/// caches per pass — comparable across PRs like the other snapshot rows.
+pub fn run_cosim_matrix(passes: usize) -> CosimMatrixSummary {
+    let suite = suite();
+    let mut options = FlowOptions::default();
+    options.decompile.recover_jump_tables = true;
+    let details: Mutex<Option<CosimMatrixSummary>> = Mutex::new(None);
+    let pass = || -> u64 {
+        let mut cycles = 0u64;
+        let mut errors: Vec<f64> = Vec::new();
+        let mut hw_invocations = 0u64;
+        let mut store_mismatches = 0u64;
+        let mut bit_identical_cells = 0usize;
+        let mut cells = 0usize;
+        for b in &suite {
+            for level in OptLevel::ALL {
+                let compiled = CompiledSuite::get(b, level);
+                let staged = binpart_core::stage::StagedFlow::new(&compiled.binary);
+                let report = staged.cosimulate(&options).expect("suite cosimulates");
+                cells += 1;
+                cycles += report.sw_cycles;
+                hw_invocations += report.hw_invocations();
+                store_mismatches += report.store_mismatches();
+                bit_identical_cells += usize::from(report.exit_bit_identical);
+                errors.extend(report.kernels.iter().filter_map(|k| k.error_pct));
+            }
+        }
+        let abs: Vec<f64> = errors.iter().map(|e| e.abs()).collect();
+        let mean = if abs.is_empty() {
+            0.0
+        } else {
+            abs.iter().sum::<f64>() / abs.len() as f64
+        };
+        let max = abs.iter().fold(0.0f64, |m, &e| m.max(e));
+        *details.lock().unwrap() = Some(CosimMatrixSummary {
+            cosim_cycles_per_sec: 0.0,
+            estimate_error_pct_mean: mean,
+            estimate_error_pct_max: max,
+            hw_invocations,
+            store_mismatches,
+            bit_identical_cells,
+            cells,
+        });
+        cycles
+    };
+    let (secs, cycles) = best_of(passes, &pass);
+    let mut summary = details
+        .into_inner()
+        .unwrap()
+        .expect("at least one cosim pass ran");
+    summary.cosim_cycles_per_sec = cycles as f64 / secs;
+    summary
 }
 
 /// One benchmark's row of Table 1 (experiment E1).

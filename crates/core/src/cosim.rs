@@ -1,0 +1,357 @@
+//! Cycle-accurate co-simulation: **execute** the partitioned hardware,
+//! don't just estimate it.
+//!
+//! [`StagedFlow::cosimulate`] is the flow's verification/measurement
+//! stage. It takes the partition the `evaluate` stage selected and runs
+//! the whole program on the hybrid machine
+//! ([`binpart_mips::hybrid::HybridMachine`]): software on the fast
+//! simulator, each kernel region dispatched to its FSMD interpreter
+//! ([`binpart_hwsim::KernelAccel`]) — the *same* schedules and initiation
+//! intervals the analytic estimate used, executed state by state against a
+//! shared memory model, with the CPU↔FPGA invocation and block-RAM
+//! transfer overheads from `binpart_platform` charged per the measured
+//! invocation counts.
+//!
+//! Two results come out:
+//!
+//! * **Verification** — the hybrid run's architectural [`Exit`] is
+//!   compared bit-for-bit against the pure-software reference
+//!   ([`CosimReport::exit_bit_identical`]), and every hardware invocation's
+//!   data-section store sequence is differenced against the software
+//!   oracle's ([`CosimReport::store_mismatches`] counts divergences —
+//!   zero means the executed datapath is architecturally exact).
+//! * **Measurement** — per kernel, the measured hardware cycles vs the
+//!   analytic estimate ([`KernelCosim::error_pct`]), the measured software
+//!   cycles replaced, and the measured invocation count; plus a
+//!   [`HybridReport`] recomputed from measured numbers
+//!   ([`CosimReport::measured`]) next to the analytic one
+//!   ([`CosimReport::estimated`]). The `tables` harness aggregates the
+//!   per-kernel estimate error across the benchmark × OptLevel matrix into
+//!   `BENCH_sim.json`.
+
+use crate::decompile::{function_end_after, region_machine_extent, region_pc_range};
+use crate::flow::{FlowError, FlowOptions};
+use crate::stage::StagedFlow;
+use binpart_hwsim::{AccelBuildError, KernelAccel, KernelSet};
+use binpart_mips::hybrid::{HybridConfig, HybridMachine, RegionSpec};
+use binpart_mips::sim::Exit;
+use binpart_platform::{HardwareKernel, HybridReport};
+
+/// Per-kernel co-simulation result.
+#[derive(Debug, Clone)]
+pub struct KernelCosim {
+    /// Kernel name.
+    pub name: String,
+    /// Could the kernel be packaged as an accelerator? `false` when a
+    /// live-in had no recoverable CPU-state source (the kernel ran in
+    /// software; nothing was measured).
+    pub mapped: bool,
+    /// Measured region entries (trap count).
+    pub invocations: u64,
+    /// Loop entries the partitioner estimated from the profile.
+    pub invocations_estimated: u64,
+    /// Invocations the hardware executed.
+    pub hw_invocations: u64,
+    /// Invocations declined (unmapped kernel) or faulted in hardware.
+    pub not_executed: u64,
+    /// Measured hardware cycles, summed over executed invocations.
+    pub hw_cycles_measured: u64,
+    /// The analytic estimate ([`binpart_synth::KernelTiming::hw_cycles`]).
+    pub hw_cycles_estimated: u64,
+    /// Measured software cycles the executed invocations replaced.
+    pub sw_cycles_replaced: u64,
+    /// The profiled software cycles the partitioner attributed to the
+    /// region.
+    pub sw_cycles_estimated: u64,
+    /// Invocations whose data-section store sequence diverged from the
+    /// software oracle.
+    pub store_mismatches: u64,
+    /// `100 · (measured − estimated) / estimated` hardware cycles, when
+    /// the kernel executed at least once.
+    pub error_pct: Option<f64>,
+}
+
+/// The co-simulation stage's result. See the [module docs](self).
+#[derive(Debug, Clone)]
+pub struct CosimReport {
+    /// The pure-software reference cycles.
+    pub sw_cycles: u64,
+    /// Architectural results of the hybrid run: registers, exit reason,
+    /// and totals must be bit-identical to the reference.
+    pub exit_bit_identical: bool,
+    /// The hybrid run's exit (for diagnostics when not identical).
+    pub hybrid_exit: Exit,
+    /// Per-kernel measurements.
+    pub kernels: Vec<KernelCosim>,
+    /// Kernels that could not be mapped to hardware.
+    pub unmapped_kernels: usize,
+    /// Hybrid evaluation recomputed from **measured** cycles/invocations
+    /// (block-RAM transfer words charged; unexecuted kernels excluded).
+    pub measured: HybridReport,
+    /// The analytic evaluation the `evaluate` stage produced.
+    pub estimated: HybridReport,
+}
+
+impl CosimReport {
+    /// Total data-store divergences across kernels (zero = the executed
+    /// hardware is architecturally exact).
+    pub fn store_mismatches(&self) -> u64 {
+        self.kernels.iter().map(|k| k.store_mismatches).sum()
+    }
+
+    /// Total hardware-executed invocations.
+    pub fn hw_invocations(&self) -> u64 {
+        self.kernels.iter().map(|k| k.hw_invocations).sum()
+    }
+
+    /// Mean absolute measured-vs-analytic hardware-cycle error, percent,
+    /// over kernels that executed (`None` when none did).
+    pub fn mean_abs_error_pct(&self) -> Option<f64> {
+        let errs: Vec<f64> = self
+            .kernels
+            .iter()
+            .filter_map(|k| k.error_pct)
+            .map(f64::abs)
+            .collect();
+        if errs.is_empty() {
+            return None;
+        }
+        Some(errs.iter().sum::<f64>() / errs.len() as f64)
+    }
+
+    /// Maximum absolute estimate error, percent.
+    pub fn max_abs_error_pct(&self) -> Option<f64> {
+        self.kernels
+            .iter()
+            .filter_map(|k| k.error_pct)
+            .map(f64::abs)
+            .fold(None, |m, e| Some(m.map_or(e, |m: f64| m.max(e))))
+    }
+}
+
+impl StagedFlow<'_> {
+    /// The verification/measurement stage: co-simulates the partition the
+    /// `evaluate` stage selects under `options`, executing each kernel's
+    /// scheduled FSMD against shared memory and differencing it per
+    /// invocation against the software oracle. Uncached (each call runs
+    /// the hybrid machine afresh); the expensive inputs — profile, CDFG,
+    /// candidates, synthesis — come from the cached stage artifacts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates stage-1/-2 failures and software-simulation errors from
+    /// the hybrid run.
+    pub fn cosimulate(&self, options: &FlowOptions) -> Result<CosimReport, FlowError> {
+        let est = self.estimate(options.decompile, options.sim)?;
+        let staged = self.evaluate(options)?;
+        let reference = self.profile(options.sim)?;
+
+        // Package each selected kernel as a region + accelerator.
+        let mut specs: Vec<RegionSpec> = Vec::new();
+        let mut set = KernelSet::default();
+        let mut spec_kernel: Vec<usize> = Vec::new(); // region -> kernel index
+        let mut mapped = vec![false; staged.partition.kernels.len()];
+        for (ki, k) in staged.partition.kernels.iter().enumerate() {
+            let f = &est.program.functions[k.func_index];
+            let Some((lo, hi)) = region_pc_range(f, &k.blocks) else {
+                continue;
+            };
+            let fn_end = function_end_after(self.binary(), &est.program.entries, lo);
+            let hi = region_machine_extent(self.binary(), lo, hi, fn_end);
+            let Some(entry_pc) = f.block(k.header).start_pc else {
+                continue;
+            };
+            if entry_pc < lo || entry_pc > hi {
+                continue;
+            }
+            let live_ins = est
+                .program
+                .live_ins
+                .get(k.func_index)
+                .map(|v| v.as_slice())
+                .unwrap_or(&[]);
+            let accel = match KernelAccel::compile(
+                f,
+                &k.blocks,
+                k.header,
+                &options.budget,
+                &options.library,
+                k.mem_in_bram,
+                self.binary(),
+                live_ins,
+            ) {
+                Ok(a) => Some(a),
+                Err(AccelBuildError::UnmappableLiveIn { .. })
+                | Err(AccelBuildError::Unexecutable) => None,
+            };
+            mapped[ki] = accel.is_some();
+            specs.push(RegionSpec {
+                name: k.name.clone(),
+                lo,
+                hi,
+                entry_pc,
+            });
+            set.kernels.push(accel);
+            spec_kernel.push(ki);
+        }
+
+        // Run the hybrid machine.
+        let mut hm = HybridMachine::new(
+            self.binary(),
+            options.sim,
+            specs,
+            HybridConfig::default(),
+        )?;
+        let hx = hm.run(&mut set)?;
+
+        // Assemble per-kernel results (kernels without a region spec are
+        // unmapped with zero traps).
+        let mut kernels: Vec<KernelCosim> = staged
+            .partition
+            .kernels
+            .iter()
+            .enumerate()
+            .map(|(ki, k)| KernelCosim {
+                name: k.name.clone(),
+                mapped: mapped[ki],
+                invocations: 0,
+                invocations_estimated: k.invocations,
+                hw_invocations: 0,
+                not_executed: 0,
+                hw_cycles_measured: 0,
+                hw_cycles_estimated: k.synth.timing.hw_cycles,
+                sw_cycles_replaced: 0,
+                sw_cycles_estimated: k.sw_cycles,
+                store_mismatches: 0,
+                error_pct: None,
+            })
+            .collect();
+        for (ri, stats) in hx.kernels.iter().enumerate() {
+            let kc = &mut kernels[spec_kernel[ri]];
+            kc.invocations = stats.invocations;
+            kc.hw_invocations = stats.hw_invocations;
+            kc.not_executed = stats.declined + stats.faulted;
+            kc.hw_cycles_measured = stats.hw_cycles;
+            kc.sw_cycles_replaced = stats.sw_cycles_replaced;
+            kc.store_mismatches = stats.store_mismatches;
+            if stats.hw_invocations > 0 && kc.hw_cycles_estimated > 0 {
+                kc.error_pct = Some(
+                    100.0 * (stats.hw_cycles as f64 - kc.hw_cycles_estimated as f64)
+                        / kc.hw_cycles_estimated as f64,
+                );
+            }
+        }
+
+        // Measured hybrid evaluation: the kernels that actually executed,
+        // with measured cycles/invocations and the block-RAM transfer
+        // charge.
+        let measured_kernels: Vec<HardwareKernel> = staged
+            .partition
+            .kernels
+            .iter()
+            .zip(&kernels)
+            .filter(|(_, kc)| kc.hw_invocations > 0)
+            .map(|(k, kc)| HardwareKernel {
+                name: k.name.clone(),
+                invocations: kc.hw_invocations,
+                hw_cycles: kc.hw_cycles_measured,
+                clock_hz: k.synth.timing.clock_mhz * 1e6,
+                sw_cycles_replaced: kc.sw_cycles_replaced,
+                area_gates: k.synth.area.gate_equivalents,
+                bram_transfer_words: if k.mem_in_bram { k.bram_bytes / 4 } else { 0 },
+            })
+            .collect();
+        let measured = options.platform.hybrid(reference.cycles, &measured_kernels);
+
+        let exit_bit_identical = hx.exit.regs == reference.regs
+            && hx.exit.reason == reference.reason
+            && hx.exit.cycles == reference.cycles
+            && hx.exit.instrs == reference.instrs;
+        let unmapped_kernels = mapped.iter().filter(|&&m| !m).count();
+        Ok(CosimReport {
+            sw_cycles: reference.cycles,
+            exit_bit_identical,
+            hybrid_exit: hx.exit,
+            kernels,
+            unmapped_kernels,
+            measured,
+            estimated: staged.hybrid,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use binpart_minicc::{compile, OptLevel};
+
+    fn kernel_program() -> &'static str {
+        "int a[256]; int coef[16];
+         int main(void) {
+           int i; int j; int acc; int out = 0;
+           for (i = 0; i < 256; i++) a[i] = i & 0xff;
+           for (i = 0; i < 16; i++) coef[i] = i + 1;
+           for (j = 0; j < 200; j++) {
+             acc = 0;
+             for (i = 0; i < 16; i++) acc += a[j + i] * coef[i];
+             out += acc >> 6;
+           }
+           return out;
+         }"
+    }
+
+    #[test]
+    fn cosim_is_bit_identical_and_executes_hardware() {
+        for level in OptLevel::ALL {
+            let binary = compile(kernel_program(), level).unwrap();
+            let staged = StagedFlow::new(&binary);
+            let report = staged.cosimulate(&FlowOptions::default()).unwrap();
+            assert!(
+                report.exit_bit_identical,
+                "{level}: hybrid exit diverged from software"
+            );
+            assert_eq!(report.store_mismatches(), 0, "{level}: hw stores diverged");
+            assert!(
+                report.hw_invocations() > 0,
+                "{level}: no kernel executed in hardware ({:?})",
+                report
+                    .kernels
+                    .iter()
+                    .map(|k| (k.name.clone(), k.mapped, k.invocations))
+                    .collect::<Vec<_>>()
+            );
+            let err = report.mean_abs_error_pct().expect("kernels executed");
+            assert!(err.is_finite());
+        }
+    }
+
+    #[test]
+    fn measured_speedup_is_in_the_estimates_neighborhood() {
+        let binary = compile(kernel_program(), OptLevel::O1).unwrap();
+        let staged = StagedFlow::new(&binary);
+        let report = staged.cosimulate(&FlowOptions::default()).unwrap();
+        assert!(report.measured.app_speedup > 1.0, "{}", report.measured);
+        // Measured and analytic agree on the order of magnitude; the gap
+        // is exactly what this stage exists to quantify.
+        let ratio = report.measured.app_speedup / report.estimated.app_speedup;
+        assert!(
+            (0.2..5.0).contains(&ratio),
+            "measured {} vs estimated {}",
+            report.measured.app_speedup,
+            report.estimated.app_speedup
+        );
+    }
+
+    #[test]
+    fn empty_partition_cosimulates_to_a_pure_software_run() {
+        let binary = compile(kernel_program(), OptLevel::O1).unwrap();
+        let staged = StagedFlow::new(&binary);
+        let mut options = FlowOptions::default();
+        options.partition.area_budget_gates = 10;
+        let report = staged.cosimulate(&options).unwrap();
+        assert!(report.exit_bit_identical);
+        assert!(report.kernels.is_empty());
+        assert_eq!(report.hw_invocations(), 0);
+        assert!((report.measured.app_speedup - 1.0).abs() < 1e-9);
+    }
+}

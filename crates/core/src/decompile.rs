@@ -30,6 +30,12 @@ pub struct DecompiledProgram {
     pub functions: Vec<Function>,
     /// Entry addresses parallel to `functions`.
     pub entries: Vec<u32>,
+    /// Per function, the SSA names of function-entry register values:
+    /// `(original machine register, SSA name)` for every register read
+    /// before any definition. The co-simulation accelerator binder uses
+    /// these to materialize function-level live-ins from the CPU register
+    /// file (`binpart_hwsim::KernelAccel`).
+    pub live_ins: Vec<Vec<(VReg, VReg)>>,
     /// Statistics.
     pub stats: DecompileStats,
 }
@@ -55,11 +61,13 @@ pub fn decompile(
     let lifted = lift::lift_program(binary, options)?;
     let mut stats = DecompileStats::default();
     let mut functions = Vec::new();
+    let mut live_ins = Vec::new();
     for mut f in lifted.functions {
         if options.optimize {
             opts::stack_op_removal(&mut f, &mut stats.passes);
         }
         let info = ssa::construct(&mut f);
+        live_ins.push(info.live_ins.clone());
         // Calling-convention recovery: live-in argument registers become
         // parameters (in ABI order).
         let mut params: Vec<(u8, VReg)> = info
@@ -118,6 +126,7 @@ pub fn decompile(
     Ok(DecompiledProgram {
         functions,
         entries: lifted.entries,
+        live_ins,
         stats,
     })
 }
@@ -185,6 +194,87 @@ pub fn sw_cycles_of_blocks(
         pc += 4;
     }
     total
+}
+
+/// The contiguous machine pc range `[lo, hi]` covered by a set of blocks
+/// (the code generator lays loop nests out contiguously), or `None` when
+/// no block carries provenance.
+pub fn region_pc_range(
+    f: &Function,
+    blocks: &[binpart_cdfg::ir::BlockId],
+) -> Option<(u32, u32)> {
+    let mut min_pc = u32::MAX;
+    let mut max_pc = 0u32;
+    for &b in blocks {
+        if let Some(pc) = f.block(b).start_pc {
+            min_pc = min_pc.min(pc);
+            max_pc = max_pc.max(pc);
+        }
+        for inst in &f.block(b).ops {
+            if let Some(pc) = inst.pc {
+                min_pc = min_pc.min(pc);
+                max_pc = max_pc.max(pc);
+            }
+        }
+    }
+    (min_pc <= max_pc).then_some((min_pc, max_pc))
+}
+
+/// Extends a provenance-derived pc range `[lo, hi]` to its full *machine*
+/// extent. Two effects make provenance undershoot: block terminators carry
+/// no pc (a latch branch and its delay slot sit just past the last op),
+/// and loop rerolling synthesizes one rolled body from the first unrolled
+/// section only (sections 2..n of the machine loop have no IR
+/// counterpart). Both are recovered the same way: any control transfer
+/// *after* the current extent that targets back *into* it is a back edge,
+/// so the machine code reaches at least to that branch (plus its delay
+/// slot). Iterated to a fixpoint over `[lo, fn_end)` — cross-function
+/// branches do not exist, so bounding the scan by the owning function is
+/// exact.
+pub fn region_machine_extent(binary: &Binary, lo: u32, hi: u32, fn_end: u32) -> u32 {
+    // Collect every (pc, target) transfer in [lo, fn_end).
+    let mut transfers: Vec<(u32, u32)> = Vec::new();
+    let mut pc = lo;
+    while pc < fn_end {
+        let idx = pc.wrapping_sub(binary.text_base) / 4;
+        let Some(&word) = binary.text.get(idx as usize) else {
+            break;
+        };
+        if let Ok(instr) = binpart_mips::decode(word) {
+            let target = instr.branch_target(pc).or_else(|| match instr {
+                binpart_mips::Instr::J { .. } => instr.jump_target(pc),
+                _ => None,
+            });
+            if let Some(t) = target {
+                transfers.push((pc, t));
+            }
+        }
+        pc += 4;
+    }
+    let mut hi = hi;
+    loop {
+        let grown = transfers
+            .iter()
+            .filter(|&&(p, t)| p > hi && t >= lo && t <= hi)
+            .map(|&(p, _)| p.wrapping_add(4)) // include the delay slot
+            .max();
+        match grown {
+            Some(h) if h > hi => hi = h,
+            _ => break,
+        }
+    }
+    hi
+}
+
+/// The first function entry after `lo` (the owning function's end bound
+/// for [`region_machine_extent`]), or the end of the text section.
+pub fn function_end_after(binary: &Binary, entries: &[u32], lo: u32) -> u32 {
+    entries
+        .iter()
+        .copied()
+        .filter(|&e| e > lo)
+        .min()
+        .unwrap_or_else(|| binary.text_base.wrapping_add(4 * binary.text.len() as u32))
 }
 
 /// Convenience: does any op in these blocks call another function?

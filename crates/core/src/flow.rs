@@ -162,21 +162,23 @@ impl Flow {
     /// Runs the complete flow on `binary`.
     ///
     /// The profiling pass uses the pay-as-you-go
-    /// [`BlockCountProfiler`](binpart_mips::sim::BlockCountProfiler): the
-    /// 90-10 partitioner consumes only per-instruction execution counts
-    /// (block weights), which the cheap profiler reconstructs *exactly*,
-    /// so the resulting partition is bit-identical to a full-profile run
-    /// at a fraction of the profiling overhead. Callers that need branch
-    /// taken counts or call edges can collect a full profile themselves
-    /// and enter through [`Flow::run_with_exit`].
+    /// [`EdgeProfiler`](binpart_mips::sim::EdgeProfiler): the 90-10
+    /// partitioner consumes per-instruction execution counts (block
+    /// weights) plus branch-bias (taken) counts, which feed the measured
+    /// loop-entry estimates
+    /// ([`harvest_candidates`](crate::partition::harvest_candidates)) —
+    /// both reconstructed *exactly* at a fraction of the full profiler's
+    /// overhead. Callers that also need call edges or load/store totals
+    /// can collect a full profile themselves and enter through
+    /// [`Flow::run_with_exit`].
     ///
     /// # Errors
     ///
     /// Returns [`FlowError`] if the software run or CDFG recovery fails.
     pub fn run(&self, binary: &Binary) -> Result<FlowReport, FlowError> {
-        // 1. Software run: cycles + block-count profile.
+        // 1. Software run: cycles + block counts + branch bias.
         let mut machine = Machine::with_config(binary, self.options.sim)?;
-        let mut prof = binpart_mips::sim::BlockCountProfiler::new();
+        let mut prof = binpart_mips::sim::EdgeProfiler::new();
         let exit = machine.run_with(&mut prof)?;
         self.run_with_exit(binary, &exit)
     }
@@ -238,6 +240,7 @@ impl Flow {
                 clock_hz: k.synth.timing.clock_mhz * 1e6,
                 sw_cycles_replaced: k.sw_cycles,
                 area_gates: k.synth.area.gate_equivalents,
+                bram_transfer_words: if k.mem_in_bram { k.bram_bytes / 4 } else { 0 },
             })
             .collect();
         let hybrid = self.options.platform.hybrid(sw_cycles, &kernels);

@@ -20,6 +20,7 @@
 //! See [`flow::Flow`] for the one-call entry point.
 
 pub mod alias;
+pub mod cosim;
 pub mod decompile;
 pub mod flow;
 pub mod lift;
@@ -27,6 +28,7 @@ pub mod opts;
 pub mod partition;
 pub mod stage;
 
+pub use cosim::{CosimReport, KernelCosim};
 pub use decompile::{attach_profile, decompile, DecompileStats, DecompiledProgram};
 pub use flow::{Flow, FlowError, FlowOptions, FlowReport};
 pub use lift::{DecompileError, DecompileOptions};

@@ -10,8 +10,11 @@
 //!    suitability until the area constraint would be violated.
 
 use crate::alias::{self, RegionSummary};
-use crate::decompile::{blocks_contain_call, sw_cycles_of_blocks, DecompiledProgram};
+use crate::decompile::{
+    blocks_contain_call, region_pc_range, sw_cycles_of_blocks, DecompiledProgram,
+};
 use binpart_cdfg::ir::BlockId;
+use binpart_cdfg::ir::Function;
 use binpart_cdfg::loops::LoopForest;
 use binpart_mips::sim::Profile;
 use binpart_mips::{Binary, CycleModel};
@@ -56,6 +59,9 @@ pub struct SelectedKernel {
     pub func_index: usize,
     /// Region blocks (a loop nest).
     pub blocks: Vec<BlockId>,
+    /// The loop-nest header — the region's single entry block (the
+    /// co-simulation trap point).
+    pub header: BlockId,
     /// Kernel display name.
     pub name: String,
     /// Profiled software cycles the kernel replaces.
@@ -108,6 +114,8 @@ pub struct Candidate {
     pub func_index: usize,
     /// Region blocks (a loop nest).
     pub blocks: Vec<BlockId>,
+    /// The loop-nest header — the region's single entry block.
+    pub header: BlockId,
     /// Kernel display name.
     pub name: String,
     /// Profiled software cycles the region covers.
@@ -160,14 +168,23 @@ pub fn harvest_candidates(
                 continue;
             }
             let sw = sw_cycles_of_blocks(f, &l.blocks, binary, profile, cycles);
-            // loop entries: count of header minus latch-edge executions
-            let latch_count: u64 = l
-                .latches
-                .iter()
-                .map(|&b| f.block(b).profile_count)
-                .sum();
+            // Loop entries — the paper's loop-bound estimate. Preferred:
+            // header executions minus *measured* dynamic back-edge
+            // transfers from the branch-bias (edge) profile; fallback when
+            // the profile carries no taken data: latch block counts (which
+            // overcount back edges of fall-out latches by one per entry).
             let header_count = f.block(l.header).profile_count;
-            let invocations = header_count.saturating_sub(latch_count).max(1);
+            let fn_end = crate::decompile::function_end_after(
+                binary,
+                &prog.entries,
+                f.block(l.header).start_pc.unwrap_or(binary.text_base),
+            );
+            let back_edges =
+                measured_back_edges(f, &l.blocks, l.header, binary, profile, fn_end)
+                    .unwrap_or_else(|| {
+                        l.latches.iter().map(|&b| f.block(b).profile_count).sum()
+                    });
+            let invocations = header_count.saturating_sub(back_edges).max(1);
             let regions = alias::summarize(f, &l.blocks, data_base, data_end);
             // Hardware suitability: divisions and unresolved pointers make
             // regions less attractive.
@@ -195,6 +212,7 @@ pub fn harvest_candidates(
             candidates.push(Candidate {
                 func_index: fi,
                 blocks: l.blocks.clone(),
+                header: l.header,
                 name: format!("{}_loop_{}", f.name, l.header.index()),
                 sw_cycles: sw,
                 invocations,
@@ -208,6 +226,52 @@ pub fn harvest_candidates(
         data_base,
         data_end,
     }
+}
+
+/// Counts the loop's dynamic back-edge transfers from the branch-bias
+/// profile: taken counts of conditional branches targeting the header plus
+/// execution counts of unconditional jumps to it, scanned over the loop's
+/// full *machine* extent ([`crate::decompile::region_machine_extent`] —
+/// provenance alone misses trailing `j header; nop` latches and the
+/// unrolled sections of rerolled loops). `None` when the profile carries
+/// no taken data (e.g. a [`binpart_mips::sim::BlockCountProfiler`] run) or
+/// no back-edge instruction is found — callers fall back to latch block
+/// counts.
+fn measured_back_edges(
+    f: &Function,
+    blocks: &[BlockId],
+    header: BlockId,
+    binary: &Binary,
+    profile: &Profile,
+    fn_end: u32,
+) -> Option<u64> {
+    if !profile.has_taken_data() {
+        return None;
+    }
+    let (lo, hi) = region_pc_range(f, blocks)?;
+    let hi = crate::decompile::region_machine_extent(binary, lo, hi, fn_end);
+    let header_pc = f.block(header).start_pc?;
+    let mut total = 0u64;
+    let mut found = false;
+    let mut pc = lo;
+    while pc <= hi {
+        let idx = pc.wrapping_sub(binary.text_base) / 4;
+        if let Some(&word) = binary.text.get(idx as usize) {
+            if let Ok(instr) = binpart_mips::decode(word) {
+                if instr.branch_target(pc) == Some(header_pc) {
+                    total += profile.taken_at(pc);
+                    found = true;
+                } else if matches!(instr, binpart_mips::Instr::J { .. })
+                    && instr.jump_target(pc) == Some(header_pc)
+                {
+                    total += profile.count_at(pc);
+                    found = true;
+                }
+            }
+        }
+        pc += 4;
+    }
+    found.then_some(total)
 }
 
 /// Runs the three-step partitioner.
@@ -317,6 +381,7 @@ pub fn partition_with_candidates(
         kernels.push(SelectedKernel {
             func_index: c.func_index,
             blocks: c.blocks.clone(),
+            header: c.header,
             name: c.name.clone(),
             sw_cycles: c.sw_cycles,
             invocations: c.invocations,
@@ -349,6 +414,7 @@ pub fn partition_with_candidates(
             let c = Candidate {
                 func_index: k.func_index,
                 blocks: k.blocks.clone(),
+                header: k.header,
                 name: k.name.clone(),
                 sw_cycles: k.sw_cycles,
                 invocations: k.invocations,
@@ -386,6 +452,7 @@ pub fn partition_with_candidates(
             kernels.push(SelectedKernel {
                 func_index: c.func_index,
                 blocks: c.blocks.clone(),
+                header: c.header,
                 name: c.name.clone(),
                 sw_cycles: c.sw_cycles,
                 invocations: c.invocations,
@@ -423,6 +490,7 @@ pub fn partition_with_candidates(
         kernels.push(SelectedKernel {
             func_index: c.func_index,
             blocks: c.blocks.clone(),
+            header: c.header,
             name: c.name.clone(),
             sw_cycles: c.sw_cycles,
             invocations: c.invocations,

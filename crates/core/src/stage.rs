@@ -13,10 +13,11 @@
 //!
 //! | stage | input → output | invalidated by |
 //! |---|---|---|
-//! | [`profile`](StagedFlow::profile) | binary → [`Exit`] (cycles + block counts) | [`SimConfig`] (cycle model, step budget, stack, fusion) |
+//! | [`profile`](StagedFlow::profile) | binary → [`Exit`] (cycles + block counts + branch bias) | [`SimConfig`] (cycle model, step budget, stack, fusion) |
 //! | [`decompile`](StagedFlow::decompile) | binary → [`DecompiledProgram`] (pre-profile CDFG) | [`DecompileOptions`] |
 //! | [`estimate`](StagedFlow::estimate) | profile + CDFG → [`EstimatedProgram`] (profiled CDFG + candidate loops + synthesis memo) | `DecompileOptions` or `SimConfig` |
 //! | [`evaluate`](StagedFlow::evaluate) | artifact + platform/budget/options → [`StagedReport`] | nothing cached — cheap selection + arithmetic |
+//! | [`cosimulate`](StagedFlow::cosimulate) | partition → [`crate::cosim::CosimReport`] (executed-hardware verification + measured-vs-analytic cycles) | nothing cached — each call runs the hybrid machine |
 //!
 //! Platform clock, FPGA area budget, and every [`PartitionOptions`] knob
 //! live entirely in the `evaluate` stage, so a clock × budget sweep pays
@@ -76,7 +77,7 @@ use crate::lift::DecompileOptions;
 use crate::partition::{
     harvest_candidates, partition_with_candidates, CandidateSet, Partition, PartitionOptions,
 };
-use binpart_mips::sim::{BlockCountProfiler, Exit, Machine, SimConfig};
+use binpart_mips::sim::{EdgeProfiler, Exit, Machine, SimConfig};
 use binpart_mips::Binary;
 use binpart_platform::{HardwareKernel, HybridReport};
 use binpart_synth::EstimateCache;
@@ -160,9 +161,10 @@ impl<'b> StagedFlow<'b> {
         self.binary
     }
 
-    /// Stage 1 — software run: cycles + block-count profile under `sim`.
-    /// Simulated once per distinct [`SimConfig`]; uses the pay-as-you-go
-    /// [`BlockCountProfiler`] exactly like [`Flow::run`].
+    /// Stage 1 — software run: cycles + block counts + branch bias under
+    /// `sim`. Simulated once per distinct [`SimConfig`]; uses the
+    /// pay-as-you-go [`EdgeProfiler`] exactly like [`Flow::run`] (the
+    /// taken counts feed the partitioner's measured loop-entry estimates).
     ///
     /// # Errors
     ///
@@ -172,7 +174,7 @@ impl<'b> StagedFlow<'b> {
         slot(&self.profiles, &sim)
             .get_or_init(|| {
                 let mut machine = Machine::with_config(self.binary, sim)?;
-                let mut prof = BlockCountProfiler::new();
+                let mut prof = EdgeProfiler::new();
                 Ok(Arc::new(machine.run_with(&mut prof)?))
             })
             .clone()
@@ -307,6 +309,7 @@ fn evaluate_artifact(est: &EstimatedProgram, options: &FlowOptions) -> StagedRep
             clock_hz: k.synth.timing.clock_mhz * 1e6,
             sw_cycles_replaced: k.sw_cycles,
             area_gates: k.synth.area.gate_equivalents,
+            bram_transfer_words: if k.mem_in_bram { k.bram_bytes / 4 } else { 0 },
         })
         .collect();
     let hybrid = options.platform.hybrid(est.sw_cycles, &kernels);

@@ -1,0 +1,788 @@
+//! The FSMD interpreter: executes a scheduled region of a decompiled
+//! function, state by control step, with pipelined-loop cycle accounting.
+
+use binpart_cdfg::ir::{
+    BinOp, BlockId, Function, MemWidth, Op, Operand, Terminator, UnOp, VReg,
+};
+use binpart_cdfg::loops::LoopForest;
+use binpart_mips::hybrid::HwStore;
+use binpart_mips::sim::Memory;
+use binpart_synth::schedule::{
+    loop_iteration_ops, rec_mii, res_mii, schedule_ops,
+};
+use binpart_synth::{ResourceBudget, TechLibrary};
+use std::collections::HashMap;
+use std::fmt;
+
+/// The hardware's memory port: byte-granular little-endian access. The
+/// interpreter checks natural alignment before calling; implementations
+/// never fail.
+pub trait HwBus {
+    /// Reads one byte.
+    fn read_u8(&mut self, addr: u32) -> u8;
+    /// Writes one byte of a `bytes`-wide store of `value` to `base` (the
+    /// store is also reported once, whole, via [`HwBus::on_store`]).
+    fn write_u8(&mut self, addr: u32, value: u8);
+    /// Reads an aligned little-endian word (defaulted byte-wise;
+    /// implementations override with a single-probe fast path).
+    fn read_u32(&mut self, addr: u32) -> u32 {
+        let mut raw = 0u32;
+        for i in 0..4 {
+            raw |= u32::from(self.read_u8(addr.wrapping_add(i))) << (8 * i);
+        }
+        raw
+    }
+    /// Writes an aligned little-endian word (defaulted byte-wise).
+    fn write_u32(&mut self, addr: u32, value: u32) {
+        for i in 0..4 {
+            self.write_u8(addr.wrapping_add(i), (value >> (8 * i)) as u8);
+        }
+    }
+    /// One architectural store completed (for logging).
+    fn on_store(&mut self, addr: u32, bytes: u8, value: u32) {
+        let _ = (addr, bytes, value);
+    }
+}
+
+/// Copy-on-write view over the CPU's [`Memory`]: reads fall through to the
+/// underlying memory until the hardware overwrites a location; writes stay
+/// in the overlay and are logged in store order. Nothing is ever
+/// committed — the hybrid machine's software oracle remains authoritative.
+///
+/// The overlay is **word-granular** (keyed by `addr >> 2`): every
+/// naturally aligned access of any width lands inside one aligned word, so
+/// a load/store costs one map probe instead of one per byte — the FSMD's
+/// memory inner loop dominates co-simulation throughput.
+#[derive(Debug)]
+pub struct OverlayBus<'m> {
+    mem: &'m Memory,
+    /// Copy-on-write words, keyed by word number (`addr >> 2`).
+    overlay: HashMap<u32, u32>,
+    /// Every store performed, in execution order.
+    pub stores: Vec<HwStore>,
+}
+
+impl<'m> OverlayBus<'m> {
+    /// An empty overlay over `mem`.
+    pub fn new(mem: &'m Memory) -> OverlayBus<'m> {
+        OverlayBus {
+            mem,
+            overlay: HashMap::new(),
+            stores: Vec::new(),
+        }
+    }
+
+    /// The current word containing `addr` (overlay first, else memory).
+    #[inline]
+    fn word(&self, addr: u32) -> u32 {
+        let wno = addr >> 2;
+        match self.overlay.get(&wno) {
+            Some(&w) => w,
+            None => self.mem.read_u32(wno << 2),
+        }
+    }
+}
+
+impl HwBus for OverlayBus<'_> {
+    #[inline]
+    fn read_u8(&mut self, addr: u32) -> u8 {
+        (self.word(addr) >> (8 * (addr & 3))) as u8
+    }
+    #[inline]
+    fn write_u8(&mut self, addr: u32, value: u8) {
+        let shift = 8 * (addr & 3);
+        let w = (self.word(addr) & !(0xffu32 << shift)) | (u32::from(value) << shift);
+        self.overlay.insert(addr >> 2, w);
+    }
+    #[inline]
+    fn read_u32(&mut self, addr: u32) -> u32 {
+        self.word(addr) // aligned: one probe
+    }
+    #[inline]
+    fn write_u32(&mut self, addr: u32, value: u32) {
+        self.overlay.insert(addr >> 2, value);
+    }
+    fn on_store(&mut self, addr: u32, bytes: u8, value: u32) {
+        self.stores.push(HwStore { addr, bytes, value });
+    }
+}
+
+/// Why an FSMD execution failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsmdError {
+    /// A load/store address violated natural alignment.
+    Unaligned {
+        /// Faulting address.
+        addr: u32,
+    },
+    /// The cycle budget ran out (runaway hardware — usually a mis-bound
+    /// live-in turning a loop exit condition false forever).
+    CycleLimit {
+        /// The configured limit.
+        limit: u64,
+    },
+    /// The region contained an op hardware cannot execute (a call), or a
+    /// malformed terminator.
+    Unexecutable,
+    /// A phi had no argument for the executed predecessor.
+    PhiWithoutPred,
+}
+
+impl fmt::Display for FsmdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FsmdError::Unaligned { addr } => write!(f, "unaligned hw access to {addr:#010x}"),
+            FsmdError::CycleLimit { limit } => write!(f, "hw exceeded {limit} cycles"),
+            FsmdError::Unexecutable => write!(f, "region contains unexecutable op"),
+            FsmdError::PhiWithoutPred => write!(f, "phi missing executed predecessor"),
+        }
+    }
+}
+
+impl std::error::Error for FsmdError {}
+
+/// One completed FSMD invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FsmdRun {
+    /// Measured hardware cycles (control steps, with pipelined loops at
+    /// their II).
+    pub cycles: u64,
+    /// Header executions of pipelined loops (steady-state iterations).
+    pub iterations: u64,
+    /// Entries into pipelined loops (each pays the pipeline fill).
+    pub entries: u64,
+    /// Region blocks executed.
+    pub blocks_executed: u64,
+    /// The first out-of-region block control transferred to, if the region
+    /// was left by an exit edge ([`None`] when it returned).
+    pub exit_block: Option<BlockId>,
+    /// The value returned, when the region ended in a `Return`.
+    pub return_value: Option<u32>,
+}
+
+/// One block compiled for execution: its leading phis, its non-phi ops in
+/// (control step, original index) order, and its schedule depth.
+#[derive(Debug, Clone)]
+struct ExecBlock {
+    /// Indices of `Op::Phi` ops (evaluated in parallel at block entry).
+    phis: Vec<u32>,
+    /// Non-phi op indices sorted by (scheduled step, index) — the state
+    /// sequence of the block's FSM. Dependence-safe: an op's producers
+    /// never sit in a later step, and within a step chained producers
+    /// precede consumers in original order.
+    order: Vec<u32>,
+    /// Control steps the block occupies (1 for control-only blocks).
+    depth: u32,
+}
+
+/// One pipelined innermost loop.
+#[derive(Debug, Clone, Copy)]
+struct PipeLoop {
+    header: BlockId,
+    ii: u32,
+    /// Pipeline fill cost paid once per entry: `depth - II`.
+    fill: u32,
+}
+
+/// A compiled, executable FSMD for one region of a decompiled function —
+/// the same schedules and initiation intervals
+/// [`binpart_synth::synthesize`] estimates from, in executable form.
+#[derive(Debug)]
+pub struct Fsmd<'f> {
+    f: &'f Function,
+    entry: BlockId,
+    in_region: Vec<bool>,
+    blocks: Vec<Option<ExecBlock>>,
+    loops: Vec<PipeLoop>,
+    /// Innermost pipelined loop covering each block, if any.
+    loop_of: Vec<Option<usize>>,
+}
+
+impl<'f> Fsmd<'f> {
+    /// Compiles the scheduled FSMD for `region` of `f`, entered at `entry`.
+    ///
+    /// Scheduling inputs (budget, library, block-RAM placement) must match
+    /// the synthesis call whose estimate the execution is compared against.
+    ///
+    /// # Errors
+    ///
+    /// [`FsmdError::Unexecutable`] if the region contains calls.
+    pub fn compile(
+        f: &'f Function,
+        region: &[BlockId],
+        entry: BlockId,
+        budget: &ResourceBudget,
+        library: &TechLibrary,
+        mem_in_bram: bool,
+    ) -> Result<Fsmd<'f>, FsmdError> {
+        let nblocks = f.blocks.len();
+        let mut in_region = vec![false; nblocks];
+        for &b in region {
+            in_region[b.index()] = true;
+        }
+        if !in_region.get(entry.index()).copied().unwrap_or(false) {
+            return Err(FsmdError::Unexecutable);
+        }
+        // Pipelined innermost loops fully inside the region — the same set
+        // `estimate_kernel_cycles` software-pipelines.
+        let forest = LoopForest::compute(f);
+        let mut loops = Vec::new();
+        let mut loop_of: Vec<Option<usize>> = vec![None; nblocks];
+        for (li, l) in forest.loops().iter().enumerate() {
+            let is_innermost = !forest.loops().iter().any(|o| o.parent == Some(li));
+            if !is_innermost || !l.blocks.iter().all(|b| in_region[b.index()]) {
+                continue;
+            }
+            let ops = loop_iteration_ops(f, &l.blocks);
+            let sched = schedule_ops(f, &ops, library, budget, mem_in_bram);
+            let rmii = rec_mii(f, &l.blocks, l.header, library, budget, mem_in_bram);
+            let smii = res_mii(&ops, budget, library, mem_in_bram);
+            let ii = rmii.max(smii);
+            let pid = loops.len();
+            loops.push(PipeLoop {
+                header: l.header,
+                ii,
+                fill: sched.depth.saturating_sub(ii),
+            });
+            for &b in &l.blocks {
+                loop_of[b.index()] = Some(pid);
+            }
+        }
+        // Per-block state sequences.
+        let mut blocks: Vec<Option<ExecBlock>> = vec![None; nblocks];
+        for &b in region {
+            let block = f.block(b);
+            for inst in &block.ops {
+                if matches!(inst.op, Op::Call { .. }) {
+                    return Err(FsmdError::Unexecutable);
+                }
+            }
+            let ops: Vec<&Op> = block.ops.iter().map(|i| &i.op).collect();
+            let (order, depth) = if ops.is_empty() {
+                (Vec::new(), 1)
+            } else {
+                let sched = schedule_ops(f, &ops, library, budget, mem_in_bram);
+                let mut order: Vec<u32> = (0..ops.len() as u32)
+                    .filter(|&k| !matches!(ops[k as usize], Op::Phi { .. }))
+                    .collect();
+                order.sort_by_key(|&k| (sched.steps[k as usize], k));
+                (order, sched.depth)
+            };
+            let phis: Vec<u32> = (0..block.ops.len() as u32)
+                .filter(|&k| matches!(block.ops[k as usize].op, Op::Phi { .. }))
+                .collect();
+            blocks[b.index()] = Some(ExecBlock { phis, order, depth });
+        }
+        Ok(Fsmd {
+            f,
+            entry,
+            in_region,
+            blocks,
+            loops,
+            loop_of,
+        })
+    }
+
+    /// The entry block.
+    pub fn entry(&self) -> BlockId {
+        self.entry
+    }
+
+    /// SSA registers read by the region but defined outside it — the values
+    /// [`Fsmd::execute`] needs bound. Deterministic order (block × op ×
+    /// operand).
+    pub fn live_ins(&self) -> Vec<VReg> {
+        let mut defined = vec![false; self.f.vreg_count() as usize];
+        for (bi, eb) in self.blocks.iter().enumerate() {
+            if eb.is_none() {
+                continue;
+            }
+            for inst in &self.f.block(BlockId(bi as u32)).ops {
+                if let Some(d) = inst.op.dst() {
+                    defined[d.index()] = true;
+                }
+            }
+        }
+        let mut seen = vec![false; self.f.vreg_count() as usize];
+        let mut live = Vec::new();
+        let mut note = |o: &Operand| {
+            if let Operand::Reg(r) = o {
+                if !defined[r.index()] && !seen[r.index()] {
+                    seen[r.index()] = true;
+                    live.push(*r);
+                }
+            }
+        };
+        for (bi, eb) in self.blocks.iter().enumerate() {
+            if eb.is_none() {
+                continue;
+            }
+            let block = self.f.block(BlockId(bi as u32));
+            for inst in &block.ops {
+                inst.op.for_each_use(&mut note);
+            }
+            block.term.for_each_use(&mut note);
+        }
+        live
+    }
+
+    /// Executes one invocation: live-ins pre-bound in `vals` (indexed by
+    /// [`VReg::index`], sized to the function's register count), memory
+    /// through `bus`. Runs until the region is left or `cycle_limit` is
+    /// exceeded.
+    ///
+    /// # Errors
+    ///
+    /// Any [`FsmdError`]; the bus may have absorbed a partial store log.
+    pub fn execute(
+        &self,
+        vals: &mut [u32],
+        bus: &mut impl HwBus,
+        cycle_limit: u64,
+    ) -> Result<FsmdRun, FsmdError> {
+        let f = self.f;
+        let mut run = FsmdRun {
+            cycles: 0,
+            iterations: 0,
+            entries: 0,
+            blocks_executed: 0,
+            exit_block: None,
+            return_value: None,
+        };
+        let mut cur = self.entry;
+        let mut prev: Option<BlockId> = None;
+        let mut cur_loop: Option<usize> = None;
+        let mut phi_new: Vec<(VReg, u32)> = Vec::new();
+        loop {
+            let eb = self.blocks[cur.index()]
+                .as_ref()
+                .ok_or(FsmdError::Unexecutable)?;
+            run.blocks_executed += 1;
+            // ---- timing: pipelined loops at II, other blocks at depth ----
+            match self.loop_of[cur.index()] {
+                Some(li) => {
+                    let pl = self.loops[li];
+                    if cur_loop != Some(li) {
+                        // entering the loop: pay the pipeline fill once
+                        run.cycles += u64::from(pl.fill);
+                        run.entries += 1;
+                        cur_loop = Some(li);
+                    }
+                    if cur == pl.header {
+                        run.cycles += u64::from(pl.ii);
+                        run.iterations += 1;
+                    }
+                }
+                None => {
+                    cur_loop = None;
+                    run.cycles += u64::from(eb.depth);
+                }
+            }
+            if run.cycles > cycle_limit {
+                return Err(FsmdError::CycleLimit { limit: cycle_limit });
+            }
+            let block = f.block(cur);
+            // ---- phis: parallel assignment from the executed predecessor ----
+            if !eb.phis.is_empty() {
+                phi_new.clear();
+                for &k in &eb.phis {
+                    let Op::Phi { dst, args } = &block.ops[k as usize].op else {
+                        unreachable!("phi index");
+                    };
+                    let arg = match prev {
+                        Some(p) => args.iter().find(|(b, _)| *b == p).map(|(_, a)| *a),
+                        // Region entry: the unique outside-predecessor arg.
+                        None => args
+                            .iter()
+                            .find(|(b, _)| !self.in_region[b.index()])
+                            .map(|(_, a)| *a),
+                    };
+                    let arg = arg.ok_or(FsmdError::PhiWithoutPred)?;
+                    phi_new.push((*dst, eval(vals, arg)));
+                }
+                for &(d, v) in &phi_new {
+                    vals[d.index()] = v;
+                }
+            }
+            // ---- datapath: the block's states in scheduled order ----
+            for &k in &eb.order {
+                exec_op(f, vals, bus, &block.ops[k as usize].op)?;
+            }
+            // ---- terminator ----
+            let next = match &block.term {
+                Terminator::Jump(t) => *t,
+                Terminator::Branch { cond, t, f: fe } => {
+                    if eval(vals, *cond) != 0 {
+                        *t
+                    } else {
+                        *fe
+                    }
+                }
+                Terminator::Switch {
+                    index,
+                    targets,
+                    default,
+                } => {
+                    let i = eval(vals, *index) as usize;
+                    targets.get(i).copied().unwrap_or(*default)
+                }
+                Terminator::Return { value } => {
+                    run.return_value = value.map(|v| eval(vals, v));
+                    return Ok(run);
+                }
+                Terminator::None => return Err(FsmdError::Unexecutable),
+            };
+            if !self.in_region[next.index()] {
+                run.exit_block = Some(next);
+                return Ok(run);
+            }
+            prev = Some(cur);
+            cur = next;
+        }
+    }
+}
+
+#[inline]
+fn eval(vals: &[u32], o: Operand) -> u32 {
+    match o {
+        Operand::Reg(r) => vals[r.index()],
+        Operand::Const(c) => c as u32,
+    }
+}
+
+#[inline]
+fn exec_op(
+    f: &Function,
+    vals: &mut [u32],
+    bus: &mut impl HwBus,
+    op: &Op,
+) -> Result<(), FsmdError> {
+    let _ = f;
+    match op {
+        Op::Const { dst, value } => vals[dst.index()] = *value as u32,
+        Op::Copy { dst, src } => vals[dst.index()] = eval(vals, *src),
+        Op::Un { op, dst, src } => {
+            let v = eval(vals, *src);
+            vals[dst.index()] = UnOp::fold(*op, v as i64) as u32;
+        }
+        Op::Bin { op, dst, lhs, rhs } => {
+            let a = eval(vals, *lhs);
+            let b = eval(vals, *rhs);
+            vals[dst.index()] = BinOp::fold(*op, a as i64, b as i64) as u32;
+        }
+        Op::Load {
+            dst,
+            addr,
+            width,
+            signed,
+        } => {
+            let a = eval(vals, *addr);
+            check_aligned(a, *width)?;
+            let raw = match width {
+                MemWidth::W => bus.read_u32(a),
+                _ => {
+                    let n = width.bytes();
+                    let mut raw: u32 = 0;
+                    for i in 0..n {
+                        raw |= u32::from(bus.read_u8(a.wrapping_add(i))) << (8 * i);
+                    }
+                    raw
+                }
+            };
+            vals[dst.index()] = match (width, signed) {
+                (MemWidth::B, true) => raw as u8 as i8 as i32 as u32,
+                (MemWidth::H, true) => raw as u16 as i16 as i32 as u32,
+                _ => raw,
+            };
+        }
+        Op::Store { src, addr, width } => {
+            let a = eval(vals, *addr);
+            check_aligned(a, *width)?;
+            let v = eval(vals, *src);
+            match width {
+                MemWidth::W => bus.write_u32(a, v),
+                _ => {
+                    for i in 0..width.bytes() {
+                        bus.write_u8(a.wrapping_add(i), (v >> (8 * i)) as u8);
+                    }
+                }
+            }
+            bus.on_store(a, width.bytes() as u8, v);
+        }
+        Op::Phi { .. } => {} // handled at block entry
+        Op::Call { .. } => return Err(FsmdError::Unexecutable),
+    }
+    Ok(())
+}
+
+#[inline]
+fn check_aligned(addr: u32, width: MemWidth) -> Result<(), FsmdError> {
+    let mask = width.bytes() - 1;
+    if addr & mask != 0 {
+        return Err(FsmdError::Unaligned { addr });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use binpart_cdfg::ssa;
+    use binpart_synth::{synthesize, SynthesisInput};
+
+    /// The canonical sum kernel: `for (i = 0; i < n; i++) acc += a[i<<2]`.
+    fn sum_kernel(iters: u64) -> (Function, Vec<BlockId>, BlockId) {
+        let mut f = Function::new("sum");
+        let header = f.add_block();
+        let body = f.add_block();
+        let exit = f.add_block();
+        let i = f.new_vreg();
+        let acc = f.new_vreg();
+        let c = f.new_vreg();
+        let addr = f.new_vreg();
+        let x = f.new_vreg();
+        f.block_mut(f.entry).push(Op::Const { dst: i, value: 0 });
+        f.block_mut(f.entry).push(Op::Const { dst: acc, value: 0 });
+        f.block_mut(f.entry).term = Terminator::Jump(header);
+        f.block_mut(header).push(Op::Bin {
+            op: BinOp::LtS,
+            dst: c,
+            lhs: Operand::Reg(i),
+            rhs: Operand::Const(iters as i64),
+        });
+        f.block_mut(header).term = Terminator::Branch {
+            cond: Operand::Reg(c),
+            t: body,
+            f: exit,
+        };
+        f.block_mut(body).push(Op::Bin {
+            op: BinOp::Shl,
+            dst: addr,
+            lhs: Operand::Reg(i),
+            rhs: Operand::Const(2),
+        });
+        f.block_mut(body).push(Op::Load {
+            dst: x,
+            addr: Operand::Reg(addr),
+            width: MemWidth::W,
+            signed: false,
+        });
+        f.block_mut(body).push(Op::Bin {
+            op: BinOp::Add,
+            dst: acc,
+            lhs: Operand::Reg(acc),
+            rhs: Operand::Reg(x),
+        });
+        f.block_mut(body).push(Op::Bin {
+            op: BinOp::Add,
+            dst: i,
+            lhs: Operand::Reg(i),
+            rhs: Operand::Const(1),
+        });
+        f.block_mut(body).term = Terminator::Jump(header);
+        f.block_mut(exit).term = Terminator::Return {
+            value: Some(Operand::Reg(acc)),
+        };
+        ssa::construct(&mut f);
+        for b in f.block_ids().collect::<Vec<_>>() {
+            f.block_mut(b).profile_count = 1;
+        }
+        let header = f
+            .block_ids()
+            .find(|&b| matches!(f.block(b).term, Terminator::Branch { .. }))
+            .unwrap();
+        f.block_mut(header).profile_count = iters + 1;
+        if let Terminator::Branch { t, .. } = f.block(header).term {
+            f.block_mut(t).profile_count = iters;
+        }
+        // The hardware region is the loop itself (header + body); the
+        // entry block (the preheader) stays in software.
+        let body = match f.block(header).term {
+            Terminator::Branch { t, .. } => t,
+            _ => unreachable!(),
+        };
+        (f, vec![header, body], header)
+    }
+
+    fn library() -> TechLibrary {
+        TechLibrary::virtex2()
+    }
+
+    /// Binds every live-in whose function-level def is a `Const`.
+    fn bind_const_live_ins(f: &Function, fsmd: &Fsmd<'_>, vals: &mut [u32]) {
+        for v in fsmd.live_ins() {
+            for b in f.block_ids() {
+                for inst in &f.block(b).ops {
+                    if let Op::Const { dst, value } = inst.op {
+                        if dst == v {
+                            vals[v.index()] = value as u32;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fsmd_computes_the_architectural_sum() {
+        let n = 100u64;
+        let (f, region, header) = sum_kernel(n);
+        let fsmd = Fsmd::compile(
+            &f,
+            &region,
+            header,
+            &ResourceBudget::default(),
+            &library(),
+            true,
+        )
+        .unwrap();
+        // Seed memory: a[i] = i at word addresses.
+        let mut mem = Memory::new();
+        for i in 0..n {
+            mem.write_u32((i * 4) as u32, i as u32);
+        }
+        let mut bus = OverlayBus::new(&mem);
+        // Live-ins: the loop phis' init values, defined by the preheader's
+        // `Const` ops — bind them from their defs.
+        let mut vals = vec![0u32; f.vreg_count() as usize];
+        bind_const_live_ins(&f, &fsmd, &mut vals);
+        let run = fsmd.execute(&mut vals, &mut bus, 1 << 24).unwrap();
+        let expected: u32 = (0..n as u32).sum();
+        // The region exits through the loop's exit block; the sum sits in
+        // the accumulator phi value — visible through the exit block's
+        // return in full-function execution. Here we check iterations and
+        // that no stores happened.
+        assert_eq!(run.iterations, n + 1, "header executes n+1 times");
+        assert_eq!(run.entries, 1);
+        assert!(run.exit_block.is_some());
+        assert!(bus.stores.is_empty());
+        // The accumulator's final value must be somewhere in vals: find it.
+        assert!(vals.contains(&expected), "sum {expected} not computed");
+    }
+
+    #[test]
+    fn measured_cycles_match_analytic_estimate_when_counts_are_exact() {
+        let n = 1000u64;
+        let (f, region, header) = sum_kernel(n);
+        let budget = ResourceBudget::default();
+        let fsmd = Fsmd::compile(&f, &region, header, &budget, &library(), true).unwrap();
+        let mem = Memory::new();
+        let mut bus = OverlayBus::new(&mem);
+        let mut vals = vec![0u32; f.vreg_count() as usize];
+        bind_const_live_ins(&f, &fsmd, &mut vals);
+        let run = fsmd.execute(&mut vals, &mut bus, 1 << 28).unwrap();
+        let mut input = SynthesisInput::new(&f, region);
+        input.budget = budget;
+        let est = synthesize(&input).unwrap();
+        // The profile counts are exact for this kernel, so measured and
+        // analytic agree to within the entries-estimation slack.
+        let measured = run.cycles as f64;
+        let analytic = est.timing.hw_cycles as f64;
+        let err = (measured - analytic).abs() / analytic;
+        assert!(
+            err < 0.05,
+            "measured {measured} vs analytic {analytic} ({:.1}% off)",
+            err * 100.0
+        );
+    }
+
+    #[test]
+    fn stores_are_logged_in_order_and_stay_in_the_overlay() {
+        // store a[0]=7; a[1]=9 in one block.
+        let mut f = Function::new("st");
+        let e = f.entry;
+        f.block_mut(e).push(Op::Store {
+            src: Operand::Const(7),
+            addr: Operand::Const(0x100),
+            width: MemWidth::W,
+        });
+        f.block_mut(e).push(Op::Store {
+            src: Operand::Const(9),
+            addr: Operand::Const(0x104),
+            width: MemWidth::W,
+        });
+        f.block_mut(e).term = Terminator::Return { value: None };
+        ssa::construct(&mut f);
+        let region: Vec<BlockId> = f.block_ids().collect();
+        let fsmd = Fsmd::compile(
+            &f,
+            &region,
+            f.entry,
+            &ResourceBudget::default(),
+            &library(),
+            true,
+        )
+        .unwrap();
+        let mem = Memory::new();
+        let mut bus = OverlayBus::new(&mem);
+        let mut vals = vec![0u32; f.vreg_count() as usize];
+        let run = fsmd.execute(&mut vals, &mut bus, 1024).unwrap();
+        assert_eq!(run.return_value, None);
+        assert_eq!(
+            bus.stores,
+            vec![
+                HwStore { addr: 0x100, bytes: 4, value: 7 },
+                HwStore { addr: 0x104, bytes: 4, value: 9 },
+            ]
+        );
+        assert_eq!(mem.read_u32(0x100), 0, "overlay never commits");
+        let mut bus2 = OverlayBus::new(&mem);
+        assert_eq!(bus2.read_u8(0x100), 0);
+    }
+
+    #[test]
+    fn cycle_limit_catches_runaway_hardware() {
+        // while (1) {} — branch always back to header.
+        let mut f = Function::new("spin");
+        let header = f.add_block();
+        f.block_mut(f.entry).term = Terminator::Jump(header);
+        f.block_mut(header).term = Terminator::Jump(header);
+        ssa::construct(&mut f);
+        let region = vec![header];
+        let fsmd = Fsmd::compile(
+            &f,
+            &region,
+            header,
+            &ResourceBudget::default(),
+            &library(),
+            true,
+        )
+        .unwrap();
+        let mem = Memory::new();
+        let mut bus = OverlayBus::new(&mem);
+        let mut vals = vec![0u32; f.vreg_count() as usize];
+        let err = fsmd.execute(&mut vals, &mut bus, 1000).unwrap_err();
+        assert!(matches!(err, FsmdError::CycleLimit { .. }));
+    }
+
+    #[test]
+    fn unaligned_hw_access_faults() {
+        let mut f = Function::new("ua");
+        let d = f.new_vreg();
+        f.block_mut(f.entry).push(Op::Load {
+            dst: d,
+            addr: Operand::Const(0x101),
+            width: MemWidth::W,
+            signed: false,
+        });
+        f.block_mut(f.entry).term = Terminator::Return { value: None };
+        ssa::construct(&mut f);
+        let region: Vec<BlockId> = f.block_ids().collect();
+        let fsmd = Fsmd::compile(
+            &f,
+            &region,
+            f.entry,
+            &ResourceBudget::default(),
+            &library(),
+            true,
+        )
+        .unwrap();
+        let mem = Memory::new();
+        let mut bus = OverlayBus::new(&mem);
+        let mut vals = vec![0u32; f.vreg_count() as usize];
+        assert_eq!(
+            fsmd.execute(&mut vals, &mut bus, 64).unwrap_err(),
+            FsmdError::Unaligned { addr: 0x101 }
+        );
+    }
+}

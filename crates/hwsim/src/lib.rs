@@ -1,0 +1,33 @@
+//! Cycle-accurate FSMD co-simulation of synthesized kernels.
+//!
+//! `binpart-synth` *estimates* a kernel's hardware cycles analytically from
+//! its schedule and profile counts. This crate **executes** the same
+//! scheduled, bound datapath: a finite-state-machine-with-datapath
+//! interpreter ([`Fsmd`]) steps through the kernel's control steps
+//! (state-per-step, chained ops sharing a step, multi-cycle units
+//! registering their results), runs pipelined innermost loops at their
+//! computed initiation interval, and performs loads/stores against a shared
+//! memory model — producing both the kernel's *architectural effects*
+//! (values, store sequence) and its *measured* cycle count.
+//!
+//! [`KernelAccel`] packages an [`Fsmd`] as a
+//! [`binpart_mips::hybrid::Accelerator`]: it binds the region's SSA
+//! live-ins to CPU architectural state at region entry (constants from the
+//! decompiled CDFG, machine registers via instruction provenance), executes
+//! the FSMD against a copy-on-write overlay of the CPU's memory, and
+//! returns the cycle count plus the exact store log for the hybrid
+//! machine's per-invocation HW/SW differential.
+//!
+//! The interpreter's timing model mirrors
+//! [`binpart_synth::schedule::estimate_kernel_cycles`] *structurally*
+//! (same block schedules, same `II = max(ResMII, RecMII)` pipelining), but
+//! replaces every profile-derived count with the dynamically observed one —
+//! so the difference between measured and analytic cycles isolates exactly
+//! the estimator's count/trip assumptions. `binpart_core`'s
+//! `StagedFlow::cosimulate` reports that error per kernel.
+
+pub mod accel;
+pub mod fsmd;
+
+pub use accel::{AccelBuildError, KernelAccel, KernelSet, LiveInSource};
+pub use fsmd::{Fsmd, FsmdError, FsmdRun, HwBus, OverlayBus};

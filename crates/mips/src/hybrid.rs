@@ -1,0 +1,498 @@
+//! The hybrid CPU/FPGA machine: software on the fast simulator, partitioned
+//! regions dispatched to a hardware model, with exact cycle accounting
+//! across the boundary.
+//!
+//! [`HybridMachine`] wraps the fast [`Machine`] with *trap points* at the
+//! entry pcs of the partitioned regions (realized with
+//! [`Machine::set_dispatch_boundaries`] + [`Machine::run_until`], so the
+//! block-dispatch engine keeps its speed between regions). When control
+//! reaches a region entry:
+//!
+//! 1. the registered [`Accelerator`] is invoked against a read-only view of
+//!    the architectural state (registers + memory). A hardware model (the
+//!    FSMD interpreter in `binpart-hwsim`) executes the region's scheduled
+//!    datapath against a *copy-on-write overlay* of memory, returning its
+//!    cycle count and the exact sequence of stores it performed;
+//! 2. the software machine then executes the same region natively — the
+//!    architectural oracle. Its registers and memory remain authoritative,
+//!    so the hybrid run's final [`Exit`] is bit-identical to a pure-software
+//!    run *by construction*; the machine's cycle counter keeps counting, so
+//!    the software cycles the region consumed are measured exactly;
+//! 3. the two executions are differenced **per invocation**: the hardware's
+//!    data-section store sequence must equal the software's (same addresses,
+//!    widths, and values, in the same order). Any divergence is counted in
+//!    [`KernelStats::store_mismatches`] — this is the architectural
+//!    verification of the hardware model, stricter than comparing end
+//!    states.
+//!
+//! Accounting: per kernel, the measured hardware cycles (accelerator clock
+//! domain), the measured software cycles the region would have consumed
+//! (CPU clock domain — the replaced time), and the invocation count (each
+//! one pays the platform's CPU↔FPGA invocation overhead). The caller turns
+//! these into hybrid time/energy with `binpart_platform`.
+
+use crate::sim::{Exit, Machine, Memory, Profile, Profiler, RunStop, SimConfig, SimError};
+use crate::Binary;
+
+/// One partitioned region: a contiguous pc range (the code generator lays
+/// loop nests out contiguously) entered at a single pc (the loop header).
+#[derive(Debug, Clone)]
+pub struct RegionSpec {
+    /// Kernel name (diagnostics).
+    pub name: String,
+    /// First text address of the region.
+    pub lo: u32,
+    /// Last text address of the region (inclusive).
+    pub hi: u32,
+    /// The pc that triggers hardware dispatch (the loop header; must lie
+    /// within `[lo, hi]`).
+    pub entry_pc: u32,
+}
+
+impl RegionSpec {
+    /// Is `pc` inside the region's range?
+    pub fn contains(&self, pc: u32) -> bool {
+        pc >= self.lo && pc <= self.hi
+    }
+}
+
+/// One store performed by the hardware model, in execution order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HwStore {
+    /// Byte address.
+    pub addr: u32,
+    /// Access width in bytes (1, 2, or 4).
+    pub bytes: u8,
+    /// Stored value (low `bytes` bytes significant).
+    pub value: u32,
+}
+
+/// A completed hardware execution of one region invocation.
+#[derive(Debug, Clone)]
+pub struct HwInvocation {
+    /// Hardware cycles the invocation took (accelerator clock domain).
+    pub hw_cycles: u64,
+    /// Every store the hardware performed, in order (against its memory
+    /// overlay — nothing was committed).
+    pub stores: Vec<HwStore>,
+}
+
+/// What the accelerator did with one invocation request.
+#[derive(Debug, Clone)]
+pub enum AccelOutcome {
+    /// The hardware model executed the region.
+    Executed(HwInvocation),
+    /// The region could not be dispatched (e.g. an unmappable live-in
+    /// binding); the invocation runs in software and is counted as
+    /// declined.
+    Declined,
+    /// The hardware model started but faulted (bad address, cycle-limit).
+    /// The invocation runs in software and is counted as a fault.
+    Faulted,
+}
+
+/// A hardware model that can execute partitioned regions. Implemented by
+/// `binpart-hwsim`'s FSMD interpreter; the trait keeps `binpart-mips` free
+/// of CDFG/synthesis dependencies.
+pub trait Accelerator {
+    /// Executes one invocation of region `region` (index into the
+    /// [`HybridMachine`]'s region list) against a read-only view of the
+    /// CPU state at region entry. Implementations must not mutate shared
+    /// state — stores go into the returned log.
+    fn invoke(&mut self, region: usize, regs: &[u32; 32], mem: &Memory) -> AccelOutcome;
+}
+
+/// Software store log: a [`Profiler`] that records every store's address,
+/// width, and value — the software half of the per-invocation HW/SW store
+/// differential. All other hooks are empty, so the shadow (oracle) run of
+/// a region costs little more than an unprofiled run.
+#[derive(Debug, Clone, Default)]
+pub struct StoreLog {
+    /// Stores in execution order.
+    pub stores: Vec<HwStore>,
+}
+
+impl Profiler for StoreLog {
+    fn begin(&mut self, _text_base: u32, _text_len: usize) {}
+    #[inline(always)]
+    fn on_block(&mut self, _idx: usize, _n: usize, _cyc: u64) {}
+    #[inline(always)]
+    fn on_taken(&mut self, _idx: usize) {}
+    #[inline(always)]
+    fn on_call(&mut self, _target: u32) {}
+    #[inline(always)]
+    fn on_load(&mut self) {}
+    #[inline(always)]
+    fn on_store(&mut self) {}
+    #[inline(always)]
+    fn on_store_at(&mut self, addr: u32, bytes: u8, value: u32) {
+        self.stores.push(HwStore { addr, bytes, value });
+    }
+    fn take_profile(&mut self, text_base: u32, _text_len: usize) -> Profile {
+        Profile::new(text_base, 0)
+    }
+}
+
+/// Hybrid-machine tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct HybridConfig {
+    /// Addresses at or above this are treated as stack traffic and excluded
+    /// from the HW/SW store differential: the decompiler legitimately
+    /// removes stack spill/reload operations (`stack_op_removal`), so the
+    /// software oracle performs stack stores the hardware never sees.
+    pub stack_floor: u32,
+    /// Collect and compare store logs (disable for pure timing runs).
+    pub verify_stores: bool,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig {
+            stack_floor: 0x7000_0000,
+            verify_stores: true,
+        }
+    }
+}
+
+/// Measured per-kernel co-simulation statistics.
+#[derive(Debug, Clone, Default)]
+pub struct KernelStats {
+    /// Kernel name (from the [`RegionSpec`]).
+    pub name: String,
+    /// Times control reached the region entry (trap count).
+    pub invocations: u64,
+    /// Invocations the hardware model executed.
+    pub hw_invocations: u64,
+    /// Invocations the accelerator declined (ran in software).
+    pub declined: u64,
+    /// Invocations where the hardware model faulted (ran in software).
+    pub faulted: u64,
+    /// Total measured hardware cycles (accelerator clock domain), summed
+    /// over executed invocations.
+    pub hw_cycles: u64,
+    /// Measured software cycles of the region over executed invocations —
+    /// the CPU time the hardware replaces.
+    pub sw_cycles_replaced: u64,
+    /// Invocations whose data-section store sequence diverged between
+    /// hardware and software. Zero means the hardware model is
+    /// architecturally exact on every memory effect it performed.
+    pub store_mismatches: u64,
+    /// Data-section stores compared (per-invocation sequences, summed).
+    pub stores_checked: u64,
+}
+
+/// The hybrid run's result: the architectural [`Exit`] (bit-identical to a
+/// pure-software run — the software oracle is authoritative) plus the
+/// measured co-simulation statistics.
+#[derive(Debug, Clone)]
+pub struct HybridExit {
+    /// Architectural exit state (registers, reason, total cycles/instrs —
+    /// the totals are the *software* totals: every region was also executed
+    /// by the oracle, so `exit.cycles` equals the pure-software count).
+    pub exit: Exit,
+    /// Per-kernel measurements, parallel to the region list.
+    pub kernels: Vec<KernelStats>,
+}
+
+impl HybridExit {
+    /// Software cycles spent *outside* hardware-executed regions: total
+    /// minus every executed invocation's replaced cycles. This is the CPU
+    /// share of the hybrid execution time.
+    pub fn sw_cycles_outside(&self) -> u64 {
+        let replaced: u64 = self.kernels.iter().map(|k| k.sw_cycles_replaced).sum();
+        self.exit.cycles.saturating_sub(replaced)
+    }
+
+    /// Total store-sequence mismatches across all kernels.
+    pub fn store_mismatches(&self) -> u64 {
+        self.kernels.iter().map(|k| k.store_mismatches).sum()
+    }
+
+    /// Total hardware-executed invocations across all kernels.
+    pub fn hw_invocations(&self) -> u64 {
+        self.kernels.iter().map(|k| k.hw_invocations).sum()
+    }
+}
+
+/// The hybrid CPU/FPGA machine. See the [module docs](self).
+#[derive(Debug)]
+pub struct HybridMachine {
+    machine: Machine,
+    regions: Vec<RegionSpec>,
+    config: HybridConfig,
+}
+
+impl HybridMachine {
+    /// Loads `binary` with trap points at each region's entry pc.
+    ///
+    /// Regions whose `entry_pc` lies outside their own `[lo, hi]` range are
+    /// rejected (they could trap without making progress).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadInstruction`] as for [`Machine::with_config`], or a
+    /// panic-free filter: malformed regions are dropped.
+    pub fn new(
+        binary: &Binary,
+        sim: SimConfig,
+        regions: Vec<RegionSpec>,
+        config: HybridConfig,
+    ) -> Result<HybridMachine, SimError> {
+        let regions: Vec<RegionSpec> = regions
+            .into_iter()
+            .filter(|r| r.contains(r.entry_pc))
+            .collect();
+        let mut machine = Machine::with_config(binary, sim)?;
+        // Dispatch boundaries: every entry pc (so the outer watch observes
+        // it) and every first-pc-after-region (so fallthrough exits start a
+        // dispatch round where the region-exit watch fires).
+        let mut pcs: Vec<u32> = Vec::with_capacity(regions.len() * 3);
+        for r in &regions {
+            pcs.push(r.entry_pc);
+            pcs.push(r.lo);
+            pcs.push(r.hi.wrapping_add(4));
+        }
+        machine.set_dispatch_boundaries(&pcs);
+        Ok(HybridMachine {
+            machine,
+            regions,
+            config,
+        })
+    }
+
+    /// The regions this machine traps on.
+    pub fn regions(&self) -> &[RegionSpec] {
+        &self.regions
+    }
+
+    /// Runs to completion, dispatching region entries to `accel`.
+    ///
+    /// # Errors
+    ///
+    /// Any [`SimError`] from the software engine (the oracle executes every
+    /// region, so hardware faults never abort the run — they are counted).
+    pub fn run<A: Accelerator>(&mut self, accel: &mut A) -> Result<HybridExit, SimError> {
+        let mut kernels: Vec<KernelStats> = self
+            .regions
+            .iter()
+            .map(|r| KernelStats {
+                name: r.name.clone(),
+                ..KernelStats::default()
+            })
+            .collect();
+        let mut null = crate::sim::NullProfiler;
+        let exit = loop {
+            // Software between regions, at full block-dispatch speed.
+            let regions = &self.regions;
+            let stop = self
+                .machine
+                .run_until(&mut null, |pc| regions.iter().any(|r| r.entry_pc == pc))?;
+            let pc = match stop {
+                RunStop::Exited(exit) => break *exit,
+                RunStop::Trapped { pc } => pc,
+            };
+            let ri = self
+                .regions
+                .iter()
+                .position(|r| r.entry_pc == pc)
+                .expect("trap only fires on a region entry");
+            kernels[ri].invocations += 1;
+
+            // 1. Hardware model against the pre-region state.
+            let outcome = accel.invoke(ri, self.machine.regs(), &self.machine.mem);
+
+            // 2. Software oracle through the region (authoritative state;
+            //    measures the replaced CPU cycles exactly).
+            let cycles_before = self.machine.cycles();
+            let region = self.regions[ri].clone();
+            let mut log = StoreLog::default();
+            let shadow = if self.config.verify_stores {
+                self.machine.run_until(&mut log, |pc| !region.contains(pc))?
+            } else {
+                self.machine.run_until(&mut null, |pc| !region.contains(pc))?
+            };
+            let replaced = self.machine.cycles() - cycles_before;
+
+            // 3. Per-invocation differential + accounting.
+            match outcome {
+                AccelOutcome::Executed(hw) => {
+                    let k = &mut kernels[ri];
+                    k.hw_invocations += 1;
+                    k.hw_cycles += hw.hw_cycles;
+                    k.sw_cycles_replaced += replaced;
+                    if self.config.verify_stores {
+                        let floor = self.config.stack_floor;
+                        let data = |s: &&HwStore| s.addr < floor;
+                        let hw_stores: Vec<&HwStore> =
+                            hw.stores.iter().filter(data).collect();
+                        let sw_stores: Vec<&HwStore> =
+                            log.stores.iter().filter(data).collect();
+                        k.stores_checked += sw_stores.len() as u64;
+                        let matches = hw_stores.len() == sw_stores.len()
+                            && hw_stores.iter().zip(&sw_stores).all(|(h, s)| {
+                                let mask = if h.bytes >= 4 {
+                                    u32::MAX
+                                } else {
+                                    (1u32 << (8 * h.bytes)) - 1
+                                };
+                                h.addr == s.addr
+                                    && h.bytes == s.bytes
+                                    && (h.value & mask) == (s.value & mask)
+                            });
+                        if !matches {
+                            k.store_mismatches += 1;
+                        }
+                    }
+                }
+                AccelOutcome::Declined => kernels[ri].declined += 1,
+                AccelOutcome::Faulted => kernels[ri].faulted += 1,
+            }
+
+            match shadow {
+                RunStop::Exited(exit) => break *exit, // program ended inside the region
+                RunStop::Trapped { .. } => continue,
+            }
+        };
+        Ok(HybridExit { exit, kernels })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::NullProfiler;
+    use crate::{Asm, BinaryBuilder, Reg};
+
+    /// A counted loop: v0 = sum 0..n with the loop body at a known label.
+    fn loop_binary(n: i32) -> (Binary, u32, u32) {
+        let mut a = Asm::new();
+        a.li(Reg::T0, 0); // i
+        a.li(Reg::V0, 0); // acc
+        a.li(Reg::T2, n);
+        let head = a.new_label();
+        let done = a.new_label();
+        a.bind(head);
+        let head_off = 3 * 4 + 4; // li(T2) may be 1-2 instrs; recomputed below
+        let _ = head_off;
+        a.slt(Reg::T3, Reg::T0, Reg::T2);
+        a.beq(Reg::T3, Reg::Zero, done);
+        a.nop();
+        a.addu(Reg::V0, Reg::V0, Reg::T0);
+        a.addiu(Reg::T0, Reg::T0, 1);
+        a.j(head);
+        a.nop();
+        a.bind(done);
+        a.jr(Reg::Ra);
+        a.nop();
+        let text = a.finish().expect("assembles");
+        let binary = BinaryBuilder::new().text(text).build();
+        // The loop head is the 4th instruction when li expands to one op.
+        // Find it structurally: the slt is the first slt in text.
+        let base = binary.text_base;
+        let mut head_pc = 0;
+        let mut end_pc = 0;
+        for (i, &w) in binary.text.iter().enumerate() {
+            if let Ok(instr) = crate::decode(w) {
+                if matches!(instr, crate::Instr::Slt { .. }) && head_pc == 0 {
+                    head_pc = base + (i as u32) * 4;
+                }
+                if matches!(instr, crate::Instr::J { .. }) {
+                    end_pc = base + (i as u32) * 4 + 4; // delay slot
+                }
+            }
+        }
+        (binary, head_pc, end_pc)
+    }
+
+    struct CountingAccel {
+        calls: u64,
+        outcome_cycles: u64,
+    }
+
+    impl Accelerator for CountingAccel {
+        fn invoke(&mut self, _region: usize, _regs: &[u32; 32], _mem: &Memory) -> AccelOutcome {
+            self.calls += 1;
+            AccelOutcome::Executed(HwInvocation {
+                hw_cycles: self.outcome_cycles,
+                stores: Vec::new(),
+            })
+        }
+    }
+
+    #[test]
+    fn hybrid_exit_is_bit_identical_to_pure_software() {
+        let (binary, head, end) = loop_binary(10);
+        let pure = Machine::new(&binary).unwrap().run_unprofiled().unwrap();
+        let regions = vec![RegionSpec {
+            name: "loop".into(),
+            lo: head,
+            hi: end,
+            entry_pc: head,
+        }];
+        let mut hm =
+            HybridMachine::new(&binary, SimConfig::default(), regions, HybridConfig::default())
+                .unwrap();
+        let mut accel = CountingAccel {
+            calls: 0,
+            outcome_cycles: 13,
+        };
+        let hx = hm.run(&mut accel).unwrap();
+        assert_eq!(hx.exit.regs, pure.regs);
+        assert_eq!(hx.exit.reason, pure.reason);
+        assert_eq!(hx.exit.cycles, pure.cycles, "oracle executes everything");
+        assert_eq!(hx.exit.instrs, pure.instrs);
+        assert_eq!(accel.calls, 1, "single loop entry");
+        assert_eq!(hx.kernels[0].invocations, 1);
+        assert_eq!(hx.kernels[0].hw_cycles, 13);
+        assert!(hx.kernels[0].sw_cycles_replaced > 0);
+        assert!(hx.sw_cycles_outside() < pure.cycles);
+    }
+
+    #[test]
+    fn run_until_traps_before_executing_the_watched_pc() {
+        let (binary, head, _) = loop_binary(3);
+        let mut m = Machine::new(&binary).unwrap();
+        m.set_dispatch_boundaries(&[head]);
+        let mut prof = NullProfiler;
+        match m.run_until(&mut prof, |pc| pc == head).unwrap() {
+            RunStop::Trapped { pc } => assert_eq!(pc, head),
+            RunStop::Exited(_) => panic!("must trap at the loop head"),
+        }
+        assert_eq!(m.pc(), head);
+        // Resuming with a never-hit watch completes identically to pure SW.
+        let pure = Machine::new(&binary).unwrap().run_unprofiled().unwrap();
+        match m.run_until(&mut prof, |_| false).unwrap() {
+            RunStop::Exited(exit) => {
+                assert_eq!(exit.regs, pure.regs);
+                assert_eq!(exit.cycles, pure.cycles);
+            }
+            RunStop::Trapped { .. } => panic!("no watch set"),
+        }
+    }
+
+    #[test]
+    fn declined_invocations_still_run_in_software() {
+        struct Decliner;
+        impl Accelerator for Decliner {
+            fn invoke(&mut self, _r: usize, _regs: &[u32; 32], _m: &Memory) -> AccelOutcome {
+                AccelOutcome::Declined
+            }
+        }
+        let (binary, head, end) = loop_binary(5);
+        let pure = Machine::new(&binary).unwrap().run_unprofiled().unwrap();
+        let regions = vec![RegionSpec {
+            name: "loop".into(),
+            lo: head,
+            hi: end,
+            entry_pc: head,
+        }];
+        let mut hm =
+            HybridMachine::new(&binary, SimConfig::default(), regions, HybridConfig::default())
+                .unwrap();
+        let hx = hm.run(&mut Decliner).unwrap();
+        assert_eq!(hx.exit.regs, pure.regs);
+        assert_eq!(hx.kernels[0].declined, 1);
+        assert_eq!(hx.kernels[0].hw_invocations, 0);
+        assert_eq!(hx.sw_cycles_outside(), pure.cycles, "nothing replaced");
+    }
+}

@@ -39,6 +39,7 @@
 
 pub mod asm;
 pub mod binary;
+pub mod hybrid;
 pub mod cycles;
 pub mod encode;
 pub mod instr;

@@ -404,6 +404,17 @@ impl Profile {
         self.index(pc).map_or(0, |i| self.taken[i])
     }
 
+    /// Does this profile carry branch-bias data? `false` for profiles from
+    /// collectors that do not observe taken edges (e.g.
+    /// [`BlockCountProfiler`]) — consumers of taken counts (the
+    /// partitioner's measured loop-entry estimates) fall back to
+    /// block-count approximations then. A completed run of any real
+    /// program takes at least one branch, so all-zero `taken` reliably
+    /// means "not collected".
+    pub fn has_taken_data(&self) -> bool {
+        self.taken.iter().any(|&t| t > 0)
+    }
+
     /// Dynamic cycles attributed to the half-open pc range `[start, end)`,
     /// under a flat per-instruction model (used for region weighting).
     pub fn count_in_range(&self, start: u32, end: u32) -> u64 {
@@ -457,6 +468,15 @@ pub trait Profiler {
     fn on_load(&mut self);
     /// A store retired.
     fn on_store(&mut self);
+    /// A store of `value` (low `bytes` bytes significant) to `addr`
+    /// retired. Defaulted to a no-op so existing profilers pay nothing;
+    /// the hybrid co-simulation's store-log oracle
+    /// ([`crate::hybrid::StoreLog`]) overrides it to record the software
+    /// side of the HW/SW differential.
+    #[inline(always)]
+    fn on_store_at(&mut self, addr: u32, bytes: u8, value: u32) {
+        let _ = (addr, bytes, value);
+    }
     /// Extracts the collected data as a [`Profile`], leaving the profiler
     /// reset (ready for another run).
     fn take_profile(&mut self, text_base: u32, text_len: usize) -> Profile;
@@ -590,6 +610,81 @@ impl Profiler for BlockCountProfiler {
     }
 }
 
+/// Block execution counts **plus branch bias** — the edge profiler.
+///
+/// Extends [`BlockCountProfiler`]'s boundary-delta scheme (exact
+/// per-instruction counts from two array writes per dispatch round) with a
+/// per-branch taken counter (one array write per *retired branch*, which
+/// is at most one per dispatch round). The resulting [`Profile`] carries
+/// exact `counts` *and* exact `taken` — the branch-bias data the
+/// partitioner's loop-bound estimates consume (dynamic back-edge counts →
+/// loop entries → CPU↔FPGA invocation counts; see
+/// `binpart_core::partition::harvest_candidates`) — at a fraction of the
+/// full profiler's cost. Call edges and load/store totals are still not
+/// collected and read as zero.
+#[derive(Debug, Clone, Default)]
+pub struct EdgeProfiler {
+    /// Boundary deltas; entry `i` is the count change at text index `i`.
+    diff: Vec<i64>,
+    /// Taken count per static branch (text index).
+    taken: Vec<u64>,
+    total_instrs: u64,
+    total_cycles: u64,
+}
+
+impl EdgeProfiler {
+    /// Creates an empty profiler (sized on first use).
+    pub fn new() -> EdgeProfiler {
+        EdgeProfiler::default()
+    }
+}
+
+impl Profiler for EdgeProfiler {
+    fn begin(&mut self, _text_base: u32, text_len: usize) {
+        if self.diff.len() < text_len + 1 {
+            self.diff.resize(text_len + 1, 0);
+        }
+        if self.taken.len() < text_len {
+            self.taken.resize(text_len, 0);
+        }
+    }
+    #[inline(always)]
+    fn on_block(&mut self, idx: usize, n: usize, cyc: u64) {
+        self.diff[idx] += 1;
+        self.diff[idx + n] -= 1;
+        self.total_instrs += n as u64;
+        self.total_cycles += cyc;
+    }
+    #[inline(always)]
+    fn on_taken(&mut self, idx: usize) {
+        self.taken[idx] += 1;
+    }
+    #[inline(always)]
+    fn on_call(&mut self, _target: u32) {}
+    #[inline(always)]
+    fn on_load(&mut self) {}
+    #[inline(always)]
+    fn on_store(&mut self) {}
+    fn take_profile(&mut self, text_base: u32, text_len: usize) -> Profile {
+        let mut p = Profile::new(text_base, text_len);
+        let mut acc = 0i64;
+        for (i, slot) in p.counts.iter_mut().enumerate() {
+            acc += self.diff.get(i).copied().unwrap_or(0);
+            *slot = acc as u64;
+        }
+        for (i, slot) in p.taken.iter_mut().enumerate() {
+            *slot = self.taken.get(i).copied().unwrap_or(0);
+        }
+        p.total_instrs = self.total_instrs;
+        p.total_cycles = self.total_cycles;
+        self.diff.clear();
+        self.taken.clear();
+        self.total_instrs = 0;
+        self.total_cycles = 0;
+        p
+    }
+}
+
 /// Configuration for a [`Machine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SimConfig {
@@ -613,6 +708,45 @@ impl Default for SimConfig {
             fusion: FusionConfig::default(),
         }
     }
+}
+
+/// A pc predicate monomorphized into the dispatch loop. [`NoWatch`] (the
+/// plain-run case) compiles every check out; closures make
+/// [`Machine::run_until`] stop at caller-chosen addresses.
+trait PcWatch {
+    fn hit(&self, pc: u32) -> bool;
+}
+
+/// The zero-cost watch: never hits, so the monomorphized run loop carries
+/// no pc checks at all.
+struct NoWatch;
+
+impl PcWatch for NoWatch {
+    #[inline(always)]
+    fn hit(&self, _pc: u32) -> bool {
+        false
+    }
+}
+
+impl<F: Fn(u32) -> bool> PcWatch for F {
+    #[inline(always)]
+    fn hit(&self, pc: u32) -> bool {
+        self(pc)
+    }
+}
+
+/// Where a bounded run ([`Machine::run_until`]) stopped.
+#[derive(Debug)]
+pub enum RunStop {
+    /// The program finished normally (halt or `break`).
+    Exited(Box<Exit>),
+    /// Control reached a watched pc in the sequential state, *before*
+    /// executing the instruction there. The machine can be resumed (it
+    /// will re-trap unless the watch changes) or handed to an accelerator.
+    Trapped {
+        /// The watched pc.
+        pc: u32,
+    },
 }
 
 /// Final machine state.
@@ -1381,9 +1515,26 @@ const PLAN_LEN: u32 = (1 << 24) - 1;
 /// full width — to be a plain op in the *unfused* stream `ops`, because the
 /// delay slot always executes exactly one architectural instruction.
 fn build_plans(fops: &[Op], ops: &[Op]) -> Vec<u32> {
+    build_plans_bounded(fops, ops, &[])
+}
+
+/// [`build_plans`] with *dispatch boundaries*: at every index marked in
+/// `boundary`, a dispatch round must begin (so the outer loop's pc checks —
+/// halt, watch, budget — observe that address). Straight-line runs are
+/// truncated to end just before a boundary, and a control epilogue whose
+/// constituents or delay slot would cross one loses its fused flag.
+/// An empty `boundary` reproduces [`build_plans`] exactly.
+fn build_plans_bounded(fops: &[Op], ops: &[Op], boundary: &[bool]) -> Vec<u32> {
+    let bounded = |k: usize| boundary.get(k).copied().unwrap_or(false);
     let mut v = vec![0u32; fops.len()];
     for i in (0..fops.len()).rev() {
         if !is_control(fops[i].code) {
+            if bounded(i + 1) {
+                // The run must stop at the boundary: just this op, and the
+                // run's end is not the fusable control op.
+                v[i] = 1;
+                continue;
+            }
             let next = if i + 1 < fops.len() { v[i + 1] } else { 0 };
             let len = (next & PLAN_LEN) + 1;
             if len >= PLAN_LEN {
@@ -1394,13 +1545,23 @@ fn build_plans(fops: &[Op], ops: &[Op]) -> Vec<u32> {
                 v[i] = len | (next & PLAN_FUSED);
             }
         } else if fops[i].code != OpCode::Break {
-            let slot = i + fops[i].width as usize;
-            if slot < ops.len() && !is_control(ops[slot].code) {
+            let w = fops[i].width as usize;
+            let slot = i + w;
+            let crosses = (i + 1..=slot).any(bounded);
+            if slot < ops.len() && !is_control(ops[slot].code) && !crosses {
                 v[i] = PLAN_FUSED;
             }
         }
     }
     v
+}
+
+/// How the generic run loop ended (normal completion or a watched pc).
+enum RunControl {
+    /// The program finished for `reason`.
+    Done(ExitReason),
+    /// A watched pc was reached in the sequential state.
+    Watched(u32),
 }
 
 /// How one executed micro-op leaves control flow.
@@ -1669,8 +1830,10 @@ fn exec_op<P: Profiler>(
         }
         OpCode::Sb => {
             let a = reg_read(regs, op.b).wrapping_add(op.imm);
+            let v = reg_read(regs, op.c);
             prof.on_store();
-            mem.write_u8(a, reg_read(regs, op.c) as u8);
+            prof.on_store_at(a, 1, v);
+            mem.write_u8(a, v as u8);
             false
         }
         OpCode::Sh => {
@@ -1678,8 +1841,10 @@ fn exec_op<P: Profiler>(
             if a & 1 != 0 {
                 return Err(SimError::Unaligned { addr: a, pc });
             }
+            let v = reg_read(regs, op.c);
             prof.on_store();
-            mem.write_u16(a, reg_read(regs, op.c) as u16);
+            prof.on_store_at(a, 2, v);
+            mem.write_u16(a, v as u16);
             false
         }
         OpCode::Sw => {
@@ -1687,8 +1852,10 @@ fn exec_op<P: Profiler>(
             if a & 3 != 0 {
                 return Err(SimError::Unaligned { addr: a, pc });
             }
+            let v = reg_read(regs, op.c);
             prof.on_store();
-            mem.write_u32(a, reg_read(regs, op.c));
+            prof.on_store_at(a, 4, v);
+            mem.write_u32(a, v);
             false
         }
         OpCode::FAddiuAddiu => {
@@ -1737,8 +1904,10 @@ fn exec_op<P: Profiler>(
             if a & 3 != 0 {
                 return Err(SimError::Unaligned { addr: a, pc: pc.wrapping_add(4) });
             }
+            let v = reg_read(regs, op.e);
             prof.on_store();
-            mem.write_u32(a, reg_read(regs, op.e));
+            prof.on_store_at(a, 4, v);
+            mem.write_u32(a, v);
             false
         }
         OpCode::FSllAdduLw => {
@@ -1760,8 +1929,10 @@ fn exec_op<P: Profiler>(
             if a & 3 != 0 {
                 return Err(SimError::Unaligned { addr: a, pc: pc.wrapping_add(8) });
             }
+            let v = reg_read(regs, op.a);
             prof.on_store();
-            mem.write_u32(a, reg_read(regs, op.a));
+            prof.on_store_at(a, 4, v);
+            mem.write_u32(a, v);
             false
         }
         OpCode::FMultMfloAddu => {
@@ -1800,8 +1971,10 @@ fn exec_op<P: Profiler>(
             if s & 3 != 0 {
                 return Err(SimError::Unaligned { addr: s, pc });
             }
+            let sv = reg_read(regs, op.c);
             prof.on_store();
-            mem.write_u32(s, reg_read(regs, op.c));
+            prof.on_store_at(s, 4, sv);
+            mem.write_u32(s, sv);
             let l = reg_read(regs, op.d).wrapping_add(op.imm2);
             if l & 3 != 0 {
                 return Err(SimError::Unaligned { addr: l, pc: pc.wrapping_add(4) });
@@ -1823,8 +1996,10 @@ fn exec_op<P: Profiler>(
             if s & 3 != 0 {
                 return Err(SimError::Unaligned { addr: s, pc: pc.wrapping_add(4) });
             }
+            let sv = reg_read(regs, op.e);
             prof.on_store();
-            mem.write_u32(s, reg_read(regs, op.e));
+            prof.on_store_at(s, 4, sv);
+            mem.write_u32(s, sv);
             false
         }
         OpCode::FLwLw => {
@@ -1872,8 +2047,10 @@ fn exec_op<P: Profiler>(
             if s & 3 != 0 {
                 return Err(SimError::Unaligned { addr: s, pc: pc.wrapping_add(4) });
             }
+            let v = reg_read(regs, op.e);
             prof.on_store();
-            mem.write_u32(s, reg_read(regs, op.e));
+            prof.on_store_at(s, 4, v);
+            mem.write_u32(s, v);
             false
         }
         OpCode::FAdduAddiu => {
@@ -2030,6 +2207,11 @@ pub struct Machine {
     /// Per-index dispatch plan (run length + fusable-epilogue flag); see
     /// [`build_plans`].
     plans: Vec<u32>,
+    /// Statically known control-flow entry points (branch/jump targets,
+    /// call returns, the binary entry) — kept so
+    /// [`Machine::set_dispatch_boundaries`] can re-run fusion with extra
+    /// boundaries folded in.
+    entries: Vec<bool>,
     text_base: u32,
     /// Data/stack memory (text is pre-decoded, not stored here).
     pub mem: Memory,
@@ -2088,6 +2270,7 @@ impl Machine {
             ops,
             fops,
             plans,
+            entries,
             text_base: binary.text_base,
             mem,
             config,
@@ -2095,6 +2278,29 @@ impl Machine {
             cycles: 0,
             instrs: 0,
         })
+    }
+
+    /// Forces a dispatch round to begin at each of the given pcs (in
+    /// addition to every natural run start), so [`Machine::run_until`]'s
+    /// watch reliably observes them: superinstruction fusion is redone
+    /// refusing to consume the marked indices, and straight-line runs are
+    /// truncated there ([`build_plans_bounded`]). Out-of-text or unaligned
+    /// pcs are ignored. Architectural behaviour is unchanged — only the
+    /// dispatch grouping (and thus watch granularity) differs.
+    pub fn set_dispatch_boundaries(&mut self, pcs: &[u32]) {
+        let mut boundary = vec![false; self.ops.len()];
+        for &pc in pcs {
+            let off = pc.wrapping_sub(self.text_base);
+            if off.is_multiple_of(4) && ((off / 4) as usize) < self.ops.len() {
+                boundary[(off / 4) as usize] = true;
+            }
+        }
+        let mut entries = self.entries.clone();
+        for (e, &b) in entries.iter_mut().zip(&boundary) {
+            *e |= b;
+        }
+        self.fops = fuse(&self.ops, &entries, self.config.fusion);
+        self.plans = build_plans_bounded(&self.fops, &self.ops, &boundary);
     }
 
     /// Current register value.
@@ -2114,6 +2320,21 @@ impl Machine {
         self.pc
     }
 
+    /// The whole register file (read-only view for accelerator dispatch).
+    pub fn regs(&self) -> &[u32; 32] {
+        &self.regs
+    }
+
+    /// Total cycles accumulated so far (across all run segments).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Total instructions retired so far (across all run segments).
+    pub fn instrs(&self) -> u64 {
+        self.instrs
+    }
+
     /// Runs until halt, `break`, or an error, collecting the full profile.
     ///
     /// The accumulated [`Profile`] is *moved* into the returned [`Exit`];
@@ -2125,7 +2346,10 @@ impl Machine {
     /// accumulated profile) is left at the faulting point.
     pub fn run(&mut self) -> Result<Exit, SimError> {
         let mut prof = std::mem::replace(&mut self.profile, Profile::new(self.text_base, 0));
-        match self.run_loop(&mut prof) {
+        match self.run_loop(&mut prof, &NoWatch).map(|c| match c {
+            RunControl::Done(reason) => reason,
+            RunControl::Watched(_) => unreachable!("NoWatch never hits"),
+        }) {
             Ok(reason) => {
                 self.profile = Profile::new(self.text_base, self.ops.len());
                 Ok(self.exit_with(reason, prof))
@@ -2176,9 +2400,44 @@ impl Machine {
     /// Same as [`Machine::run`].
     pub fn run_with<P: Profiler>(&mut self, prof: &mut P) -> Result<Exit, SimError> {
         prof.begin(self.text_base, self.ops.len());
-        let reason = self.run_loop(prof)?;
+        let reason = match self.run_loop(prof, &NoWatch)? {
+            RunControl::Done(reason) => reason,
+            RunControl::Watched(_) => unreachable!("NoWatch never hits"),
+        };
         let profile = prof.take_profile(self.text_base, self.ops.len());
         Ok(self.exit_with(reason, profile))
+    }
+
+    /// Runs until the program finishes **or control reaches a pc for which
+    /// `watch` returns true** (checked at dispatch-round granularity in the
+    /// sequential state, before the watched instruction executes — never
+    /// inside a branch/delay-slot pair). Pair with
+    /// [`Machine::set_dispatch_boundaries`] to guarantee a round starts at
+    /// every address the watch cares about; otherwise a straight-line run
+    /// may step over a watched pc without a check.
+    ///
+    /// On a trap the machine (registers, memory, counters, and the
+    /// partially accumulated data in `prof`) is left exactly at the watched
+    /// pc; calling `run_until` again resumes from there. On normal exit the
+    /// profiler's data is taken into the returned [`Exit`], as in
+    /// [`Machine::run_with`].
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Machine::run`].
+    pub fn run_until<P: Profiler>(
+        &mut self,
+        prof: &mut P,
+        watch: impl Fn(u32) -> bool,
+    ) -> Result<RunStop, SimError> {
+        prof.begin(self.text_base, self.ops.len());
+        match self.run_loop(prof, &watch)? {
+            RunControl::Done(reason) => {
+                let profile = prof.take_profile(self.text_base, self.ops.len());
+                Ok(RunStop::Exited(Box::new(self.exit_with(reason, profile))))
+            }
+            RunControl::Watched(pc) => Ok(RunStop::Trapped { pc }),
+        }
     }
 
     fn exit_with(&self, reason: ExitReason, profile: Profile) -> Exit {
@@ -2191,10 +2450,15 @@ impl Machine {
         }
     }
 
-    fn run_loop<P: Profiler>(&mut self, prof: &mut P) -> Result<ExitReason, SimError> {
+    fn run_loop<P: Profiler, W: PcWatch>(
+        &mut self,
+        prof: &mut P,
+        watch: &W,
+    ) -> Result<RunControl, SimError> {
         enum Stop {
             Halt,
             Brk(u32),
+            Watched(u32),
             Err(SimError),
         }
         // Hoist all hot state into locals so the dispatch loop runs out of
@@ -2216,6 +2480,12 @@ impl Machine {
             loop {
                 if pc == HALT_PC {
                     break Stop::Halt;
+                }
+                // Watch check: sequential state only, so a trap never lands
+                // between a control op and its delay slot. NoWatch compiles
+                // this out entirely.
+                if next_pc == pc.wrapping_add(4) && watch.hit(pc) {
+                    break Stop::Watched(pc);
                 }
                 if instrs >= max_steps {
                     break Stop::Err(SimError::MaxStepsExceeded { limit: max_steps });
@@ -2416,8 +2686,9 @@ impl Machine {
         self.cycles = cycles;
         self.instrs = instrs;
         match stop {
-            Stop::Halt => Ok(ExitReason::Halt),
-            Stop::Brk(code) => Ok(ExitReason::Break(code)),
+            Stop::Halt => Ok(RunControl::Done(ExitReason::Halt)),
+            Stop::Brk(code) => Ok(RunControl::Done(ExitReason::Break(code))),
+            Stop::Watched(pc) => Ok(RunControl::Watched(pc)),
             Stop::Err(e) => Err(e),
         }
     }

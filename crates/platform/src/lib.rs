@@ -20,6 +20,7 @@
 //!     clock_hz: 60_000_000.0,
 //!     sw_cycles_replaced: 9_000_000,
 //!     area_gates: 20_000,
+//!     bram_transfer_words: 0,
 //! };
 //! let report = platform.hybrid(10_000_000, &[kernel]);
 //! assert!(report.app_speedup > 1.0);
@@ -96,12 +97,18 @@ impl FpgaSpec {
 pub struct CommModel {
     /// CPU cycles to start the accelerator and synchronize completion.
     pub invocation_overhead_cycles: u64,
+    /// CPU cycles to move one 32-bit word between main memory and on-FPGA
+    /// block RAM (the partitioning step-2 array migration). Charged per
+    /// [`HardwareKernel::bram_transfer_words`]; kernels that leave their
+    /// arrays in main memory report zero words and pay nothing.
+    pub transfer_cycles_per_word: u64,
 }
 
 impl Default for CommModel {
     fn default() -> Self {
         CommModel {
             invocation_overhead_cycles: 40,
+            transfer_cycles_per_word: 2,
         }
     }
 }
@@ -144,7 +151,8 @@ impl Platform {
             replaced += k.sw_cycles_replaced;
             let t_hw = k.hw_cycles as f64 / k.clock_hz;
             hw_time += t_hw;
-            comm_cycles += k.invocations * self.comm.invocation_overhead_cycles;
+            comm_cycles += k.invocations * self.comm.invocation_overhead_cycles
+                + k.bram_transfer_words * self.comm.transfer_cycles_per_word;
             area += k.area_gates;
             fpga_dyn_energy +=
                 self.fpga.dynamic_power_w(k.area_gates, k.clock_hz, 0.25) * t_hw;
@@ -206,6 +214,9 @@ pub struct HardwareKernel {
     pub sw_cycles_replaced: u64,
     /// Kernel area in gate equivalents.
     pub area_gates: u64,
+    /// 32-bit words moved between main memory and block RAM (one-time
+    /// array migration; zero when arrays stay in main memory).
+    pub bram_transfer_words: u64,
 }
 
 /// Per-kernel slice of a [`HybridReport`].
@@ -296,7 +307,18 @@ mod tests {
             clock_hz: 50e6,
             sw_cycles_replaced: replaced,
             area_gates: 20_000,
+            bram_transfer_words: 0,
         }
+    }
+
+    #[test]
+    fn bram_transfer_words_cost_cpu_cycles() {
+        let p = Platform::mips_virtex2(200e6);
+        let base = p.hybrid(1_000_000, &[kernel(900_000, 10_000)]);
+        let mut with_transfer = kernel(900_000, 10_000);
+        with_transfer.bram_transfer_words = 100_000;
+        let heavy = p.hybrid(1_000_000, &[with_transfer]);
+        assert!(heavy.app_speedup < base.app_speedup);
     }
 
     #[test]

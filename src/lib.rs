@@ -16,6 +16,10 @@
 //!   in the one-call [`core::flow::Flow`];
 //! * [`synth`] — behavioral synthesis to VHDL with a Virtex-II area/clock
 //!   model, with per-kernel estimate caching;
+//! * [`hwsim`] — cycle-accurate FSMD co-simulation: executes the
+//!   scheduled datapaths [`synth`] produces, for measured (not modeled)
+//!   hardware cycles and per-invocation architectural verification
+//!   ([`core::stage::StagedFlow::cosimulate`]);
 //! * [`explore`] — design-space exploration: grid sweeps over the staged
 //!   flow ([`core::stage`]) with Pareto-frontier extraction;
 //! * [`partition`] — baseline partitioners (knapsack, GCLP, annealing);
@@ -46,6 +50,7 @@
 pub use binpart_cdfg as cdfg;
 pub use binpart_core as core;
 pub use binpart_explore as explore;
+pub use binpart_hwsim as hwsim;
 pub use binpart_minicc as minicc;
 pub use binpart_mips as mips;
 pub use binpart_partition as partition;

@@ -91,6 +91,40 @@ fn block_count_profiler_is_observationally_exact_on_whole_suite() {
 }
 
 #[test]
+fn edge_profiler_is_observationally_exact_on_whole_suite() {
+    // The edge profiler adds exact branch-bias (taken) counts on top of
+    // the block-count scheme — counts *and* taken must match the full
+    // reference profile bit-for-bit at every fusion level; only call
+    // edges and load/store totals are forgone. This licenses feeding its
+    // branch bias into the partitioner's measured loop-entry estimates.
+    use binpart::mips::sim::EdgeProfiler;
+    for b in suite() {
+        for level in OptLevel::ALL {
+            let binary = b.compile(level).unwrap();
+            let reference = ReferenceMachine::new(&binary).unwrap().run().unwrap();
+            for fusion in [FusionConfig::Off, FusionConfig::Aggressive] {
+                let tag = format!("{} {level} fusion={fusion:?}", b.name);
+                let mut prof = EdgeProfiler::new();
+                let fast = Machine::with_config(&binary, config(fusion))
+                    .unwrap()
+                    .run_with(&mut prof)
+                    .unwrap_or_else(|e| panic!("{tag}: edge run failed: {e}"));
+                assert_eq!(fast.regs, reference.regs, "{tag}: register file");
+                assert_eq!(
+                    fast.profile.counts, reference.profile.counts,
+                    "{tag}: per-instruction counts"
+                );
+                assert_eq!(
+                    fast.profile.taken, reference.profile.taken,
+                    "{tag}: branch taken counts"
+                );
+                assert!(fast.profile.has_taken_data(), "{tag}: bias collected");
+            }
+        }
+    }
+}
+
+#[test]
 fn unprofiled_run_matches_reference_architectural_state() {
     for b in suite().into_iter().take(6) {
         let binary = b.compile(OptLevel::O1).unwrap();
