@@ -19,6 +19,7 @@ fn bench(c: &mut Criterion) {
                     decompile: DecompileOptions {
                         recover_jump_tables: true,
                         optimize,
+                        ..Default::default()
                     },
                     ..Default::default()
                 };

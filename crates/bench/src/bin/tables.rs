@@ -226,13 +226,34 @@ fn sweep_report() -> (f64, f64) {
 fn write_bench_json(r: &SimReport) {
     let path = "BENCH_sim.json";
     // `tables sim` skips table regeneration; keep the previous snapshot's
-    // wall clock rather than emitting a hole.
+    // wall clock rather than emitting a hole. An absent snapshot is normal
+    // (fresh checkout); a present-but-unparseable one gets a warning naming
+    // the file and the fix instead of a silent null.
     let suite_wall = r
         .suite_wall_s
-        .or_else(|| {
-            let old = std::fs::read_to_string(path).ok()?;
-            let tail = old.split("\"full_suite_wall_clock_s\":").nth(1)?;
-            tail.trim().split([',', '}']).next()?.trim().parse().ok()
+        .or_else(|| match std::fs::read_to_string(path) {
+            Ok(old) => {
+                let parsed: Option<f64> = old
+                    .split("\"full_suite_wall_clock_s\":")
+                    .nth(1)
+                    .and_then(|t| t.trim().split([',', '}']).next())
+                    .and_then(|v| v.trim().parse().ok());
+                if parsed.is_none() {
+                    eprintln!(
+                        "warning: {path} exists but its \"full_suite_wall_clock_s\" field is \
+                         missing or unparseable (corrupt or truncated snapshot); emitting null \
+                         — run `tables all` to repopulate it"
+                    );
+                }
+                parsed
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => {
+                eprintln!(
+                    "warning: could not read existing {path} ({e}); emitting null wall clock"
+                );
+                None
+            }
         })
         .map_or("null".to_string(), |s: f64| format!("{s:.6}"));
     let json = format!(
@@ -271,7 +292,10 @@ fn write_bench_json(r: &SimReport) {
             r.estimate_error_pct_mean,
             r.estimate_error_pct_max,
         ),
-        Err(e) => eprintln!("could not write {path}: {e}"),
+        Err(e) => eprintln!(
+            "error: could not write {path}: {e} — the snapshot is written to the current \
+             directory; run from the workspace root with write permission"
+        ),
     }
 }
 

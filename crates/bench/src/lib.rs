@@ -22,7 +22,7 @@
 //!   `BINPART_THREADS=1` to force sequential runs).
 
 use binpart_core::flow::{Flow, FlowOptions};
-use binpart_core::{DecompileError, DecompileOptions};
+use binpart_core::{DecompileError, DecompileOptions, LiftError};
 use binpart_core::decompile::DecompiledProgram;
 use binpart_minicc::OptLevel;
 use binpart_mips::sim::{Exit, Machine, SimConfig};
@@ -171,32 +171,127 @@ pub fn best_of(passes: usize, run: &dyn Fn() -> u64) -> (f64, u64) {
     (best, result)
 }
 
-/// Asserts `BENCH_sim.json` carries each of `keys` with a non-null value.
-/// Benches run with the package dir as cwd while the snapshot lives at the
-/// workspace root, so both locations are probed. Returns `false` (after
-/// printing a note) when the snapshot is absent — fresh checkouts skip the
-/// check. Shared by the CI `--smoke` modes so the snapshot format is
-/// parsed in exactly one place.
-pub fn assert_snapshot_columns(keys: &[&str]) -> bool {
-    let Some(json) = ["BENCH_sim.json", "../../BENCH_sim.json"]
-        .iter()
-        .find_map(|p| std::fs::read_to_string(p).ok())
-    else {
-        println!("smoke: BENCH_sim.json not present, skipping field check");
-        return false;
+/// Why a `BENCH_sim.json` snapshot check failed. Every variant names the
+/// path that was actually probed and, where relevant, the offending key —
+/// and the [`Display`](std::fmt::Display) impl says how to fix it, so a CI
+/// failure is actionable without opening the source.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The snapshot exists but could not be read (permissions, a directory
+    /// squatting on the name, ...). Distinct from "absent", which is fine.
+    Unreadable {
+        path: String,
+        source: std::io::Error,
+    },
+    /// The snapshot is readable but a required column is missing — a stale
+    /// file from before the column existed, or a truncated write.
+    MissingKey { path: String, key: String },
+    /// The column exists but is `null` (a `tables sim` run that skipped the
+    /// full-suite pass, or a corrupt value).
+    NullKey { path: String, key: String },
+}
+
+/// The one command that rewrites the snapshot; quoted in every error.
+const REGEN_HINT: &str =
+    "regenerate it from the workspace root with `cargo run --release -p binpart-bench --bin tables sim`";
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Unreadable { path, source } => write!(
+                f,
+                "snapshot {path} exists but cannot be read ({source}); {REGEN_HINT}"
+            ),
+            SnapshotError::MissingKey { path, key } => write!(
+                f,
+                "snapshot {path} is missing the \"{key}\" column (stale or corrupt file); {REGEN_HINT}"
+            ),
+            SnapshotError::NullKey { path, key } => write!(
+                f,
+                "snapshot {path} has \"{key}\": null; rerun with `tables all` so the full-suite pass fills it, or {REGEN_HINT}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Unreadable { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Checks that `BENCH_sim.json` carries each of `keys` with a non-null
+/// value. Benches run with the package dir as cwd while the snapshot lives
+/// at the workspace root, so both locations are probed. `Ok(false)` means
+/// the snapshot is absent — fresh checkouts skip the check; an unreadable
+/// or corrupt snapshot is an error, never a silent skip.
+pub fn check_snapshot_columns(keys: &[&str]) -> Result<bool, SnapshotError> {
+    check_snapshot_at(&["BENCH_sim.json", "../../BENCH_sim.json"], keys)
+}
+
+/// Path-parameterized core of [`check_snapshot_columns`] so tests can point
+/// it at fixture files without faking the working directory.
+pub fn check_snapshot_at(paths: &[&str], keys: &[&str]) -> Result<bool, SnapshotError> {
+    let mut found = None;
+    for path in paths {
+        match std::fs::read_to_string(path) {
+            Ok(json) => {
+                found = Some((path.to_string(), json));
+                break;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(source) => {
+                return Err(SnapshotError::Unreadable {
+                    path: path.to_string(),
+                    source,
+                })
+            }
+        }
+    }
+    let Some((path, json)) = found else {
+        return Ok(false);
     };
     for key in keys {
-        assert!(json.contains(key), "BENCH_sim.json missing {key}:\n{json}");
+        if !json.contains(&format!("\"{key}\"")) {
+            return Err(SnapshotError::MissingKey {
+                path: path.clone(),
+                key: (*key).to_string(),
+            });
+        }
         let field = json
             .split(&format!("\"{key}\":"))
             .nth(1)
             .and_then(|t| t.trim().split([',', '}']).next())
             .map(str::trim)
             .unwrap_or("null");
-        assert!(field != "null", "BENCH_sim.json {key} is null:\n{json}");
+        if field == "null" {
+            return Err(SnapshotError::NullKey {
+                path: path.clone(),
+                key: (*key).to_string(),
+            });
+        }
     }
-    println!("smoke: BENCH_sim.json columns present and non-null: {keys:?}");
-    true
+    Ok(true)
+}
+
+/// Panicking wrapper around [`check_snapshot_columns`] for the CI `--smoke`
+/// modes: absent snapshot prints a note and returns `false`; any defect
+/// panics with the actionable [`SnapshotError`] message.
+pub fn assert_snapshot_columns(keys: &[&str]) -> bool {
+    match check_snapshot_columns(keys) {
+        Ok(true) => {
+            println!("smoke: BENCH_sim.json columns present and non-null: {keys:?}");
+            true
+        }
+        Ok(false) => {
+            println!("smoke: BENCH_sim.json not present, skipping field check");
+            false
+        }
+        Err(e) => panic!("{e}"),
+    }
 }
 
 /// Runs the flow tail for one memoized cell: cached binary + cached profile
@@ -369,7 +464,7 @@ pub fn run_one(
                 coverage: report.partition.coverage(),
             }),
         },
-        Err(DecompileError::IndirectJump { .. }) => E1Row {
+        Err(DecompileError::Lift(LiftError::IndirectJump { .. })) => E1Row {
             name: b.name.to_string(),
             suite: b.suite.label(),
             result: None,
@@ -585,6 +680,7 @@ pub fn run_a2() -> Vec<(String, f64, f64)> {
                 decompile: DecompileOptions {
                     recover_jump_tables: true,
                     optimize,
+                    ..Default::default()
                 },
                 ..Default::default()
             };
@@ -659,5 +755,55 @@ mod tests {
         }
         // The paper's 2-of-20 jump-table failures.
         assert_eq!(rows1.iter().filter(|r| r.result.is_none()).count(), 2);
+    }
+
+    #[test]
+    fn snapshot_check_reports_missing_and_null_keys_with_path() {
+        let dir = std::env::temp_dir().join("binpart_snapshot_check");
+        std::fs::create_dir_all(&dir).unwrap();
+        let good = dir.join("good.json");
+        let nulled = dir.join("nulled.json");
+        std::fs::write(&good, "{\n  \"sim_speedup\": 12.5\n}\n").unwrap();
+        std::fs::write(&nulled, "{\n  \"sim_speedup\": null\n}\n").unwrap();
+        let good = good.to_str().unwrap();
+        let nulled = nulled.to_str().unwrap();
+
+        // Absent everywhere: a skip, not an error.
+        let absent = dir.join("absent.json");
+        let absent = absent.to_str().unwrap();
+        assert!(matches!(check_snapshot_at(&[absent], &["sim_speedup"]), Ok(false)));
+
+        // Present and populated.
+        assert!(matches!(check_snapshot_at(&[good], &["sim_speedup"]), Ok(true)));
+
+        // Missing column: error names both the file and the key, and tells
+        // the reader how to regenerate.
+        let err = check_snapshot_at(&[good], &["cosim_cycles_per_sec"]).unwrap_err();
+        assert!(matches!(&err, SnapshotError::MissingKey { key, .. } if key == "cosim_cycles_per_sec"));
+        let msg = err.to_string();
+        assert!(msg.contains("good.json"), "{msg}");
+        assert!(msg.contains("cosim_cycles_per_sec"), "{msg}");
+        assert!(msg.contains("tables"), "{msg}");
+
+        // Null column: distinct variant, still actionable.
+        let err = check_snapshot_at(&[nulled], &["sim_speedup"]).unwrap_err();
+        assert!(matches!(&err, SnapshotError::NullKey { key, .. } if key == "sim_speedup"));
+        assert!(err.to_string().contains("null"), "{err}");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn snapshot_check_unreadable_is_an_error_not_a_skip() {
+        // A directory squatting on the snapshot name: read_to_string fails
+        // with something other than NotFound, which must surface as
+        // Unreadable rather than fall through to "absent, skipping".
+        let dir = std::env::temp_dir().join("binpart_snapshot_dir.json");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.to_str().unwrap();
+        let err = check_snapshot_at(&[path], &["sim_speedup"]).unwrap_err();
+        assert!(matches!(&err, SnapshotError::Unreadable { .. }), "{err}");
+        assert!(err.to_string().contains("cannot be read"), "{err}");
+        use std::error::Error;
+        assert!(err.source().is_some());
     }
 }

@@ -197,8 +197,19 @@ pub fn recover(f: &Function) -> ControlTree {
 
     // The predecessor lists are refilled in place between reductions (one
     // allocation up front instead of one set per reduction step).
+    //
+    // Fuel: every reduction kills at least one node, so `nodes.len()`
+    // rounds suffice for any well-formed graph; the margin covers
+    // degenerate single-node rewrites. On exhaustion (an adversarial CFG
+    // that keeps "reducing" without shrinking) the remainder is reported
+    // as `Unstructured` instead of looping forever.
     let mut preds: Vec<Vec<usize>> = vec![Vec::new(); nodes.len()];
+    let mut fuel = 4 * nodes.len() as u64 + 16;
     loop {
+        if fuel == 0 {
+            break;
+        }
+        fuel -= 1;
         compute_preds(&nodes, &mut preds);
         if reduce_once(&mut nodes, &preds, entry) {
             continue;

@@ -30,12 +30,34 @@
 //!   `BENCH_sim.json`.
 
 use crate::decompile::{function_end_after, region_machine_extent, region_pc_range};
+use crate::diag::{Diagnostic, FlowStage};
 use crate::flow::{FlowError, FlowOptions};
 use crate::stage::StagedFlow;
 use binpart_hwsim::{AccelBuildError, KernelAccel, KernelSet};
 use binpart_mips::hybrid::{HybridConfig, HybridMachine, RegionSpec};
-use binpart_mips::sim::Exit;
+use binpart_mips::sim::{Exit, SimError};
 use binpart_platform::{HardwareKernel, HybridReport};
+use std::fmt;
+
+/// Co-simulation failure: the hybrid run itself could not complete.
+/// (Per-kernel problems — unmappable accelerators, store divergences — are
+/// *degraded*, not errors: they land on [`CosimReport::diagnostics`].)
+#[derive(Debug, Clone, PartialEq)]
+pub enum CosimError {
+    /// The hybrid machine's software side faulted or tripped its step
+    /// watchdog.
+    Hybrid(SimError),
+}
+
+impl fmt::Display for CosimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CosimError::Hybrid(e) => write!(f, "hybrid run failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CosimError {}
 
 /// Per-kernel co-simulation result.
 #[derive(Debug, Clone)]
@@ -90,6 +112,12 @@ pub struct CosimReport {
     pub measured: HybridReport,
     /// The analytic evaluation the `evaluate` stage produced.
     pub estimated: HybridReport,
+    /// Per-region degradations observed by this stage: kernels whose
+    /// accelerator could not be packaged ([`FlowStage::AccelBuild`]) and
+    /// kernels whose executed stores diverged from the software oracle
+    /// ([`FlowStage::Cosim`]), plus everything the decompiler/partitioner
+    /// recorded upstream.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl CosimReport {
@@ -145,6 +173,8 @@ impl StagedFlow<'_> {
         let est = self.estimate(options.decompile, options.sim)?;
         let staged = self.evaluate(options)?;
         let reference = self.profile(options.sim)?;
+        let mut diagnostics = est.program.diagnostics.clone();
+        diagnostics.extend(staged.partition.diagnostics.iter().cloned());
 
         // Package each selected kernel as a region + accelerator.
         let mut specs: Vec<RegionSpec> = Vec::new();
@@ -181,8 +211,17 @@ impl StagedFlow<'_> {
                 live_ins,
             ) {
                 Ok(a) => Some(a),
-                Err(AccelBuildError::UnmappableLiveIn { .. })
-                | Err(AccelBuildError::Unexecutable) => None,
+                Err(
+                    e @ (AccelBuildError::UnmappableLiveIn { .. }
+                    | AccelBuildError::Unexecutable),
+                ) => {
+                    diagnostics.push(Diagnostic::new(
+                        FlowStage::AccelBuild,
+                        &k.name,
+                        e.to_string(),
+                    ));
+                    None
+                }
             };
             mapped[ki] = accel.is_some();
             specs.push(RegionSpec {
@@ -201,8 +240,11 @@ impl StagedFlow<'_> {
             options.sim,
             specs,
             HybridConfig::default(),
-        )?;
-        let hx = hm.run(&mut set)?;
+        )
+        .map_err(|e| FlowError::Cosim(CosimError::Hybrid(e)))?;
+        let hx = hm
+            .run(&mut set)
+            .map_err(|e| FlowError::Cosim(CosimError::Hybrid(e)))?;
 
         // Assemble per-kernel results (kernels without a region spec are
         // unmapped with zero traps).
@@ -240,6 +282,19 @@ impl StagedFlow<'_> {
                         / kc.hw_cycles_estimated as f64,
                 );
             }
+            if stats.store_mismatches > 0 {
+                let detail = match stats.divergences.first() {
+                    Some(d) => format!(
+                        "{} invocation(s) diverged from the software oracle (first: {d})",
+                        stats.store_mismatches
+                    ),
+                    None => format!(
+                        "{} invocation(s) diverged from the software oracle",
+                        stats.store_mismatches
+                    ),
+                };
+                diagnostics.push(Diagnostic::new(FlowStage::Cosim, &kc.name, detail));
+            }
         }
 
         // Measured hybrid evaluation: the kernels that actually executed,
@@ -276,6 +331,7 @@ impl StagedFlow<'_> {
             unmapped_kernels,
             measured,
             estimated: staged.hybrid,
+            diagnostics,
         })
     }
 }

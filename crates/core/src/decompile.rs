@@ -2,6 +2,9 @@
 //! constant propagation → strength promotion → loop rerolling → size
 //! reduction → control structure recovery.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
+use crate::diag::{Diagnostic, FlowStage};
 use crate::lift::{self, DecompileError, DecompileOptions};
 use crate::opts::{self, PassStats};
 use binpart_cdfg::ir::{Function, Op, Operand, VReg};
@@ -38,6 +41,11 @@ pub struct DecompiledProgram {
     pub live_ins: Vec<Vec<(VReg, VReg)>>,
     /// Statistics.
     pub stats: DecompileStats,
+    /// Per-region degradation records: functions rejected back to
+    /// software-only (lift failures, optimizer fuel trips) under
+    /// [`DecompileOptions::software_fallback`]. Always empty when the
+    /// option is off — failures are whole-program errors then.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl DecompiledProgram {
@@ -53,7 +61,12 @@ impl DecompiledProgram {
 ///
 /// Returns [`DecompileError`] when CDFG recovery fails (undecodable words,
 /// indirect jumps without recovery enabled, or flow leaving the text
-/// section).
+/// section) or an optimizer fuel budget trips. With
+/// [`DecompileOptions::software_fallback`] on, only *entry-function*
+/// failures are errors: a failing non-entry function is dropped from the
+/// recovered program (its call sites keep software semantics — calls are
+/// never mapped to hardware) and recorded on
+/// [`DecompiledProgram::diagnostics`].
 pub fn decompile(
     binary: &Binary,
     options: DecompileOptions,
@@ -61,13 +74,23 @@ pub fn decompile(
     let lifted = lift::lift_program(binary, options)?;
     let mut stats = DecompileStats::default();
     let mut functions = Vec::new();
+    let mut entries = Vec::new();
     let mut live_ins = Vec::new();
-    for mut f in lifted.functions {
+    let mut diagnostics: Vec<Diagnostic> = lifted
+        .skipped
+        .iter()
+        .map(|s| Diagnostic::new(FlowStage::Lift, &s.name, s.error.to_string()))
+        .collect();
+    for (idx, (mut f, entry)) in lifted
+        .functions
+        .into_iter()
+        .zip(lifted.entries)
+        .enumerate()
+    {
         if options.optimize {
             opts::stack_op_removal(&mut f, &mut stats.passes);
         }
         let info = ssa::construct(&mut f);
-        live_ins.push(info.live_ins.clone());
         // Calling-convention recovery: live-in argument registers become
         // parameters (in ABI order).
         let mut params: Vec<(u8, VReg)> = info
@@ -85,11 +108,22 @@ pub fn decompile(
         params.sort();
         f.params = params.into_iter().map(|(_, v)| v).collect();
         if options.optimize {
-            opts::const_copy_prop(&mut f, &mut stats.passes);
-            opts::strength_promotion(&mut f, &mut stats.passes);
-            opts::loop_reroll(&mut f, &mut stats.passes);
-            opts::const_copy_prop(&mut f, &mut stats.passes);
-            opts::size_reduction(&mut f, &mut stats.passes);
+            let optimized = opts::const_copy_prop(&mut f, &mut stats.passes)
+                .and_then(|()| {
+                    opts::strength_promotion(&mut f, &mut stats.passes);
+                    opts::loop_reroll(&mut f, &mut stats.passes)
+                })
+                .and_then(|()| opts::const_copy_prop(&mut f, &mut stats.passes));
+            match optimized {
+                Ok(()) => opts::size_reduction(&mut f, &mut stats.passes),
+                // Index 0 is the binary entry: dropping it would leave no
+                // program, so its failure is the program's failure.
+                Err(e) if options.software_fallback && idx != 0 => {
+                    diagnostics.push(Diagnostic::new(FlowStage::Opt, &f.name, e.to_string()));
+                    continue;
+                }
+                Err(e) => return Err(e),
+            }
         }
         cfg::remove_unreachable(&mut f);
         stats.functions += 1;
@@ -103,11 +137,12 @@ pub fn decompile(
         stats.structure.self_loops += st.self_loops;
         stats.structure.switches += st.switches;
         stats.structure.unstructured += st.unstructured;
+        live_ins.push(info.live_ins);
+        entries.push(entry);
         functions.push(f);
     }
     // Refine call arities now that parameters are known.
-    let arities: Vec<(u32, usize)> = lifted
-        .entries
+    let arities: Vec<(u32, usize)> = entries
         .iter()
         .zip(&functions)
         .map(|(&e, f)| (e, f.params.len()))
@@ -125,9 +160,10 @@ pub fn decompile(
     }
     Ok(DecompiledProgram {
         functions,
-        entries: lifted.entries,
+        entries,
         live_ins,
         stats,
+        diagnostics,
     })
 }
 
@@ -302,6 +338,7 @@ pub fn entry_returns_const(prog: &DecompiledProgram) -> Option<i64> {
 }
 
 #[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::expect_used)]
 mod tests {
     use super::*;
     use binpart_minicc::{compile, OptLevel};
@@ -391,7 +428,12 @@ mod tests {
         let binary = compile(src, OptLevel::O2).unwrap();
         let plain = decompile(&binary, DecompileOptions::default());
         assert!(
-            matches!(plain, Err(DecompileError::IndirectJump { .. })),
+            matches!(
+                plain,
+                Err(DecompileError::Lift(
+                    crate::lift::LiftError::IndirectJump { .. }
+                ))
+            ),
             "jump table must defeat plain CDFG recovery: {plain:?}"
         );
         let recovered = decompile(

@@ -7,13 +7,15 @@
 //! stages (profile / decompile / estimate / evaluate) with bit-identical
 //! results, so only the stages whose inputs changed re-run.
 
+use crate::cosim::CosimError;
 use crate::decompile::{self, DecompiledProgram};
+use crate::diag::Diagnostic;
 use crate::lift::{DecompileError, DecompileOptions};
 use crate::partition::{partition_90_10, Partition, PartitionOptions};
 use binpart_mips::sim::{Exit, Machine, SimConfig, SimError};
 use binpart_mips::Binary;
 use binpart_platform::{HardwareKernel, HybridReport, Platform};
-use binpart_synth::{ResourceBudget, TechLibrary};
+use binpart_synth::{ResourceBudget, SynthError, TechLibrary};
 use std::fmt;
 
 /// Everything the flow needs to run.
@@ -63,13 +65,36 @@ impl FlowOptions {
     }
 }
 
-/// Flow failure.
+/// Flow failure — the rollup of every stage's typed error. See the
+/// [crate docs](crate) for the failure policy (whole-flow vs per-region).
 #[derive(Debug, Clone, PartialEq)]
 pub enum FlowError {
     /// The software run failed.
     Sim(SimError),
     /// CDFG recovery failed (the paper's 2-of-20 case).
     Decompile(DecompileError),
+    /// Kernel synthesis failed (only surfaced by direct synthesis entry
+    /// points; the partitioner degrades synth failures per-region).
+    Synth(SynthError),
+    /// The co-simulation stage's hybrid run failed.
+    Cosim(CosimError),
+}
+
+impl FlowError {
+    /// `true` when the failure is a *budget trip* — fuel or step-watchdog
+    /// exhaustion that a rerun with a larger budget could clear.
+    /// [`crate::stage::StagedFlow`] refuses to latch transient errors in
+    /// its memo caches.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            FlowError::Sim(e) => matches!(e, SimError::MaxStepsExceeded { .. }),
+            FlowError::Decompile(e) => matches!(e, DecompileError::Fuel { .. }),
+            FlowError::Cosim(CosimError::Hybrid(e)) => {
+                matches!(e, SimError::MaxStepsExceeded { .. })
+            }
+            FlowError::Synth(_) => false,
+        }
+    }
 }
 
 impl fmt::Display for FlowError {
@@ -77,6 +102,8 @@ impl fmt::Display for FlowError {
         match self {
             FlowError::Sim(e) => write!(f, "simulation failed: {e}"),
             FlowError::Decompile(e) => write!(f, "decompilation failed: {e}"),
+            FlowError::Synth(e) => write!(f, "synthesis failed: {e}"),
+            FlowError::Cosim(e) => write!(f, "co-simulation failed: {e}"),
         }
     }
 }
@@ -95,6 +122,18 @@ impl From<DecompileError> for FlowError {
     }
 }
 
+impl From<SynthError> for FlowError {
+    fn from(e: SynthError) -> Self {
+        FlowError::Synth(e)
+    }
+}
+
+impl From<CosimError> for FlowError {
+    fn from(e: CosimError) -> Self {
+        FlowError::Cosim(e)
+    }
+}
+
 /// The flow's complete result for one binary.
 #[derive(Debug, Clone)]
 pub struct FlowReport {
@@ -110,6 +149,10 @@ pub struct FlowReport {
     pub partition: Partition,
     /// The decompiled program (CDFGs with profile attached).
     pub program: DecompiledProgram,
+    /// Per-region degradation records from every stage (lift/opt fallbacks
+    /// from the decompiler, synth rejections from the partitioner). Empty
+    /// on a fully clean run.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl FlowReport {
@@ -245,6 +288,8 @@ impl Flow {
             .collect();
         let hybrid = self.options.platform.hybrid(sw_cycles, &kernels);
         let stats = program.stats;
+        let mut diagnostics = program.diagnostics.clone();
+        diagnostics.extend(partition.diagnostics.iter().cloned());
         FlowReport {
             sw_cycles,
             sw_exit_value: exit.reg(binpart_mips::Reg::V0),
@@ -252,6 +297,7 @@ impl Flow {
             stats,
             partition,
             program,
+            diagnostics,
         }
     }
 }
@@ -372,8 +418,60 @@ mod tests {
         let err = Flow::new(FlowOptions::default()).run(&binary).unwrap_err();
         assert!(matches!(
             err,
-            FlowError::Decompile(DecompileError::IndirectJump { .. })
+            FlowError::Decompile(DecompileError::Lift(
+                crate::lift::LiftError::IndirectJump { .. }
+            ))
         ));
+        assert!(!err.is_transient(), "indirect jump is deterministic");
+    }
+
+    #[test]
+    fn unliftable_callee_degrades_to_software_with_diagnostic() {
+        // The jump-table switch lives in a *callee*; with software_fallback
+        // the flow must complete, dropping only that function, and the hot
+        // vector kernel in main must still reach hardware.
+        let src = "int a[128]; int classify(int v) {
+              switch (v & 7) {
+                case 0: return 1;
+                case 1: return 3;
+                case 2: return 5;
+                case 3: return 7;
+                case 4: return 11;
+                case 5: return 13;
+                case 6: return 17;
+                case 7: return 19;
+              }
+              return 0;
+            }
+            int main(void) { int i; int j; int s = 0;
+              s += classify(5);
+              for (j = 0; j < 100; j++)
+                for (i = 0; i < 128; i++) a[i] = (a[i] + i) & 0xffff;
+              for (i = 0; i < 128; i++) s += a[i];
+              return s; }";
+        let binary = compile(src, OptLevel::O2).unwrap();
+        let mut options = FlowOptions::default();
+        // Without fallback: whole-flow failure.
+        assert!(Flow::new(options.clone()).run(&binary).is_err());
+        options.decompile.software_fallback = true;
+        let report = Flow::new(options).run(&binary).unwrap();
+        let diag = report
+            .diagnostics
+            .iter()
+            .find(|d| d.stage == crate::diag::FlowStage::Lift)
+            .expect("the un-liftable callee must be diagnosed");
+        assert!(
+            diag.region.contains("classify") || diag.region.starts_with("f_"),
+            "diagnostic names the region: {diag}"
+        );
+        assert!(diag.detail.contains("indirect jump"), "{diag}");
+        // The rest of the program still partitions and synthesizes.
+        assert!(
+            !report.partition.kernels.is_empty(),
+            "remaining kernels must still be selected: {:?}",
+            report.partition.log
+        );
+        assert!(report.vhdl().contains("entity"));
     }
 
     #[test]

@@ -18,20 +18,58 @@
 //! 5. reports hybrid speedup and energy savings (`binpart-platform`).
 //!
 //! See [`flow::Flow`] for the one-call entry point.
+//!
+//! # Failure policy
+//!
+//! The flow is **panic-free on foreign input**: every stage returns a typed
+//! error, rolled up into [`FlowError`] —
+//!
+//! * [`lift::LiftError`] — undecodable words, indirect jumps without
+//!   recovery, flow leaving `.text`, malformed control structure;
+//! * [`lift::DecompileError`] — a lift failure or an optimizer *fuel* trip
+//!   (every decompiler fixpoint carries a termination budget);
+//! * `binpart_synth::SynthError` — scheduling/binding rejections;
+//! * [`cosim::CosimError`] — accelerator packaging or hybrid-run failures;
+//! * `binpart_mips::sim::SimError` — software faults and the simulator's
+//!   step watchdog ([`binpart_mips::sim::SimConfig::max_steps`]).
+//!
+//! Failures split into two classes:
+//!
+//! * **Whole-flow failures** abort with `Err(FlowError)`: the software
+//!   reference run faults, or the *entry* function cannot be recovered.
+//! * **Per-region failures** degrade: with
+//!   [`DecompileOptions::software_fallback`] enabled, a non-entry function
+//!   that fails lift or optimization is dropped back to software-only, and
+//!   a kernel that fails synthesis, accelerator packaging, or diverges in
+//!   co-simulation is rejected from the partition. Each rejection is
+//!   recorded as a [`Diagnostic`] naming the region and the failing
+//!   [`FlowStage`], collected on [`FlowReport::diagnostics`] /
+//!   [`StagedReport::diagnostics`]. The rest of the partition proceeds.
+//!
+//! `software_fallback` defaults to **off** so that decompilation failures
+//! remain observable whole-program outcomes, matching the paper's
+//! benchmark evidence (2 of 20 benchmarks fail on jump tables).
+//!
+//! Transient errors — budget/fuel trips that a bigger budget could clear —
+//! answer `true` from [`FlowError::is_transient`]; [`stage::StagedFlow`]
+//! refuses to latch them in its memo caches, so a rerun with a raised
+//! budget recomputes. Deterministic failures stay cached.
 
 pub mod alias;
 pub mod cosim;
 pub mod decompile;
+pub mod diag;
 pub mod flow;
 pub mod lift;
 pub mod opts;
 pub mod partition;
 pub mod stage;
 
-pub use cosim::{CosimReport, KernelCosim};
+pub use cosim::{CosimError, CosimReport, KernelCosim};
 pub use decompile::{attach_profile, decompile, DecompileStats, DecompiledProgram};
+pub use diag::{Diagnostic, FlowStage};
 pub use flow::{Flow, FlowError, FlowOptions, FlowReport};
-pub use lift::{DecompileError, DecompileOptions};
+pub use lift::{DecompileError, DecompileOptions, LiftError, SkippedFunction};
 pub use opts::PassStats;
 pub use partition::{
     harvest_candidates, partition_with_candidates, Candidate, CandidateSet, Partition,

@@ -13,6 +13,7 @@
 //! * **loop rerolling** — detects compiler-unrolled loops and rolls them
 //!   back into their original single-body form.
 
+use crate::lift::DecompileError;
 use binpart_cdfg::cfg;
 use binpart_cdfg::ir::{BinOp, BlockId, Function, Inst, Op, Operand, Terminator, UnOp, VReg};
 use binpart_cdfg::loops::LoopForest;
@@ -375,8 +376,27 @@ pub fn stack_op_removal(f: &mut Function, stats: &mut PassStats) {
 /// re-sweeping the whole function to a fixpoint. Constant-branch folding
 /// (which renumbers blocks via unreachable-code removal) runs between
 /// worklist rounds.
-pub fn const_copy_prop(f: &mut Function, stats: &mut PassStats) {
+///
+/// # Errors
+///
+/// The outer fixpoint carries a fuel budget (each round must fold a branch
+/// or remove a block, so compiler output converges in far fewer rounds than
+/// the budget); an adversarial CFG that trips it gets
+/// [`DecompileError::Fuel`] instead of an unbounded loop.
+pub fn const_copy_prop(f: &mut Function, stats: &mut PassStats) -> Result<(), DecompileError> {
+    // Every productive round folds >=1 branch or removes >=1 block, both
+    // finite resources; the +64 covers the final no-change round and small
+    // functions.
+    let limit = 2 * f.blocks.len() as u64 + 64;
+    let mut fuel = limit;
     loop {
+        if fuel == 0 {
+            return Err(DecompileError::Fuel {
+                pass: "const_copy_prop",
+                limit,
+            });
+        }
+        fuel -= 1;
         propagate_worklist(f, stats);
         // Fold constant branches (and prune phi edges of dropped targets).
         let mut folded = false;
@@ -406,6 +426,7 @@ pub fn const_copy_prop(f: &mut Function, stats: &mut PassStats) {
             break;
         }
     }
+    Ok(())
 }
 
 /// Drives constant/copy rewriting and op folding to a fixpoint with a
@@ -526,7 +547,16 @@ fn propagate_worklist(f: &mut Function, stats: &mut PassStats) -> bool {
     for &d in &pending {
         enqueue_users(d, &use_extra, &mut in_work, &mut work);
     }
+    // Fuel: in well-formed SSA each register's value settles after a
+    // bounded number of visits; degenerate (non-dominating) cycles could
+    // oscillate, so the worklist stops after a generous budget. Stopping
+    // early is sound — the pass is a pure optimization.
+    let mut fuel = 64 * nb as u64 + 1024;
     while let Some(bi) = work.pop() {
+        if fuel == 0 {
+            break;
+        }
+        fuel -= 1;
         in_work[bi as usize] = false;
         newly.clear();
         visit_block(f, bi, &mut value, &mut newly, &mut use_extra, stats, &mut changed);
@@ -1150,8 +1180,25 @@ pub fn strength_promotion(f: &mut Function, stats: &mut PassStats) {
 /// Loop rerolling: detects a loop body consisting of `k` isomorphic sections
 /// separated by induction-variable increments (the unrolled form) and rolls
 /// it back to a single section.
-pub fn loop_reroll(f: &mut Function, stats: &mut PassStats) {
+///
+/// # Errors
+///
+/// The fixpoint (one reroll per round, forest recomputed) carries a fuel
+/// budget; a CFG that keeps producing reroll opportunities beyond it gets
+/// [`DecompileError::Fuel`] instead of an unbounded loop.
+pub fn loop_reroll(f: &mut Function, stats: &mut PassStats) -> Result<(), DecompileError> {
+    // Each round rerolls at most one loop and strictly shrinks its body;
+    // compiler output has far fewer loops than blocks.
+    let limit = f.blocks.len() as u64 + 64;
+    let mut fuel = limit;
     loop {
+        if fuel == 0 {
+            return Err(DecompileError::Fuel {
+                pass: "loop_reroll",
+                limit,
+            });
+        }
+        fuel -= 1;
         let forest = LoopForest::compute(f);
         let mut rerolled = false;
         'loops: for l in forest.loops() {
@@ -1209,6 +1256,7 @@ pub fn loop_reroll(f: &mut Function, stats: &mut PassStats) {
             break;
         }
     }
+    Ok(())
 }
 
 /// If `back` is reached from `phi` through a chain of 2+ `add const`
@@ -1441,7 +1489,7 @@ mod tests {
         };
         ssa::construct(&mut f);
         let mut s = stats();
-        const_copy_prop(&mut f, &mut s);
+        const_copy_prop(&mut f, &mut s).unwrap();
         // Everything folds to return of constant-ish value with no adds
         let adds = f
             .block_ids()
@@ -1472,7 +1520,7 @@ mod tests {
         f.block_mut(b).term = Terminator::Return { value: None };
         ssa::construct(&mut f);
         let mut s = stats();
-        const_copy_prop(&mut f, &mut s);
+        const_copy_prop(&mut f, &mut s).unwrap();
         // the false path is gone
         assert_eq!(f.blocks.len(), 2, "{f}");
     }
@@ -1747,7 +1795,7 @@ mod tests {
         f.is_ssa = true;
         let before = f.block(body).ops.len();
         let mut s = stats();
-        loop_reroll(&mut f, &mut s);
+        loop_reroll(&mut f, &mut s).unwrap();
         assert_eq!(s.loops_rerolled, 1);
         let after = f.block(body).ops.len();
         assert!(after < before, "body {before} -> {after}\n{f}");
@@ -1827,7 +1875,7 @@ mod tests {
         f.block_mut(exit).term = Terminator::Return { value: None };
         f.is_ssa = true;
         let mut s = stats();
-        loop_reroll(&mut f, &mut s);
+        loop_reroll(&mut f, &mut s).unwrap();
         assert_eq!(s.loops_rerolled, 0);
     }
 }

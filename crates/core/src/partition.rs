@@ -9,7 +9,10 @@
 //! 3. Remaining candidates are added greedily by profile weight × hardware
 //!    suitability until the area constraint would be violated.
 
+#![deny(clippy::unwrap_used, clippy::expect_used)]
+
 use crate::alias::{self, RegionSummary};
+use crate::diag::{Diagnostic, FlowStage};
 use crate::decompile::{
     blocks_contain_call, region_pc_range, sw_cycles_of_blocks, DecompiledProgram,
 };
@@ -91,6 +94,10 @@ pub struct Partition {
     pub total_sw_cycles: u64,
     /// Human-readable decision log.
     pub log: Vec<String>,
+    /// Candidates rejected back to software by a *synthesis failure*
+    /// (stage [`FlowStage::Synth`]). Area and suitability rejections are
+    /// normal heuristic outcomes and stay in [`Partition::log`] only.
+    pub diagnostics: Vec<Diagnostic>,
 }
 
 impl Partition {
@@ -328,12 +335,23 @@ pub fn partition_with_candidates(
     let mut area_used = 0u64;
     let mut covered = 0u64;
     let mut taken: Vec<usize> = Vec::new();
+    let mut diagnostics: Vec<Diagnostic> = Vec::new();
+
+    /// Why a candidate was not selected.
+    enum Reject {
+        /// Synthesis itself failed — a per-region degradation, diagnosed.
+        Synth(binpart_synth::SynthError),
+        /// Would blow the area budget — a normal heuristic outcome.
+        Area,
+        /// Hardware would not beat software — a normal heuristic outcome.
+        Unsuitable,
+    }
 
     let try_select = |c: &Candidate,
                       mem_in_bram: bool,
                       bram_bytes: u64,
                       area_used: u64|
-     -> Option<SynthesisResult> {
+     -> Result<SynthesisResult, Reject> {
         let f = &prog.functions[c.func_index];
         let input = SynthesisInput {
             function: f,
@@ -344,20 +362,35 @@ pub fn partition_with_candidates(
             library: library.clone(),
         };
         let r = match cache {
-            Some(cache) => cache.synthesize(c.func_index, &input).ok()?,
-            None => synthesize(&input).ok()?,
+            Some(cache) => cache
+                .synthesize(c.func_index, &input)
+                .map_err(Reject::Synth)?,
+            None => synthesize(&input).map_err(Reject::Synth)?,
         };
         if area_used + r.area.gate_equivalents > options.area_budget_gates {
-            return None;
+            return Err(Reject::Area);
         }
         // Suitability gate: the hardware must actually be faster than the
         // software it replaces.
         let hw_time = r.timing.hw_cycles as f64 / (r.timing.clock_mhz * 1e6);
         let sw_time = c.sw_cycles as f64 / options.cpu_clock_hz;
         if hw_time >= sw_time * 0.7 {
-            return None;
+            return Err(Reject::Unsuitable);
         }
-        Some(r)
+        Ok(r)
+    };
+
+    // A candidate can be retried across steps; diagnose each synth
+    // failure once per region.
+    let note_synth = |diagnostics: &mut Vec<Diagnostic>, name: &str, rej: &Reject| {
+        if let Reject::Synth(e) = rej {
+            if !diagnostics
+                .iter()
+                .any(|d| d.stage == FlowStage::Synth && d.region == name)
+            {
+                diagnostics.push(Diagnostic::new(FlowStage::Synth, name, e.to_string()));
+            }
+        }
     };
 
     // ---- step 1: most frequent loops to ~coverage ----
@@ -368,9 +401,13 @@ pub fn partition_with_candidates(
         if (covered as f64) >= options.coverage * total_sw_cycles as f64 {
             break;
         }
-        let Some(synth) = try_select(c, false, 0, area_used) else {
-            log.push(format!("step1: {} skipped (area/synth)", c.name));
-            continue;
+        let synth = match try_select(c, false, 0, area_used) {
+            Ok(synth) => synth,
+            Err(rej) => {
+                note_synth(&mut diagnostics, &c.name, &rej);
+                log.push(format!("step1: {} skipped (area/synth)", c.name));
+                continue;
+            }
         };
         area_used += synth.area.gate_equivalents;
         covered += c.sw_cycles;
@@ -422,7 +459,9 @@ pub fn partition_with_candidates(
                 suitability: 1.0,
             };
             let prev_area = k.synth.area.gate_equivalents;
-            if let Some(synth) = try_select(&c, true, bytes, area_used - prev_area) {
+            // A BRAM re-synthesis failure is not a degradation: the kernel
+            // stays in hardware with its step-1 synthesis.
+            if let Ok(synth) = try_select(&c, true, bytes, area_used - prev_area) {
                 area_used = area_used - prev_area + synth.area.gate_equivalents;
                 log.push(format!(
                     "step2: {} memory ({} bytes) moved to BRAM",
@@ -444,8 +483,12 @@ pub fn partition_with_candidates(
                 continue;
             }
             let bram = c.regions.fully_resolved();
-            let Some(synth) = try_select(c, bram, 0, area_used) else {
-                continue;
+            let synth = match try_select(c, bram, 0, area_used) {
+                Ok(synth) => synth,
+                Err(rej) => {
+                    note_synth(&mut diagnostics, &c.name, &rej);
+                    continue;
+                }
             };
             area_used += synth.area.gate_equivalents;
             log.push(format!("step2: {} joins (shares arrays)", c.name));
@@ -481,9 +524,13 @@ pub fn partition_with_candidates(
         }
         let c = &candidates[ci];
         let bram = c.regions.fully_resolved() && options.alias_step;
-        let Some(synth) = try_select(c, bram, 0, area_used) else {
-            log.push(format!("step3: {} rejected (area)", c.name));
-            continue;
+        let synth = match try_select(c, bram, 0, area_used) {
+            Ok(synth) => synth,
+            Err(rej) => {
+                note_synth(&mut diagnostics, &c.name, &rej);
+                log.push(format!("step3: {} rejected (area)", c.name));
+                continue;
+            }
         };
         area_used += synth.area.gate_equivalents;
         log.push(format!("step3: {} added", c.name));
@@ -507,5 +554,6 @@ pub fn partition_with_candidates(
         total_area_gates: area_used,
         total_sw_cycles,
         log,
+        diagnostics,
     }
 }

@@ -122,6 +122,9 @@ pub struct StagedReport {
     pub stats: DecompileStats,
     /// The partition (kernels, areas, decision log).
     pub partition: Partition,
+    /// Per-region degradation records (decompiler fallbacks + partitioner
+    /// synth rejections). See the [crate docs](crate) failure policy.
+    pub diagnostics: Vec<crate::diag::Diagnostic>,
 }
 
 type Slot<T> = Arc<OnceLock<Result<Arc<T>, FlowError>>>;
@@ -139,10 +142,39 @@ fn slot<K: std::hash::Hash + Eq + Clone, T>(
     map: &Mutex<HashMap<K, Slot<T>>>,
     key: &K,
 ) -> Slot<T> {
-    let mut map = map.lock().expect("stage cache poisoned");
+    // A panic while holding the lock poisons it; the map itself is always
+    // in a consistent state (single-statement updates), so recover rather
+    // than propagate the panic into every later stage call.
+    let mut map = map.lock().unwrap_or_else(|p| p.into_inner());
     map.entry(key.clone())
         .or_insert_with(|| Arc::new(OnceLock::new()))
         .clone()
+}
+
+/// Cached stage access with the transient-error rule: the slot's
+/// `get_or_init` runs `init` at most once per slot, but a **transient**
+/// failure ([`FlowError::is_transient`] — fuel/step-budget trips) is
+/// evicted from the map immediately, so the next call with the same key
+/// recomputes instead of serving a latched budget trip. Deterministic
+/// failures (the paper's jump-table cases) stay cached as errors.
+fn get_stage<K: std::hash::Hash + Eq + Clone, T>(
+    map: &Mutex<HashMap<K, Slot<T>>>,
+    key: &K,
+    init: impl FnOnce() -> Result<Arc<T>, FlowError>,
+) -> Result<Arc<T>, FlowError> {
+    let s = slot(map, key);
+    let result = s.get_or_init(init).clone();
+    if let Err(e) = &result {
+        if e.is_transient() {
+            let mut map = map.lock().unwrap_or_else(|p| p.into_inner());
+            // Only evict *this* slot — a concurrent caller may already
+            // have replaced it with a fresh one mid-recompute.
+            if map.get(key).is_some_and(|cur| Arc::ptr_eq(cur, &s)) {
+                map.remove(key);
+            }
+        }
+    }
+    result
 }
 
 impl<'b> StagedFlow<'b> {
@@ -171,13 +203,11 @@ impl<'b> StagedFlow<'b> {
     /// Returns [`FlowError::Sim`] if the run faults or exceeds the step
     /// budget.
     pub fn profile(&self, sim: SimConfig) -> Result<Arc<Exit>, FlowError> {
-        slot(&self.profiles, &sim)
-            .get_or_init(|| {
-                let mut machine = Machine::with_config(self.binary, sim)?;
-                let mut prof = EdgeProfiler::new();
-                Ok(Arc::new(machine.run_with(&mut prof)?))
-            })
-            .clone()
+        get_stage(&self.profiles, &sim, || {
+            let mut machine = Machine::with_config(self.binary, sim)?;
+            let mut prof = EdgeProfiler::new();
+            Ok(Arc::new(machine.run_with(&mut prof)?))
+        })
     }
 
     /// Stage 2 — CDFG recovery (pre-profile). Decompiled once per distinct
@@ -191,9 +221,9 @@ impl<'b> StagedFlow<'b> {
         &self,
         options: DecompileOptions,
     ) -> Result<Arc<DecompiledProgram>, FlowError> {
-        slot(&self.programs, &options)
-            .get_or_init(|| Ok(Arc::new(decompile::decompile(self.binary, options)?)))
-            .clone()
+        get_stage(&self.programs, &options, || {
+            Ok(Arc::new(decompile::decompile(self.binary, options)?))
+        })
     }
 
     /// Stage 3 — profile attachment, candidate harvesting, and the shared
@@ -217,25 +247,23 @@ impl<'b> StagedFlow<'b> {
             fusion: binpart_mips::sim::FusionConfig::default(),
             ..sim
         };
-        slot(&self.estimated, &(decompile_options, normalized))
-            .get_or_init(|| {
-                let exit = self.profile(sim)?;
-                let base = self.decompile(decompile_options)?;
-                let mut program = (*base).clone();
-                decompile::attach_profile(&mut program, &exit.profile);
-                let candidates =
-                    harvest_candidates(&program, self.binary, &exit.profile, &sim.cycles);
-                let stats = program.stats;
-                Ok(Arc::new(EstimatedProgram {
-                    program,
-                    candidates,
-                    cache: EstimateCache::new(),
-                    sw_cycles: exit.cycles,
-                    sw_exit_value: exit.reg(binpart_mips::Reg::V0),
-                    stats,
-                }))
-            })
-            .clone()
+        get_stage(&self.estimated, &(decompile_options, normalized), || {
+            let exit = self.profile(sim)?;
+            let base = self.decompile(decompile_options)?;
+            let mut program = (*base).clone();
+            decompile::attach_profile(&mut program, &exit.profile);
+            let candidates =
+                harvest_candidates(&program, self.binary, &exit.profile, &sim.cycles);
+            let stats = program.stats;
+            Ok(Arc::new(EstimatedProgram {
+                program,
+                candidates,
+                cache: EstimateCache::new(),
+                sw_cycles: exit.cycles,
+                sw_exit_value: exit.reg(binpart_mips::Reg::V0),
+                stats,
+            }))
+        })
     }
 
     /// Stage 4 — partition selection + platform evaluation for one option
@@ -270,16 +298,20 @@ impl<'b> StagedFlow<'b> {
             stats: report.stats,
             partition: report.partition,
             program: est.program.clone(),
+            diagnostics: report.diagnostics,
         })
     }
 }
 
 impl std::fmt::Debug for StagedFlow<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fn len<K, T>(m: &Mutex<HashMap<K, Slot<T>>>) -> usize {
+            m.lock().unwrap_or_else(|p| p.into_inner()).len()
+        }
         f.debug_struct("StagedFlow")
-            .field("profiles", &self.profiles.lock().unwrap().len())
-            .field("programs", &self.programs.lock().unwrap().len())
-            .field("estimated", &self.estimated.lock().unwrap().len())
+            .field("profiles", &len(&self.profiles))
+            .field("programs", &len(&self.programs))
+            .field("estimated", &len(&self.estimated))
             .finish()
     }
 }
@@ -313,12 +345,15 @@ fn evaluate_artifact(est: &EstimatedProgram, options: &FlowOptions) -> StagedRep
         })
         .collect();
     let hybrid = options.platform.hybrid(est.sw_cycles, &kernels);
+    let mut diagnostics = est.program.diagnostics.clone();
+    diagnostics.extend(partition.diagnostics.iter().cloned());
     StagedReport {
         sw_cycles: est.sw_cycles,
         sw_exit_value: est.sw_exit_value,
         hybrid,
         stats: est.stats,
         partition,
+        diagnostics,
     }
 }
 
@@ -443,5 +478,64 @@ mod tests {
         let mut with_recovery = options.clone();
         with_recovery.decompile.recover_jump_tables = true;
         assert!(staged.evaluate(&with_recovery).is_ok());
+        // The deterministic failure is *latched*: its slot stays in the
+        // map (contrast with transient errors below).
+        assert!(staged
+            .programs
+            .lock()
+            .unwrap()
+            .contains_key(&options.decompile));
+    }
+
+    #[test]
+    fn transient_budget_trips_are_not_latched() {
+        let binary = compile(kernel_program(), OptLevel::O1).unwrap();
+        let staged = StagedFlow::new(&binary);
+        let sim = SimConfig {
+            max_steps: 50, // trips the step watchdog immediately
+            ..SimConfig::default()
+        };
+        let err = staged.profile(sim).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                FlowError::Sim(binpart_mips::sim::SimError::MaxStepsExceeded { .. })
+            ),
+            "{err}"
+        );
+        assert!(err.is_transient());
+        // The budget trip must not be cached: the slot is evicted, so the
+        // same key recomputes (and trips again — proving init re-ran, not
+        // a latched error served back).
+        assert!(
+            !staged.profiles.lock().unwrap().contains_key(&sim),
+            "transient error must be evicted from the stage cache"
+        );
+        let err2 = staged.profile(sim).unwrap_err();
+        assert!(err2.is_transient());
+        assert!(!staged.profiles.lock().unwrap().contains_key(&sim));
+        // A raised budget (the rerun scenario) succeeds cleanly.
+        let sim = SimConfig {
+            max_steps: 500_000_000,
+            ..sim
+        };
+        assert!(staged.profile(sim).is_ok());
+    }
+
+    #[test]
+    fn estimate_stage_does_not_latch_transient_profile_errors() {
+        let binary = compile(kernel_program(), OptLevel::O1).unwrap();
+        let staged = StagedFlow::new(&binary);
+        let mut options = FlowOptions::default();
+        options.sim.max_steps = 50;
+        let err = staged
+            .estimate(options.decompile, options.sim)
+            .unwrap_err();
+        assert!(err.is_transient(), "{err}");
+        assert!(staged.estimated.lock().unwrap().is_empty());
+        // Rerun with a workable budget: recomputes and succeeds.
+        options.sim.max_steps = 500_000_000;
+        let est = staged.estimate(options.decompile, options.sim).unwrap();
+        assert!(est.sw_cycles > 0);
     }
 }

@@ -386,8 +386,12 @@ impl<'f> Fsmd<'f> {
             if !eb.phis.is_empty() {
                 phi_new.clear();
                 for &k in &eb.phis {
-                    let Op::Phi { dst, args } = &block.ops[k as usize].op else {
-                        unreachable!("phi index");
+                    // The phi index table is built at compile time; a stale
+                    // entry means the FSMD is malformed, not a panic.
+                    let Some(Op::Phi { dst, args }) =
+                        block.ops.get(k as usize).map(|i| &i.op)
+                    else {
+                        return Err(FsmdError::Unexecutable);
                     };
                     let arg = match prev {
                         Some(p) => args.iter().find(|(b, _)| *b == p).map(|(_, a)| *a),

@@ -58,13 +58,15 @@ pub enum Kw {
     Const,
 }
 
-/// A token with its source offset (for error reporting).
+/// A token with its source position (for error reporting).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Token {
     /// Kind and payload.
     pub tok: Tok,
     /// Line number (1-based).
     pub line: u32,
+    /// Column number (1-based, in characters).
+    pub col: u32,
 }
 
 /// Lexing failure.
@@ -74,11 +76,17 @@ pub struct LexError {
     pub ch: char,
     /// Line number.
     pub line: u32,
+    /// Column number (1-based, in characters).
+    pub col: u32,
 }
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unexpected character {:?} on line {}", self.ch, self.line)
+        write!(
+            f,
+            "unexpected character {:?} at line {}, column {}",
+            self.ch, self.line, self.col
+        )
     }
 }
 
@@ -97,13 +105,17 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
     let b: Vec<char> = src.chars().collect();
     let mut i = 0;
     let mut line = 1u32;
+    // Start-of-line index: the current column is `i - line_start + 1`.
+    let mut line_start = 0usize;
     let mut out = Vec::new();
     let n = b.len();
     while i < n {
         let c = b[i];
+        let col = (i - line_start + 1) as u32;
         if c == '\n' {
             line += 1;
             i += 1;
+            line_start = i;
             continue;
         }
         if c.is_whitespace() {
@@ -122,6 +134,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             while i + 1 < n && !(b[i] == '*' && b[i + 1] == '/') {
                 if b[i] == '\n' {
                     line += 1;
+                    line_start = i + 1;
                 }
                 i += 1;
             }
@@ -156,6 +169,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             out.push(Token {
                 tok: Tok::Num(value),
                 line,
+                col,
             });
             continue;
         }
@@ -186,6 +200,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             out.push(Token {
                 tok: Tok::Num(v),
                 line,
+                col,
             });
             continue;
         }
@@ -218,7 +233,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
                 "const" => Tok::Kw(Kw::Const),
                 _ => Tok::Ident(word),
             };
-            out.push(Token { tok, line });
+            out.push(Token { tok, line, col });
             continue;
         }
         // operators, longest match first
@@ -250,52 +265,30 @@ pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
             out.push(Token {
                 tok: Tok::Punct(m),
                 line,
+                col,
             });
             i += m.len();
             continue;
         }
-        const ONE: &str = "+-*/%&|^~!<>=(){}[];,?:";
-        if let Some(pos) = ONE.find(c) {
-            let s = &ONE[pos..pos + 1];
-            // map to 'static str
-            let stat: &'static str = match s {
-                "+" => "+",
-                "-" => "-",
-                "*" => "*",
-                "/" => "/",
-                "%" => "%",
-                "&" => "&",
-                "|" => "|",
-                "^" => "^",
-                "~" => "~",
-                "!" => "!",
-                "<" => "<",
-                ">" => ">",
-                "=" => "=",
-                "(" => "(",
-                ")" => ")",
-                "{" => "{",
-                "}" => "}",
-                "[" => "[",
-                "]" => "]",
-                ";" => ";",
-                "," => ",",
-                "?" => "?",
-                ":" => ":",
-                _ => unreachable!(),
-            };
+        const ONE: [&str; 23] = [
+            "+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=", "(", ")", "{",
+            "}", "[", "]", ";", ",", "?", ":",
+        ];
+        if let Some(&stat) = ONE.iter().find(|s| s.starts_with(c)) {
             out.push(Token {
                 tok: Tok::Punct(stat),
                 line,
+                col,
             });
             i += 1;
             continue;
         }
-        return Err(LexError { ch: c, line });
+        return Err(LexError { ch: c, line, col });
     }
     out.push(Token {
         tok: Tok::Eof,
         line,
+        col: (n - line_start + 1) as u32,
     });
     Ok(out)
 }
@@ -373,6 +366,19 @@ mod tests {
         let err = lex("int @x;").unwrap_err();
         assert_eq!(err.ch, '@');
         assert_eq!(err.line, 1);
+        assert_eq!(err.col, 5);
         assert!(err.to_string().contains('@'));
+        assert!(err.to_string().contains("column 5"));
+    }
+
+    #[test]
+    fn columns_reset_per_line() {
+        let err = lex("int x;\n  y = $;").unwrap_err();
+        assert_eq!(err.ch, '$');
+        assert_eq!(err.line, 2);
+        assert_eq!(err.col, 7);
+        let toks = lex("a\n  bb").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
     }
 }

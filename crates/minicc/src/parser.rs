@@ -14,13 +14,19 @@ use std::fmt;
 pub struct ParseError {
     /// Human-readable message.
     pub msg: String,
-    /// Line number.
+    /// Line number (1-based).
     pub line: u32,
+    /// Column number (1-based, in characters).
+    pub col: u32,
 }
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error on line {}: {}", self.line, self.msg)
+        write!(
+            f,
+            "parse error at line {}, column {}: {}",
+            self.line, self.col, self.msg
+        )
     }
 }
 
@@ -29,8 +35,9 @@ impl std::error::Error for ParseError {}
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
         ParseError {
-            msg: e.to_string(),
+            msg: format!("unexpected character {:?}", e.ch),
             line: e.line,
+            col: e.col,
         }
     }
 }
@@ -73,6 +80,10 @@ impl Parser {
         self.tokens[self.pos].line
     }
 
+    fn col(&self) -> u32 {
+        self.tokens[self.pos].col
+    }
+
     fn bump(&mut self) -> Tok {
         let t = self.tokens[self.pos].tok.clone();
         if self.pos + 1 < self.tokens.len() {
@@ -85,6 +96,7 @@ impl Parser {
         Err(ParseError {
             msg: msg.into(),
             line: self.line(),
+            col: self.col(),
         })
     }
 
@@ -106,9 +118,16 @@ impl Parser {
     }
 
     fn expect_ident(&mut self) -> Result<String, ParseError> {
+        // Capture the position *before* bumping so the error points at the
+        // offending token, not its successor.
+        let (line, col) = (self.line(), self.col());
         match self.bump() {
             Tok::Ident(s) => Ok(s),
-            other => self.err(format!("expected identifier, found {other:?}")),
+            other => Err(ParseError {
+                msg: format!("expected identifier, found {other:?}"),
+                line,
+                col,
+            }),
         }
     }
 
@@ -209,6 +228,7 @@ impl Parser {
         eval_const(&e).ok_or_else(|| ParseError {
             msg: "expected constant expression".into(),
             line: self.line(),
+            col: self.col(),
         })
     }
 
@@ -799,6 +819,8 @@ mod tests {
     fn error_reports_line() {
         let err = parse("int f(void) {\n  return $;\n}").unwrap_err();
         assert_eq!(err.line, 2);
+        assert_eq!(err.col, 10);
+        assert!(err.to_string().contains("line 2, column 10"), "{err}");
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Malformed-input coverage for the mini-C front end: every parser error
+//! path must surface as a typed [`ParseError`] with a line *and column*,
+//! never a panic. One case per error site in `parser.rs`/`lexer.rs`.
+
+use binpart_minicc::parser::parse;
+use binpart_minicc::ParseError;
+
+fn fails(src: &str) -> ParseError {
+    match parse(src) {
+        Err(e) => e,
+        Ok(_) => panic!("must not parse: {src:?}"),
+    }
+}
+
+#[test]
+fn lexer_bad_character_has_position() {
+    let e = fails("int f(void) {\n  return 1 @ 2;\n}");
+    assert!(e.msg.contains('@'), "{e}");
+    assert_eq!(e.line, 2);
+    assert_eq!(e.col, 12);
+}
+
+#[test]
+fn missing_semicolon() {
+    let e = fails("int f(void) { return 0 }");
+    assert!(e.msg.contains("expected `;`"), "{e}");
+    assert_eq!(e.line, 1);
+    assert!(e.col > 1, "{e}");
+}
+
+#[test]
+fn missing_close_paren() {
+    let e = fails("int f(void) { return (1 + 2; }");
+    assert!(e.msg.contains("expected `)`"), "{e}");
+}
+
+#[test]
+fn missing_identifier() {
+    let e = fails("int 5(void) { return 0; }");
+    assert!(e.msg.contains("expected identifier"), "{e}");
+    assert_eq!(e.line, 1);
+    assert_eq!(e.col, 5, "points at the offending token, not past it");
+}
+
+#[test]
+fn missing_type_in_params() {
+    let e = fails("int f(return x) { return 0; }");
+    assert!(e.msg.contains("expected type"), "{e}");
+}
+
+#[test]
+fn non_constant_global_initializer() {
+    let e = fails("int g = x; int main(void) { return g; }");
+    assert!(e.msg.contains("constant expression"), "{e}");
+}
+
+#[test]
+fn zero_sized_global_array() {
+    let e = fails("int a[0]; int main(void) { return 0; }");
+    assert!(e.msg.contains("array size must be positive"), "{e}");
+}
+
+#[test]
+fn negative_local_array() {
+    let e = fails("int main(void) { int a[-1]; return 0; }");
+    assert!(e.msg.contains("array size must be positive"), "{e}");
+}
+
+#[test]
+fn five_parameters_rejected() {
+    let e = fails("int f(int a, int b, int c, int d, int e) { return 0; }");
+    assert!(e.msg.contains("4 parameters"), "{e}");
+}
+
+#[test]
+fn do_without_while() {
+    let e = fails("int f(void) { int i; i = 0; do { i++; } until (i < 3); return i; }");
+    assert!(e.msg.contains("expected `while`"), "{e}");
+}
+
+#[test]
+fn switch_body_needs_case_or_default() {
+    let e = fails("int f(int x) { switch (x) { return 1; } return 0; }");
+    assert!(e.msg.contains("expected case/default"), "{e}");
+}
+
+#[test]
+fn indirect_calls_rejected() {
+    let e = fails("int f(int x) { return (x + 1)(2); }");
+    assert!(e.msg.contains("only direct calls"), "{e}");
+}
+
+#[test]
+fn garbage_expression() {
+    let e = fails("int f(void) { return ); }");
+    assert!(e.msg.contains("expected expression"), "{e}");
+}
+
+#[test]
+fn truncated_input_is_an_error_not_a_hang() {
+    for src in [
+        "int",
+        "int f",
+        "int f(",
+        "int f(void",
+        "int f(void) {",
+        "int f(void) { return",
+        "int f(void) { if (",
+        "int f(void) { while (1",
+        "int f(void) { switch (1) { case",
+    ] {
+        let e = fails(src);
+        assert!(e.line >= 1 && e.col >= 1, "{src:?}: {e}");
+    }
+}
+
+#[test]
+fn display_carries_line_and_column() {
+    let e = fails("int f(void) {\n\n   $ }");
+    let s = e.to_string();
+    assert!(s.contains("line 3"), "{s}");
+    assert!(s.contains("column 4"), "{s}");
+}

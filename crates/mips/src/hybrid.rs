@@ -33,6 +33,7 @@
 
 use crate::sim::{Exit, Machine, Memory, Profile, Profiler, RunStop, SimConfig, SimError};
 use crate::Binary;
+use std::fmt;
 
 /// One partitioned region: a contiguous pc range (the code generator lays
 /// loop nests out contiguously) entered at a single pc (the loop header).
@@ -179,6 +180,48 @@ pub struct KernelStats {
     pub store_mismatches: u64,
     /// Data-section stores compared (per-invocation sequences, summed).
     pub stores_checked: u64,
+    /// The first few divergences, with the invocation index and the first
+    /// mismatching store pair (capped at [`MAX_DIVERGENCE_RECORDS`] so an
+    /// always-wrong accelerator can't balloon the stats).
+    pub divergences: Vec<StoreDivergence>,
+}
+
+/// How many [`StoreDivergence`] records a kernel keeps.
+pub const MAX_DIVERGENCE_RECORDS: usize = 16;
+
+/// One recorded HW/SW store-sequence divergence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoreDivergence {
+    /// Which invocation of the region diverged (1-based trap count at the
+    /// time of the divergence).
+    pub invocation: u64,
+    /// Index of the first mismatching store in the compared sequences;
+    /// `None` when the sequences differ only in length.
+    pub index: Option<usize>,
+    /// The hardware store at `index` (`None` = hardware sequence ended).
+    pub hw: Option<HwStore>,
+    /// The software-oracle store at `index` (`None` = oracle ended).
+    pub sw: Option<HwStore>,
+}
+
+impl fmt::Display for StoreDivergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invocation {}", self.invocation)?;
+        match self.index {
+            Some(i) => write!(f, ", store {i}: ")?,
+            None => write!(f, ", sequence lengths differ: ")?,
+        }
+        match (&self.hw, &self.sw) {
+            (Some(h), Some(s)) => write!(
+                f,
+                "hw [{:#x}]={:#x} vs sw [{:#x}]={:#x}",
+                h.addr, h.value, s.addr, s.value
+            ),
+            (Some(h), None) => write!(f, "hw extra store [{:#x}]={:#x}", h.addr, h.value),
+            (None, Some(s)) => write!(f, "hw missing store [{:#x}]={:#x}", s.addr, s.value),
+            (None, None) => write!(f, "no store detail"),
+        }
+    }
 }
 
 /// The hybrid run's result: the architectural [`Exit`] (bit-identical to a
@@ -291,11 +334,17 @@ impl HybridMachine {
                 RunStop::Exited(exit) => break *exit,
                 RunStop::Trapped { pc } => pc,
             };
-            let ri = self
-                .regions
-                .iter()
-                .position(|r| r.entry_pc == pc)
-                .expect("trap only fires on a region entry");
+            // The trap predicate only fires on region entries, but a
+            // hostile region table must not be able to panic the run:
+            // an unmatched trap finishes the program in pure software.
+            let Some(ri) = self.regions.iter().position(|r| r.entry_pc == pc) else {
+                match self.machine.run_until(&mut null, |_| false)? {
+                    RunStop::Exited(exit) => break *exit,
+                    // Impossible (the watch never fires); re-enter the loop
+                    // rather than panic.
+                    RunStop::Trapped { .. } => continue,
+                }
+            };
             kernels[ri].invocations += 1;
 
             // 1. Hardware model against the pre-region state.
@@ -341,6 +390,33 @@ impl HybridMachine {
                             });
                         if !matches {
                             k.store_mismatches += 1;
+                            if k.divergences.len() < MAX_DIVERGENCE_RECORDS {
+                                // First position where the sequences differ
+                                // (None when one is a prefix of the other —
+                                // then only the lengths disagree).
+                                let first =
+                                    hw_stores.iter().zip(&sw_stores).position(|(h, s)| {
+                                        let mask = if h.bytes >= 4 {
+                                            u32::MAX
+                                        } else {
+                                            (1u32 << (8 * h.bytes)) - 1
+                                        };
+                                        h.addr != s.addr
+                                            || h.bytes != s.bytes
+                                            || (h.value & mask) != (s.value & mask)
+                                    });
+                                // No pairwise mismatch → one sequence is a
+                                // prefix of the other; point at the extra
+                                // (or missing) store past the prefix.
+                                let at =
+                                    first.unwrap_or(hw_stores.len().min(sw_stores.len()));
+                                k.divergences.push(StoreDivergence {
+                                    invocation: k.invocations,
+                                    index: first,
+                                    hw: hw_stores.get(at).map(|s| **s),
+                                    sw: sw_stores.get(at).map(|s| **s),
+                                });
+                            }
                         }
                     }
                 }
@@ -494,5 +570,129 @@ mod tests {
         assert_eq!(hx.kernels[0].declined, 1);
         assert_eq!(hx.kernels[0].hw_invocations, 0);
         assert_eq!(hx.sw_cycles_outside(), pure.cycles, "nothing replaced");
+    }
+
+    /// Injected fault: the "hardware" replays the oracle's stores but
+    /// corrupts one value. The divergence must be *reported* — kernel
+    /// name, invocation index, the offending store — never a panic, and
+    /// the architectural exit must stay bit-identical (the oracle is
+    /// authoritative).
+    #[test]
+    fn injected_store_fault_is_reported_not_fatal() {
+        /// Stores into the data section, then corrupts store `victim`.
+        struct CorruptingAccel {
+            stores: Vec<HwStore>,
+            victim: usize,
+        }
+        impl Accelerator for CorruptingAccel {
+            fn invoke(&mut self, _r: usize, _regs: &[u32; 32], _m: &Memory) -> AccelOutcome {
+                let mut stores = self.stores.clone();
+                if let Some(s) = stores.get_mut(self.victim) {
+                    s.value ^= 0xdead_beef;
+                }
+                AccelOutcome::Executed(HwInvocation {
+                    hw_cycles: 7,
+                    stores,
+                })
+            }
+        }
+
+        // A loop that stores i into a[i] for i in 0..4 (data section).
+        let mut a = Asm::new();
+        a.li(Reg::T0, 0); // i
+        a.li(Reg::T1, 0x1000_0000u32 as i32); // &a[0] (data base)
+        a.li(Reg::T2, 4);
+        let head = a.new_label();
+        let done = a.new_label();
+        a.bind(head);
+        a.slt(Reg::T3, Reg::T0, Reg::T2);
+        a.beq(Reg::T3, Reg::Zero, done);
+        a.nop();
+        a.sll(Reg::T4, Reg::T0, 2);
+        a.addu(Reg::T4, Reg::T4, Reg::T1);
+        a.sw(Reg::T0, 0, Reg::T4);
+        a.addiu(Reg::T0, Reg::T0, 1);
+        a.j(head);
+        a.nop();
+        a.bind(done);
+        a.jr(Reg::Ra);
+        a.nop();
+        let text = a.finish().expect("assembles");
+        let binary = BinaryBuilder::new().text(text).build();
+        let base = binary.text_base;
+        let mut head_pc = 0;
+        let mut end_pc = 0;
+        for (i, &w) in binary.text.iter().enumerate() {
+            if let Ok(instr) = crate::decode(w) {
+                if matches!(instr, crate::Instr::Slt { .. }) && head_pc == 0 {
+                    head_pc = base + (i as u32) * 4;
+                }
+                if matches!(instr, crate::Instr::J { .. }) {
+                    end_pc = base + (i as u32) * 4 + 4;
+                }
+            }
+        }
+        let pure = Machine::new(&binary).unwrap().run_unprofiled().unwrap();
+        let oracle_stores: Vec<HwStore> = (0..4)
+            .map(|i| HwStore {
+                addr: 0x1000_0000 + 4 * i,
+                bytes: 4,
+                value: i,
+            })
+            .collect();
+        let regions = vec![RegionSpec {
+            name: "store_loop".into(),
+            lo: head_pc,
+            hi: end_pc,
+            entry_pc: head_pc,
+        }];
+        let mut hm =
+            HybridMachine::new(&binary, SimConfig::default(), regions, HybridConfig::default())
+                .unwrap();
+        let mut accel = CorruptingAccel {
+            stores: oracle_stores,
+            victim: 2,
+        };
+        let hx = hm.run(&mut accel).unwrap();
+        assert_eq!(hx.exit.regs, pure.regs, "oracle stays authoritative");
+        let k = &hx.kernels[0];
+        assert_eq!(k.name, "store_loop");
+        assert_eq!(k.store_mismatches, 1, "the corruption must be counted");
+        let d = k.divergences.first().expect("divergence recorded");
+        assert_eq!(d.invocation, 1, "first (and only) region entry");
+        assert_eq!(d.index, Some(2), "the corrupted store's position");
+        let hw = d.hw.expect("hw store recorded");
+        let sw = d.sw.expect("sw store recorded");
+        assert_eq!(sw.value, 2);
+        assert_eq!(hw.value, 2 ^ 0xdead_beef);
+        assert!(d.to_string().contains("invocation 1"), "{d}");
+    }
+
+    /// A hostile region table — entry pc outside its own range — is
+    /// filtered at construction; the run completes in pure software, never
+    /// panics.
+    #[test]
+    fn malformed_region_is_dropped_and_run_completes() {
+        let (binary, head, end) = loop_binary(5);
+        let pure = Machine::new(&binary).unwrap().run_unprofiled().unwrap();
+        let regions = vec![RegionSpec {
+            name: "bogus".into(),
+            lo: head,
+            hi: end,
+            entry_pc: end.wrapping_add(64), // outside [lo, hi]
+        }];
+        let mut hm =
+            HybridMachine::new(&binary, SimConfig::default(), regions, HybridConfig::default())
+                .unwrap();
+        assert!(hm.regions().is_empty(), "malformed region filtered");
+        struct NeverCalled;
+        impl Accelerator for NeverCalled {
+            fn invoke(&mut self, _r: usize, _regs: &[u32; 32], _m: &Memory) -> AccelOutcome {
+                panic!("no region should ever dispatch");
+            }
+        }
+        let hx = hm.run(&mut NeverCalled).unwrap();
+        assert_eq!(hx.exit.regs, pure.regs);
+        assert_eq!(hx.exit.cycles, pure.cycles);
     }
 }

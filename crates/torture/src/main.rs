@@ -1,0 +1,82 @@
+//! `torture` — seeded fault-injection campaign against the partitioning
+//! flow. See the crate docs and `crates/bench/src/bin/README.md`.
+//!
+//! ```text
+//! torture [--smoke] [--seed N] [--count N] [--max-steps N] [--verbose]
+//! ```
+//!
+//! `--smoke` is the CI preset: fixed seed, 250 mutants, default budgets.
+//! Exit code 1 when any contract violation (panic, hang, differential
+//! mismatch) is observed; the report names the mutant seed so a failure
+//! reproduces with `--seed <mutant seed> --count 1`.
+
+use binpart_torture::{run_campaign, TortureConfig};
+
+fn main() {
+    let mut cfg = TortureConfig {
+        count: 64,
+        ..TortureConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        // Violation lines print seeds as 0x…, so accept both bases: the
+        // documented repro loop is copy-paste.
+        let mut num = |what: &str| -> u64 {
+            args.next()
+                .and_then(|v| match v.strip_prefix("0x").or(v.strip_prefix("0X")) {
+                    Some(hex) => u64::from_str_radix(hex, 16).ok(),
+                    None => v.parse().ok(),
+                })
+                .unwrap_or_else(|| {
+                    eprintln!("torture: {what} needs a numeric argument");
+                    std::process::exit(2);
+                })
+        };
+        match a.as_str() {
+            "--smoke" => {
+                cfg.seed = TortureConfig::default().seed;
+                cfg.count = 250;
+            }
+            "--seed" => cfg.seed = num("--seed"),
+            "--count" => cfg.count = num("--count") as usize,
+            "--max-steps" => cfg.max_steps = num("--max-steps"),
+            "--verbose" | "-v" => cfg.verbose = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: torture [--smoke] [--seed N] [--count N] [--max-steps N] [--verbose]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("torture: unknown flag {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!(
+        "torture: {} mutants, seed {:#x}, {} step budget",
+        cfg.count, cfg.seed, cfg.max_steps
+    );
+    let t0 = std::time::Instant::now();
+    let s = run_campaign(&cfg);
+    println!(
+        "torture: {} mutants in {:.1}s — {} full successes ({} degraded), {} typed errors",
+        s.total,
+        t0.elapsed().as_secs_f64(),
+        s.succeeded,
+        s.degraded,
+        s.typed_errors(),
+    );
+    for (kind, n) in &s.error_kinds {
+        println!("  {n:>5}  {kind}");
+    }
+    for v in s.panics.iter().chain(&s.mismatches).chain(&s.hangs) {
+        eprintln!("VIOLATION: {v}");
+    }
+    if s.violations() > 0 {
+        eprintln!("torture: {} contract violations", s.violations());
+        std::process::exit(1);
+    }
+    println!("torture: zero panics, zero hangs, differential clean");
+}

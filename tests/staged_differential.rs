@@ -15,7 +15,7 @@ use binpart::cdfg::ssa;
 use binpart::core::flow::{Flow, FlowOptions};
 use binpart::core::lift;
 use binpart::core::stage::StagedFlow;
-use binpart::core::{DecompileError, DecompileOptions, PassStats};
+use binpart::core::{DecompileError, DecompileOptions, LiftError, PassStats};
 use binpart::minicc::OptLevel;
 use binpart::platform::Platform;
 use binpart::workloads::suite;
@@ -134,12 +134,12 @@ fn staged_flow_reports_same_jump_table_failures() {
         match (&mono, &st) {
             (Ok(_), Ok(_)) => {}
             (
-                Err(binpart::core::FlowError::Decompile(DecompileError::IndirectJump {
-                    pc: a,
-                })),
-                Err(binpart::core::FlowError::Decompile(DecompileError::IndirectJump {
-                    pc: c,
-                })),
+                Err(binpart::core::FlowError::Decompile(DecompileError::Lift(
+                    LiftError::IndirectJump { pc: a },
+                ))),
+                Err(binpart::core::FlowError::Decompile(DecompileError::Lift(
+                    LiftError::IndirectJump { pc: c },
+                ))),
             ) => assert_eq!(a, c, "{}", b.name),
             other => panic!("{}: {other:?}", b.name),
         }
