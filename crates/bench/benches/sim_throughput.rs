@@ -60,6 +60,25 @@ fn run_fast(bins: &[Binary], fusion: FusionConfig) -> u64 {
     .sum()
 }
 
+/// The superblock translation backend over aggressive fusion (the shipping
+/// fast configuration; see `SimConfig::superblocks`).
+fn run_superblock(bins: &[Binary]) -> u64 {
+    let config = SimConfig {
+        fusion: FusionConfig::Aggressive,
+        superblocks: true,
+        ..SimConfig::default()
+    };
+    par_map(bins, |b| {
+        Machine::with_config(std::hint::black_box(b), config)
+            .unwrap()
+            .run_unprofiled()
+            .unwrap()
+            .instrs
+    })
+    .into_iter()
+    .sum()
+}
+
 fn run_fast_profiled(bins: &[Binary], fusion: FusionConfig) -> u64 {
     par_map(bins, |b| {
         Machine::with_config(std::hint::black_box(b), sim_config(fusion))
@@ -124,6 +143,9 @@ fn bench(c: &mut Criterion) {
     group.bench_function("matrix_fused_aggressive_unprofiled", |b| {
         b.iter(|| run_fast(&all_bins, FusionConfig::Aggressive))
     });
+    group.bench_function("matrix_superblock_unprofiled", |b| {
+        b.iter(|| run_superblock(&all_bins))
+    });
     group.bench_function("matrix_fused_profiled_full", |b| {
         b.iter(|| run_fast_profiled(&all_bins, FusionConfig::Default))
     });
@@ -176,21 +198,30 @@ fn smoke() {
     let unfused = best_ips(&|| run_fast(&bins, FusionConfig::Off));
     let fused = best_ips(&|| run_fast(&bins, FusionConfig::Default));
     let aggressive = best_ips(&|| run_fast(&bins, FusionConfig::Aggressive));
+    let superblock = best_ips(&|| run_superblock(&bins));
     println!(
-        "smoke: unfused {:.0} M/s | fused {:.0} M/s | aggressive {:.0} M/s",
+        "smoke: unfused {:.0} M/s | fused {:.0} M/s | aggressive {:.0} M/s | superblock {:.0} M/s",
         unfused / 1e6,
         fused / 1e6,
-        aggressive / 1e6
+        aggressive / 1e6,
+        superblock / 1e6
     );
     assert!(
         fused.max(aggressive) >= unfused,
         "fusion lost throughput: unfused {unfused:.0}/s, fused {fused:.0}/s, aggressive {aggressive:.0}/s"
+    );
+    assert!(
+        superblock >= fused.max(aggressive),
+        "superblock engine lost throughput: superblock {superblock:.0}/s vs fused {fused:.0}/s / aggressive {aggressive:.0}/s"
     );
     binpart_bench::assert_snapshot_columns(&[
         "sim_instrs_per_sec_fast",
         "sim_instrs_per_sec_fused",
         "sim_instrs_per_sec_unfused",
         "sim_instrs_per_sec_seed",
+        "sim_instrs_per_sec_superblock",
+        "superblock_speedup",
+        "trace_cache_hit_rate",
         "blockcount_profile_overhead_pct",
         "decompile_funcs_per_sec",
         "sweep_points_per_sec",

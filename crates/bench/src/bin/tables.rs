@@ -54,6 +54,12 @@ struct SimReport {
     unfused_ips: f64,
     /// Aggressive fusion, unprofiled — the headline dispatch number.
     fused_ips: f64,
+    /// Aggressive fusion + the superblock trace-cache translation backend
+    /// (`SimConfig::superblocks`) — the fastest shipping configuration.
+    superblock_ips: f64,
+    /// Fraction of dynamic instructions retired inside installed
+    /// superblocks during the measurement pass (trace-cache coverage).
+    trace_cache_hit_rate: f64,
     seed_ips: f64,
     /// Relative cost of the pay-as-you-go block-count profiler vs an
     /// unprofiled run (default fusion), in percent.
@@ -119,6 +125,32 @@ fn sim_report(suite_wall_s: Option<f64>) -> SimReport {
     let (fast_s, total) = best(&|| run_unprofiled(FusionConfig::Default));
     let (unfused_s, _) = best(&|| run_unprofiled(FusionConfig::Off));
     let (fused_s, _) = best(&|| run_unprofiled(FusionConfig::Aggressive));
+    // Superblocks over aggressive fusion, plus trace-cache coverage: what
+    // fraction of the matrix's dynamic instructions retired inside an
+    // installed trace (fresh machines per pass, so recording cost counts).
+    let sb_instrs = std::cell::Cell::new(0u64);
+    let (superblock_s, _) = best(&|| {
+        let mut inside = 0u64;
+        let n = bins
+            .iter()
+            .map(|bin| {
+                let mut m = Machine::with_config(
+                    bin,
+                    SimConfig {
+                        fusion: FusionConfig::Aggressive,
+                        superblocks: true,
+                        ..SimConfig::default()
+                    },
+                )
+                .expect("decodes");
+                let instrs = m.run_unprofiled().expect("runs").instrs;
+                inside += m.trace_cache_stats().superblock_instrs;
+                instrs
+            })
+            .sum();
+        sb_instrs.set(inside);
+        n
+    });
     let (blockcount_s, _) = best(&|| {
         bins.iter()
             .map(|bin| {
@@ -176,6 +208,8 @@ fn sim_report(suite_wall_s: Option<f64>) -> SimReport {
         fast_ips: ips(fast_s),
         unfused_ips: ips(unfused_s),
         fused_ips: ips(fused_s),
+        superblock_ips: ips(superblock_s),
+        trace_cache_hit_rate: sb_instrs.get() as f64 / total as f64,
         seed_ips: ips(seed_s),
         blockcount_overhead_pct: 100.0 * (blockcount_s - fast_s) / fast_s,
         full_overhead_pct: 100.0 * (full_s - fast_s) / fast_s,
@@ -257,13 +291,16 @@ fn write_bench_json(r: &SimReport) {
         })
         .map_or("null".to_string(), |s: f64| format!("{s:.6}"));
     let json = format!(
-        "{{\n  \"sim_instrs_per_sec_fast\": {:.0},\n  \"sim_instrs_per_sec_unfused\": {:.0},\n  \"sim_instrs_per_sec_fused\": {:.0},\n  \"sim_instrs_per_sec_seed\": {:.0},\n  \"sim_speedup\": {:.2},\n  \"fusion_speedup\": {:.3},\n  \"blockcount_profile_overhead_pct\": {:.1},\n  \"full_profile_overhead_pct\": {:.1},\n  \"matrix_total_instrs\": {},\n  \"decompile_funcs_per_sec\": {:.0},\n  \"sweep_points_per_sec\": {:.0},\n  \"sweep_speedup_vs_naive\": {:.2},\n  \"cosim_cycles_per_sec\": {:.0},\n  \"estimate_error_pct_mean\": {:.2},\n  \"estimate_error_pct_max\": {:.2},\n  \"full_suite_wall_clock_s\": {}\n}}\n",
+        "{{\n  \"sim_instrs_per_sec_fast\": {:.0},\n  \"sim_instrs_per_sec_unfused\": {:.0},\n  \"sim_instrs_per_sec_fused\": {:.0},\n  \"sim_instrs_per_sec_superblock\": {:.0},\n  \"sim_instrs_per_sec_seed\": {:.0},\n  \"sim_speedup\": {:.2},\n  \"fusion_speedup\": {:.3},\n  \"superblock_speedup\": {:.3},\n  \"trace_cache_hit_rate\": {:.3},\n  \"blockcount_profile_overhead_pct\": {:.1},\n  \"full_profile_overhead_pct\": {:.1},\n  \"matrix_total_instrs\": {},\n  \"decompile_funcs_per_sec\": {:.0},\n  \"sweep_points_per_sec\": {:.0},\n  \"sweep_speedup_vs_naive\": {:.2},\n  \"cosim_cycles_per_sec\": {:.0},\n  \"estimate_error_pct_mean\": {:.2},\n  \"estimate_error_pct_max\": {:.2},\n  \"full_suite_wall_clock_s\": {}\n}}\n",
         r.fast_ips,
         r.unfused_ips,
         r.fused_ips,
+        r.superblock_ips,
         r.seed_ips,
         r.fast_ips / r.seed_ips,
         r.fused_ips / r.unfused_ips,
+        r.superblock_ips / r.fused_ips,
+        r.trace_cache_hit_rate,
         r.blockcount_overhead_pct,
         r.full_overhead_pct,
         r.total_instrs,
@@ -277,10 +314,13 @@ fn write_bench_json(r: &SimReport) {
     );
     match std::fs::write(path, &json) {
         Ok(()) => println!(
-            "wrote {path}: fast {:.0} M instrs/s (unfused {:.0}, fused {:.0}), seed {:.0} M instrs/s ({:.1}x); blockcount profiling {:+.1}%, full {:+.1}%; decompile {:.0} funcs/s; sweep {:.0} pts/s ({:.1}x vs naive); cosim {:.1} M cyc/s, estimate error mean {:.1}% max {:.1}%",
+            "wrote {path}: fast {:.0} M instrs/s (unfused {:.0}, fused {:.0}, superblock {:.0} = {:.2}x @ {:.0}% trace coverage), seed {:.0} M instrs/s ({:.1}x); blockcount profiling {:+.1}%, full {:+.1}%; decompile {:.0} funcs/s; sweep {:.0} pts/s ({:.1}x vs naive); cosim {:.1} M cyc/s, estimate error mean {:.1}% max {:.1}%",
             r.fast_ips / 1e6,
             r.unfused_ips / 1e6,
             r.fused_ips / 1e6,
+            r.superblock_ips / 1e6,
+            r.superblock_ips / r.fused_ips,
+            r.trace_cache_hit_rate * 100.0,
             r.seed_ips / 1e6,
             r.fast_ips / r.seed_ips,
             r.blockcount_overhead_pct,

@@ -666,6 +666,12 @@ pub struct Block {
     pub start_pc: Option<u32>,
     /// Dynamic execution count attached from a profile (0 = unprofiled).
     pub profile_count: u64,
+    /// Logical iterations each recorded execution of this block stands
+    /// for (1 = untransformed). Loop rerolling folds a `k`-way unrolled
+    /// body into one section, so one profiled execution of the original
+    /// block corresponds to `k` executions of the rerolled block; cycle
+    /// estimators must scale `profile_count` by this factor.
+    pub reroll_factor: u32,
 }
 
 impl Block {
@@ -676,6 +682,7 @@ impl Block {
             term: Terminator::None,
             start_pc: None,
             profile_count: 0,
+            reroll_factor: 1,
         }
     }
 

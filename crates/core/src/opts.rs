@@ -1457,6 +1457,19 @@ fn try_reroll(f: &mut Function, header: BlockId, body: BlockId, iv_phi: VReg, st
             }
         });
     }
+    // 7. One original (unrolled) execution of this loop covered `k`
+    //    logical iterations: record the factor so profile-weighted cycle
+    //    estimates keep counting logical iterations, not unrolled ones.
+    //    Compounds across nested rerolls of the same block.
+    let k32 = k as u32;
+    for b in if header == body {
+        vec![header]
+    } else {
+        vec![header, body]
+    } {
+        let blk = f.block_mut(b);
+        blk.reroll_factor = blk.reroll_factor.saturating_mul(k32);
+    }
     true
 }
 
@@ -1813,6 +1826,12 @@ mod tests {
                 }
             }
         }
+        // One original execution of the unrolled body covered 4 logical
+        // iterations: the factor must be recorded on both loop blocks so
+        // profile-weighted cycle estimates stay in logical iterations.
+        assert_eq!(f.block(body).reroll_factor, 4);
+        assert_eq!(f.block(header).reroll_factor, 4);
+        assert_eq!(f.block(exit).reroll_factor, 1);
     }
 
     #[test]

@@ -46,6 +46,7 @@ pub mod instr;
 pub mod reference;
 pub mod reg;
 pub mod sim;
+pub mod superblock;
 
 pub use asm::{Asm, AsmError, Label};
 pub use binary::{Binary, BinaryBuilder, LoadBinaryError, Symbol, SymbolKind};

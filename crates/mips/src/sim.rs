@@ -66,6 +66,52 @@
 //!   per-op dispatch with exact accounting. A fused memory op that faults
 //!   reports the faulting *constituent's* pc and skips the rest, so
 //!   partial profiles match the reference bit-for-bit.
+//! * **Superblock trace cache with threaded-code translation.** On top of
+//!   block dispatch, the engine records hot paths *across* taken branches
+//!   and replays them as straight-line threaded code
+//!   ([`crate::superblock`], gated by [`SimConfig::superblocks`]). The
+//!   lifecycle:
+//!
+//!   1. **Record.** A per-target heat counter marks a backward-branch /
+//!      call-return target hot after a handful of visits (NET-style
+//!      most-recently-executed-tail). The next arrival enters recording
+//!      mode: the dispatcher runs normally while the recorder captures
+//!      each round — body run, control op, delay slot, and the *observed*
+//!      continuation — until the path closes back on its entry (a loop),
+//!      re-enters another trace head, or hits a segment/length cap.
+//!   2. **Specialize.** The recorded rounds are frozen into segments with
+//!      everything the dispatcher would recompute pre-resolved: dense
+//!      body micro-ops re-fused across the trace's own internal
+//!      boundaries (entry marks inside the trace no longer constrain
+//!      fusion), per-segment instruction/cycle charges as constants,
+//!      canonical-`nop` delay slots marked for skipping, and
+//!      unconditional direct transfers marked to bypass control
+//!      resolution entirely. The dominant shapes (1- and 2-segment loop
+//!      traces) compile to const-generic specializations whose segment
+//!      arrays live on the stack and whose body loops are positionally
+//!      unrolled.
+//!   3. **Install & execute.** The trace is keyed by entry pc in a
+//!      direct map; the dispatcher consults it once per round start and
+//!      jumps into trace execution on a hit. Inside, each segment
+//!      executes its dense body, charges its constants, and compares the
+//!      resolved control target against the recorded continuation — a
+//!      mismatch is a **side exit** that falls back to the dispatcher
+//!      with exact pc/cycle/profile state (per-segment side-exit counts
+//!      are kept for tooling). Traces chain: a trace that ends where
+//!      another begins transfers directly without a dispatcher round
+//!      trip. Watchpoints and step budgets are checked per segment, so
+//!      [`HybridMachine`](crate::hybrid) trap pcs and `MaxSteps`
+//!      boundaries stay exact.
+//!   4. **Invalidate.** [`Machine::set_dispatch_boundaries`] (new entry
+//!      points, e.g. hybrid trap pcs or partition changes) clears the
+//!      cache and heat table; traces re-record against the new
+//!      boundaries. Boundary pcs are mandatory trace boundaries, so a
+//!      watched pc can never be buried mid-trace.
+//!
+//!   The whole engine is observationally invisible: `Exit`, `Profile`,
+//!   fault pcs, and partial profiles are bit-identical to the
+//!   block-dispatch interpreter (asserted suite-wide by
+//!   `tests/differential.rs` and torture-tested on hostile binaries).
 //! * **Profiling as a trait.** The execute body is monomorphized over a
 //!   [`Profiler`], so profiling costs exactly what the chosen profiler
 //!   observes. [`Machine::run`] collects the full [`Profile`] (counts,
@@ -84,17 +130,21 @@
 //! Measured on the 20-benchmark workload suite across all four compiler
 //! optimization levels (the matrix the experiment harness simulates), the
 //! unfused engine retires ~3-8x more instructions per second than the
-//! seed engine (host-dependent), and aggressive fusion adds a further
+//! seed engine (host-dependent), aggressive fusion adds a further
 //! ~1.3-1.45x on every slice — including the dispatch-bound `-O1`+ levels
-//! the ROADMAP targeted — with the exact numbers tracked per PR in
-//! `BENCH_sim.json`. See `crates/bench/benches/sim_throughput.rs`.
+//! the ROADMAP targeted — and the superblock engine adds another ~1.6x on
+//! top of aggressive fusion at ~98% trace coverage, with the exact
+//! numbers tracked per PR in `BENCH_sim.json`. See
+//! `crates/bench/benches/sim_throughput.rs`.
 //!
 //! The differential test suite (`tests/differential.rs` at the workspace
 //! root) asserts that this engine and the retained reference engine produce
 //! bit-identical [`Exit`] state and [`Profile`] counts over the whole
-//! benchmark suite at every optimization level × every fusion level, and
-//! that [`BlockCountProfiler`] counts are exact.
+//! benchmark suite at every optimization level × every fusion level ×
+//! {interpreter, superblock}, and that [`BlockCountProfiler`] and
+//! [`EdgeProfiler`] counts are exact under both engines.
 
+use crate::superblock;
 use crate::{Binary, CycleModel, DecodeError, Instr, Reg, HALT_PC};
 use std::cell::Cell;
 use std::collections::HashMap;
@@ -697,6 +747,14 @@ pub struct SimConfig {
     /// Superinstruction fusion level (observationally exact at every
     /// level; see [`FusionConfig`]).
     pub fusion: FusionConfig,
+    /// Enable the trace-based superblock engine (see
+    /// [`crate::superblock`]): hot dispatch-round chains are recorded,
+    /// specialized into straight-line threaded code, and replayed from a
+    /// trace cache. Observationally exact — `Exit`, [`Profile`], watch
+    /// semantics, and fault accounting are bit-identical to the plain
+    /// dispatch loop — so this is purely a throughput knob, off by
+    /// default.
+    pub superblocks: bool,
 }
 
 impl Default for SimConfig {
@@ -706,6 +764,7 @@ impl Default for SimConfig {
             max_steps: 500_000_000,
             stack_top: crate::DEFAULT_STACK_TOP,
             fusion: FusionConfig::default(),
+            superblocks: false,
         }
     }
 }
@@ -713,13 +772,13 @@ impl Default for SimConfig {
 /// A pc predicate monomorphized into the dispatch loop. [`NoWatch`] (the
 /// plain-run case) compiles every check out; closures make
 /// [`Machine::run_until`] stop at caller-chosen addresses.
-trait PcWatch {
+pub(crate) trait PcWatch {
     fn hit(&self, pc: u32) -> bool;
 }
 
 /// The zero-cost watch: never hits, so the monomorphized run loop carries
 /// no pc checks at all.
-struct NoWatch;
+pub(crate) struct NoWatch;
 
 impl PcWatch for NoWatch {
     #[inline(always)]
@@ -781,35 +840,35 @@ impl Exit {
 /// covers, `cyc` the summed cycle cost, and the extra register fields
 /// (`d`, `e`) plus `imm2` hold the additional constituents' operands.
 #[derive(Debug, Clone, Copy)]
-struct Op {
-    code: OpCode,
+pub(crate) struct Op {
+    pub(crate) code: OpCode,
     /// Destination register (rd / rt for loads and immediate ALU).
-    a: u8,
+    pub(crate) a: u8,
     /// First source register (rs / base).
-    b: u8,
+    pub(crate) b: u8,
     /// Second source register (rt / store value).
-    c: u8,
+    pub(crate) c: u8,
     /// Fused ops: second constituent's destination (or first intermediate).
-    d: u8,
+    pub(crate) d: u8,
     /// Fused ops: second intermediate / value register / compare sub-kind.
-    e: u8,
+    pub(crate) e: u8,
     /// Text slots this op covers: 1 for plain ops, 2–3 for fused ops.
-    width: u8,
+    pub(crate) width: u8,
     /// Cycle cost of one dynamic instance (summed over constituents when
     /// fused).
-    cyc: u32,
+    pub(crate) cyc: u32,
     /// Pre-baked immediate: sign/zero-extended constant, pre-shifted `lui`
     /// value, shift amount, `break` code, or absolute control target.
-    imm: u32,
+    pub(crate) imm: u32,
     /// Fused ops: second immediate (second constituent's constant, shift
     /// amount, or load/store offset).
-    imm2: u32,
+    pub(crate) imm2: u32,
 }
 
 /// Micro-op kinds. `Add`/`Addu` (and `Addi`/`Addiu`, `Sub`/`Subu`) share a
 /// kind because the simulator models both as wrapping arithmetic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum OpCode {
+pub(crate) enum OpCode {
     Addu,
     Subu,
     And,
@@ -1052,7 +1111,7 @@ fn lower(instr: Instr, pc: u32, cyc: u32) -> Op {
 
 /// Returns `true` for micro-ops that (may) transfer control, including the
 /// fused compare-and-branch superinstructions.
-fn is_control(code: OpCode) -> bool {
+pub(crate) fn is_control(code: OpCode) -> bool {
     matches!(
         code,
         OpCode::Beq
@@ -1143,7 +1202,7 @@ fn entry_points(ops: &[Op], text_base: u32, entry: u32) -> Vec<bool> {
 ///
 /// Matching is greedy left-to-right (longest pattern first), never starts
 /// at a control op, and never consumes a statically known entry point.
-fn fuse(ops: &[Op], entries: &[bool], config: FusionConfig) -> Vec<Op> {
+pub(crate) fn fuse(ops: &[Op], entries: &[bool], config: FusionConfig) -> Vec<Op> {
     let mut fops = ops.to_vec();
     if config == FusionConfig::Off {
         return fops;
@@ -1565,7 +1624,7 @@ enum RunControl {
 }
 
 /// How one executed micro-op leaves control flow.
-enum Outcome {
+pub(crate) enum Outcome {
     /// Sequential: the delay slot's successor is `next_pc + 4`.
     Next,
     /// Taken control transfer: after the delay slot, continue here.
@@ -1618,6 +1677,64 @@ fn addiu_cmp_value(regs: &mut [u32; 32], op: Op) -> u32 {
     v
 }
 
+/// Resolves a dispatch-round-terminating control op: evaluates the
+/// condition (executing any fused compare constituents' register writes),
+/// performs link writes and their `on_call` hooks, and returns the taken
+/// target — `None` for a not-taken conditional. Shared by the fused
+/// epilogue of the dispatch loop and the superblock trace executor so the
+/// two cannot diverge. Must run *before* the delay slot (the slot must see
+/// link writes, and the target must use pre-slot register values).
+///
+/// `cop` must be a fusable control op: any control except `Break`.
+#[inline(always)]
+pub(crate) fn resolve_control<P: Profiler>(
+    cop: Op,
+    ctl_pc: u32,
+    regs: &mut [u32; 32],
+    prof: &mut P,
+) -> Option<u32> {
+    match cop.code {
+        OpCode::Beq => (reg_read(regs, cop.b) == reg_read(regs, cop.c)).then_some(cop.imm),
+        OpCode::Bne => (reg_read(regs, cop.b) != reg_read(regs, cop.c)).then_some(cop.imm),
+        OpCode::Blez => ((reg_read(regs, cop.b) as i32) <= 0).then_some(cop.imm),
+        OpCode::Bgtz => ((reg_read(regs, cop.b) as i32) > 0).then_some(cop.imm),
+        OpCode::Bltz => ((reg_read(regs, cop.b) as i32) < 0).then_some(cop.imm),
+        OpCode::Bgez => ((reg_read(regs, cop.b) as i32) >= 0).then_some(cop.imm),
+        OpCode::FCmpBeqz => {
+            let v = cmp_value(regs, cop);
+            reg_write(regs, cop.a, v);
+            (v == 0).then_some(cop.imm)
+        }
+        OpCode::FCmpBnez => {
+            let v = cmp_value(regs, cop);
+            reg_write(regs, cop.a, v);
+            (v != 0).then_some(cop.imm)
+        }
+        OpCode::FAddiuCmpBeqz => {
+            let v = addiu_cmp_value(regs, cop);
+            (v == 0).then_some(cop.imm)
+        }
+        OpCode::FAddiuCmpBnez => {
+            let v = addiu_cmp_value(regs, cop);
+            (v != 0).then_some(cop.imm)
+        }
+        OpCode::J => Some(cop.imm),
+        OpCode::Jal => {
+            reg_write(regs, 31, ctl_pc.wrapping_add(8));
+            prof.on_call(cop.imm);
+            Some(cop.imm)
+        }
+        OpCode::Jr => Some(reg_read(regs, cop.b)),
+        OpCode::Jalr => {
+            let t = reg_read(regs, cop.b);
+            reg_write(regs, cop.a, ctl_pc.wrapping_add(8));
+            prof.on_call(t);
+            Some(t)
+        }
+        _ => unreachable!("fusable excludes non-control and break"),
+    }
+}
+
 /// Executes one micro-op (plain or fused) against the given architectural
 /// state. Shared by [`Machine::step`] and the [`Machine::run`] loop so the
 /// two cannot diverge; `#[inline(always)]` keeps the run loop a single
@@ -1630,7 +1747,7 @@ fn addiu_cmp_value(regs: &mut [u32; 32], op: Op) -> u32 {
 /// from that pc).
 #[inline(always)]
 #[allow(clippy::too_many_arguments)]
-fn exec_op<P: Profiler>(
+pub(crate) fn exec_op<P: Profiler>(
     op: Op,
     pc: u32,
     idx: usize,
@@ -2219,6 +2336,9 @@ pub struct Machine {
     profile: Profile,
     cycles: u64,
     instrs: u64,
+    /// Superblock trace cache ([`SimConfig::superblocks`]); `None` keeps
+    /// the dispatch loop's codegen identical to the pre-superblock engine.
+    sb: Option<Box<superblock::TraceCache>>,
 }
 
 impl Machine {
@@ -2261,6 +2381,9 @@ impl Machine {
         regs[Reg::Ra.number() as usize] = HALT_PC;
         regs[Reg::Gp.number() as usize] = binary.data_base;
         let profile = Profile::new(binary.text_base, text.len());
+        let sb = config
+            .superblocks
+            .then(|| Box::new(superblock::TraceCache::new(ops.len())));
         Ok(Machine {
             regs,
             hi: 0,
@@ -2277,6 +2400,7 @@ impl Machine {
             profile,
             cycles: 0,
             instrs: 0,
+            sb,
         })
     }
 
@@ -2301,6 +2425,26 @@ impl Machine {
         }
         self.fops = fuse(&self.ops, &entries, self.config.fusion);
         self.plans = build_plans_bounded(&self.fops, &self.ops, &boundary);
+        // Superblock traces are chains of dispatch rounds, so they bake in
+        // the old round shapes: drop them all. Re-recorded traces are built
+        // from the new bounded plans, which makes every boundary (e.g. a
+        // hybrid machine's trap pcs) a mandatory segment start.
+        if let Some(sb) = &mut self.sb {
+            sb.invalidate();
+        }
+    }
+
+    /// Aggregate superblock trace-cache statistics. All zeros when
+    /// [`SimConfig::superblocks`] is off (or nothing got hot yet).
+    pub fn trace_cache_stats(&self) -> superblock::TraceCacheStats {
+        self.sb.as_ref().map(|sb| sb.stats()).unwrap_or_default()
+    }
+
+    /// Summaries of every installed superblock, in install order (empty
+    /// when [`SimConfig::superblocks`] is off). See
+    /// `examples/fusion_histogram.rs --superblocks`.
+    pub fn trace_summaries(&self) -> Vec<superblock::TraceSummary> {
+        self.sb.as_ref().map(|sb| sb.summaries()).unwrap_or_default()
     }
 
     /// Current register value.
@@ -2450,7 +2594,22 @@ impl Machine {
         }
     }
 
+    /// Dispatches to the monomorphized loop: the `SB` const generic keeps
+    /// the superblock hooks out of the non-superblock engine's codegen
+    /// entirely (it stays bit-for-bit the pre-superblock dispatch loop).
     fn run_loop<P: Profiler, W: PcWatch>(
+        &mut self,
+        prof: &mut P,
+        watch: &W,
+    ) -> Result<RunControl, SimError> {
+        if self.sb.is_some() {
+            self.run_loop_impl::<P, W, true>(prof, watch)
+        } else {
+            self.run_loop_impl::<P, W, false>(prof, watch)
+        }
+    }
+
+    fn run_loop_impl<P: Profiler, W: PcWatch, const SB: bool>(
         &mut self,
         prof: &mut P,
         watch: &W,
@@ -2477,6 +2636,7 @@ impl Machine {
             let fops = &self.fops[..];
             let plans = &self.plans[..];
             let mem = &mut self.mem;
+            let mut sb = if SB { self.sb.as_deref_mut() } else { None };
             loop {
                 if pc == HALT_PC {
                     break Stop::Halt;
@@ -2505,6 +2665,48 @@ impl Machine {
                 // caps the run length so MaxSteps still fires at exactly
                 // the right instruction.
                 if next_pc == pc.wrapping_add(4) {
+                    // Superblock engine: replay an installed trace from
+                    // here, or feed the recorder/heat counters. Compiled
+                    // out entirely when SB is false.
+                    if SB {
+                        if let Some(sb) = sb.as_deref_mut() {
+                            let tid = sb.lookup(idx);
+                            if tid != superblock::NO_TRACE {
+                                // Entering a trace closes any recording in
+                                // flight (a trace head is as good a tail
+                                // as any).
+                                sb.finalize_recording(ops, text_base);
+                                match sb.run(
+                                    tid,
+                                    ops,
+                                    text_base,
+                                    max_steps,
+                                    &mut regs,
+                                    &mut hi,
+                                    &mut lo,
+                                    mem,
+                                    prof,
+                                    watch,
+                                    &mut pc,
+                                    &mut next_pc,
+                                    &mut instrs,
+                                    &mut cycles,
+                                ) {
+                                    superblock::TraceExit::Seq => continue,
+                                    // Budget too tight for the head
+                                    // segment: the interpreter below
+                                    // retires the exact partial round.
+                                    superblock::TraceExit::Interp => {}
+                                    superblock::TraceExit::Watched(p) => {
+                                        break Stop::Watched(p)
+                                    }
+                                    superblock::TraceExit::Err(e) => break Stop::Err(e),
+                                }
+                            } else {
+                                sb.round_start(idx, ops, text_base);
+                            }
+                        }
+                    }
                     let plan = plans[idx];
                     let len = u64::from(plan & PLAN_LEN);
                     let budget = max_steps - instrs;
@@ -2557,60 +2759,7 @@ impl Machine {
                         // Resolve the transfer before the slot runs (the
                         // slot must see link writes, and the target must
                         // use pre-slot register values) — seed order.
-                        let target: Option<u32> = match cop.code {
-                            OpCode::Beq => {
-                                (reg_read(&regs, cop.b) == reg_read(&regs, cop.c))
-                                    .then_some(cop.imm)
-                            }
-                            OpCode::Bne => {
-                                (reg_read(&regs, cop.b) != reg_read(&regs, cop.c))
-                                    .then_some(cop.imm)
-                            }
-                            OpCode::Blez => {
-                                ((reg_read(&regs, cop.b) as i32) <= 0).then_some(cop.imm)
-                            }
-                            OpCode::Bgtz => {
-                                ((reg_read(&regs, cop.b) as i32) > 0).then_some(cop.imm)
-                            }
-                            OpCode::Bltz => {
-                                ((reg_read(&regs, cop.b) as i32) < 0).then_some(cop.imm)
-                            }
-                            OpCode::Bgez => {
-                                ((reg_read(&regs, cop.b) as i32) >= 0).then_some(cop.imm)
-                            }
-                            OpCode::FCmpBeqz => {
-                                let v = cmp_value(&regs, cop);
-                                reg_write(&mut regs, cop.a, v);
-                                (v == 0).then_some(cop.imm)
-                            }
-                            OpCode::FCmpBnez => {
-                                let v = cmp_value(&regs, cop);
-                                reg_write(&mut regs, cop.a, v);
-                                (v != 0).then_some(cop.imm)
-                            }
-                            OpCode::FAddiuCmpBeqz => {
-                                let v = addiu_cmp_value(&mut regs, cop);
-                                (v == 0).then_some(cop.imm)
-                            }
-                            OpCode::FAddiuCmpBnez => {
-                                let v = addiu_cmp_value(&mut regs, cop);
-                                (v != 0).then_some(cop.imm)
-                            }
-                            OpCode::J => Some(cop.imm),
-                            OpCode::Jal => {
-                                reg_write(&mut regs, 31, ctl_pc.wrapping_add(8));
-                                prof.on_call(cop.imm);
-                                Some(cop.imm)
-                            }
-                            OpCode::Jr => Some(reg_read(&regs, cop.b)),
-                            OpCode::Jalr => {
-                                let t = reg_read(&regs, cop.b);
-                                reg_write(&mut regs, cop.a, ctl_pc.wrapping_add(8));
-                                prof.on_call(t);
-                                Some(t)
-                            }
-                            _ => unreachable!("fusable excludes non-control and break"),
-                        };
+                        let target = resolve_control(cop, ctl_pc, &mut regs, prof);
                         let slot_idx = cidx + cw;
                         let sop = ops[slot_idx];
                         instrs += cw as u64 + 1;
@@ -2650,6 +2799,29 @@ impl Machine {
                         }
                         pc = after_slot;
                         next_pc = after_slot.wrapping_add(4);
+                        if SB {
+                            // A full fused round just retired — exactly the
+                            // unit a superblock segment replays. (This is
+                            // the only recording site: partial rounds and
+                            // slow-path ops end any active recording at
+                            // the next round_start's continuity check.)
+                            if let Some(sb) = sb.as_deref_mut() {
+                                let cond = !matches!(
+                                    cop.code,
+                                    OpCode::J | OpCode::Jal | OpCode::Jr | OpCode::Jalr
+                                );
+                                sb.record_round(
+                                    idx,
+                                    len as u32,
+                                    cw as u32,
+                                    cond,
+                                    target.is_some(),
+                                    after_slot,
+                                    ops,
+                                    text_base,
+                                );
+                            }
+                        }
                         continue;
                     }
                     if take > 0 {
@@ -3378,5 +3550,294 @@ mod tests {
         let mut m = Memory::new();
         m.write_slice(0x5000, &[]);
         assert!(m.read_vec(0x5000, 0).is_empty());
+    }
+
+    // --------------------- Superblock engine tests ------------------------
+
+    /// Runs `build` at every fusion level with and without superblocks and
+    /// asserts bit-identical `Exit` state and `Profile` everywhere; returns
+    /// the superblock-on aggressive-fusion exit for further assertions.
+    fn assert_superblock_exact(build: impl Fn(&mut Asm)) -> (Exit, superblock::TraceCacheStats) {
+        let mut a = Asm::new();
+        build(&mut a);
+        let text = a.finish().expect("assembles");
+        let binary = BinaryBuilder::new().text(text).build();
+        let run = |fusion: FusionConfig, superblocks: bool| {
+            let config = SimConfig {
+                fusion,
+                superblocks,
+                ..SimConfig::default()
+            };
+            let mut m = Machine::with_config(&binary, config).expect("loads");
+            let exit = m.run().expect("runs");
+            (exit, m.trace_cache_stats())
+        };
+        let (base, _) = run(FusionConfig::Off, false);
+        let mut keep = None;
+        for fusion in [
+            FusionConfig::Off,
+            FusionConfig::Default,
+            FusionConfig::Aggressive,
+        ] {
+            let (sb, stats) = run(fusion, true);
+            assert_eq!(sb.reason, base.reason, "{fusion:?}+sb: exit reason");
+            assert_eq!(sb.regs, base.regs, "{fusion:?}+sb: registers");
+            assert_eq!(sb.cycles, base.cycles, "{fusion:?}+sb: cycles");
+            assert_eq!(sb.instrs, base.instrs, "{fusion:?}+sb: instrs");
+            assert_eq!(sb.profile, base.profile, "{fusion:?}+sb: profile");
+            if fusion == FusionConfig::Aggressive {
+                keep = Some((sb, stats));
+            }
+        }
+        keep.expect("aggressive ran")
+    }
+
+    /// A loop long enough to cross the recorder's heat threshold.
+    fn hot_sum_loop(a: &mut Asm, n: i32) {
+        let top = a.new_label();
+        a.li(Reg::T0, n);
+        a.li(Reg::V0, 0);
+        a.bind(top);
+        a.addu(Reg::V0, Reg::V0, Reg::T0);
+        a.addiu(Reg::T0, Reg::T0, -1);
+        a.bgtz(Reg::T0, top);
+        a.nop();
+        a.jr(Reg::Ra);
+        a.nop();
+    }
+
+    #[test]
+    fn superblock_hot_loop_exact_and_trace_installed() {
+        let (exit, stats) = assert_superblock_exact(|a| hot_sum_loop(a, 500));
+        assert_eq!(exit.reg(Reg::V0), 500 * 501 / 2);
+        assert_eq!(exit.profile.counts[2], 500);
+        assert_eq!(exit.profile.taken[4], 499);
+        assert!(stats.traces >= 1, "hot loop should install a trace");
+        assert!(
+            stats.superblock_instrs > exit.instrs / 2,
+            "most retirement should happen inside the superblock: {} of {}",
+            stats.superblock_instrs,
+            exit.instrs
+        );
+    }
+
+    #[test]
+    fn superblock_nested_loops_and_calls_exact() {
+        // Inner counted loop inside an outer loop, plus a call each outer
+        // iteration: exercises loop traces, linear traces, side exits at
+        // the inner-loop exit, and jal/jr links inside rounds.
+        let (exit, stats) = assert_superblock_exact(|a| {
+            let outer = a.new_label();
+            let inner = a.new_label();
+            let f = a.new_label();
+            let done = a.new_label();
+            a.li(Reg::S0, 60); // outer trips
+            a.li(Reg::V0, 0);
+            a.mov(Reg::S2, Reg::Ra);
+            a.bind(outer);
+            a.li(Reg::T0, 9); // inner trips
+            a.bind(inner);
+            a.addu(Reg::V0, Reg::V0, Reg::T0);
+            a.addiu(Reg::T0, Reg::T0, -1);
+            a.bgtz(Reg::T0, inner);
+            a.nop();
+            a.jal(f);
+            a.nop();
+            a.addiu(Reg::S0, Reg::S0, -1);
+            a.bgtz(Reg::S0, outer);
+            a.nop();
+            a.j(done);
+            a.nop();
+            a.bind(f);
+            a.jr(Reg::Ra);
+            a.addiu(Reg::V0, Reg::V0, 1); // delay slot of the return
+            a.bind(done);
+            a.jr(Reg::S2);
+            a.nop();
+        });
+        assert_eq!(exit.reg(Reg::V0), 60 * (45 + 1));
+        assert!(stats.traces >= 1);
+    }
+
+    #[test]
+    fn superblock_max_steps_boundaries_exact() {
+        // Stopping inside / at the edge of a superblock must retire the
+        // exact same partial round the interpreter would.
+        let mut a = Asm::new();
+        hot_sum_loop(&mut a, 1000);
+        let text = a.finish().expect("assembles");
+        let binary = BinaryBuilder::new().text(text).build();
+        for max_steps in [1u64, 2, 3, 7, 150, 151, 152, 153, 1000, 2003, 2004] {
+            let run = |superblocks: bool| {
+                let config = SimConfig {
+                    max_steps,
+                    fusion: FusionConfig::Aggressive,
+                    superblocks,
+                    ..SimConfig::default()
+                };
+                let mut m = Machine::with_config(&binary, config).expect("loads");
+                let err = m.run().expect_err("budget exceeds");
+                assert!(matches!(err, SimError::MaxStepsExceeded { .. }), "{err:?}");
+                (m.pc(), *m.regs(), m.cycles(), m.instrs(), m.profile().clone())
+            };
+            assert_eq!(run(false), run(true), "max_steps = {max_steps}");
+        }
+    }
+
+    #[test]
+    fn superblock_mid_trace_fault_pc_exact() {
+        // A load loop whose address bias flips (branch-free) from aligned
+        // to misaligned for the last few iterations: by then the loop is
+        // long since installed as a superblock, so the fault happens
+        // mid-trace and must report the same pc, counters, and partial
+        // profile as the interpreter.
+        let mut a = Asm::new();
+        let top = a.new_label();
+        a.li(Reg::T0, 200);
+        a.li(Reg::V0, 0);
+        a.bind(top);
+        a.slti(Reg::T2, Reg::T0, 6);
+        a.sll(Reg::T2, Reg::T2, 1); // bias = 2 once T0 < 6
+        a.addu(Reg::T3, Reg::Sp, Reg::T2);
+        a.lw(Reg::T4, 0, Reg::T3);
+        a.addu(Reg::V0, Reg::V0, Reg::T4);
+        a.addiu(Reg::T0, Reg::T0, -1);
+        a.bgtz(Reg::T0, top);
+        a.nop();
+        a.jr(Reg::Ra);
+        a.nop();
+        let text = a.finish().expect("assembles");
+        let binary = BinaryBuilder::new().text(text).build();
+        let run = |superblocks: bool| {
+            let config = SimConfig {
+                fusion: FusionConfig::Aggressive,
+                superblocks,
+                ..SimConfig::default()
+            };
+            let mut m = Machine::with_config(&binary, config).expect("loads");
+            let err = m.run().expect_err("misaligned lw faults");
+            let fault_pc = match err {
+                SimError::Unaligned { pc, addr, .. } => {
+                    assert_eq!(addr & 3, 2);
+                    pc
+                }
+                other => panic!("expected Unaligned, got {other:?}"),
+            };
+            if superblocks {
+                let stats = m.trace_cache_stats();
+                assert!(stats.traces >= 1, "loop should be installed pre-fault");
+                assert!(stats.superblock_instrs > 0);
+            }
+            (
+                fault_pc,
+                m.pc(),
+                m.cycles(),
+                m.instrs(),
+                *m.regs(),
+                m.profile().clone(),
+            )
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn superblock_watch_and_boundaries_exact() {
+        // run_until with a dispatch boundary inside the hot loop: the
+        // superblock engine must trap at the watched pc exactly as the
+        // interpreter does, resuming bit-for-bit, and the boundary change
+        // must invalidate previously recorded traces.
+        let mut a = Asm::new();
+        hot_sum_loop(&mut a, 300);
+        let text = a.finish().expect("assembles");
+        let binary = BinaryBuilder::new().text(text).build();
+        let watched = crate::DEFAULT_TEXT_BASE + 3 * 4; // the addiu
+        let run = |superblocks: bool| {
+            let config = SimConfig {
+                fusion: FusionConfig::Aggressive,
+                superblocks,
+                ..SimConfig::default()
+            };
+            let mut m = Machine::with_config(&binary, config).expect("loads");
+            // Heat the loop first so a trace spanning the pc is installed…
+            m.run().expect("first run");
+            let stats_before = m.trace_cache_stats();
+            // …then carve a boundary at the watched pc and re-run.
+            let mut m2 = Machine::with_config(&binary, config).expect("loads");
+            m2.set_dispatch_boundaries(&[watched]);
+            let mut traps = 0u32;
+            let mut prof = FullProfiler::default();
+            let exit = loop {
+                match m2
+                    .run_until(&mut prof, |pc| pc == watched && traps < 10)
+                    .expect("runs")
+                {
+                    RunStop::Trapped { pc } => {
+                        assert_eq!(pc, watched);
+                        traps += 1;
+                    }
+                    RunStop::Exited(exit) => break exit,
+                }
+            };
+            assert_eq!(traps, 10);
+            (exit.regs, exit.cycles, exit.instrs, exit.profile.clone(), stats_before.traces)
+        };
+        let (regs_i, cyc_i, ins_i, prof_i, _) = run(false);
+        let (regs_s, cyc_s, ins_s, prof_s, traces) = run(true);
+        assert_eq!(regs_s, regs_i);
+        assert_eq!(cyc_s, cyc_i);
+        assert_eq!(ins_s, ins_i);
+        assert_eq!(prof_s, prof_i);
+        assert!(traces >= 1, "unwatched run should have installed a trace");
+    }
+
+    #[test]
+    fn superblock_boundary_change_invalidates_cache() {
+        let mut a = Asm::new();
+        hot_sum_loop(&mut a, 300);
+        let text = a.finish().expect("assembles");
+        let binary = BinaryBuilder::new().text(text).build();
+        let config = SimConfig {
+            superblocks: true,
+            ..SimConfig::default()
+        };
+        let mut m = Machine::with_config(&binary, config).expect("loads");
+        m.run().expect("runs");
+        let before = m.trace_cache_stats();
+        assert!(before.traces >= 1);
+        m.set_dispatch_boundaries(&[crate::DEFAULT_TEXT_BASE + 2 * 4]);
+        let after = m.trace_cache_stats();
+        assert_eq!(after.traces, 0, "boundary change must drop all traces");
+        assert_eq!(after.invalidations, before.invalidations + 1);
+        // Cumulative retirement stats survive invalidation.
+        assert_eq!(after.superblock_instrs, before.superblock_instrs);
+    }
+
+    #[test]
+    fn superblock_summaries_describe_recorded_traces() {
+        let mut a = Asm::new();
+        hot_sum_loop(&mut a, 400);
+        let text = a.finish().expect("assembles");
+        let binary = BinaryBuilder::new().text(text).build();
+        let config = SimConfig {
+            fusion: FusionConfig::Aggressive,
+            superblocks: true,
+            ..SimConfig::default()
+        };
+        let mut m = Machine::with_config(&binary, config).expect("loads");
+        m.run().expect("runs");
+        let summaries = m.trace_summaries();
+        assert!(!summaries.is_empty());
+        let loop_trace = summaries
+            .iter()
+            .find(|t| t.looped)
+            .expect("hot loop records a loop trace");
+        assert_eq!(loop_trace.entry_pc, crate::DEFAULT_TEXT_BASE + 2 * 4);
+        assert!(loop_trace.passes > 300);
+        assert!(loop_trace.hold_rate() > 0.9, "{}", loop_trace.hold_rate());
+        // One full loop round: body (addu, addiu) + bgtz + delay slot.
+        assert_eq!(loop_trace.slots(), 4);
+        for s in &loop_trace.segs {
+            assert!(s.slots >= 2);
+        }
     }
 }

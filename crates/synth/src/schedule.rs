@@ -400,7 +400,11 @@ pub fn estimate_kernel_cycles(
         let rmii = rec_mii(f, &l.blocks, l.header, lib, budget, mem_in_bram);
         let smii = res_mii(&ops, budget, lib, mem_in_bram);
         let ii = rmii.max(smii);
-        let iters = f.block(l.header).profile_count;
+        // Rerolled loops: one profiled execution of the original
+        // (unrolled) header stands for `reroll_factor` logical iterations
+        // of the rerolled body — count the logical ones.
+        let iters =
+            f.block(l.header).profile_count * u64::from(f.block(l.header).reroll_factor);
         // entries ≈ iterations / trip-count (1 when unknown)
         let entries = match l.trip_count {
             Some(t) if t > 0 => iters.div_ceil(t),
@@ -421,12 +425,13 @@ pub fn estimate_kernel_cycles(
             continue;
         }
         let ops: Vec<&Op> = f.block(b).ops.iter().map(|i| &i.op).collect();
+        let count = f.block(b).profile_count * u64::from(f.block(b).reroll_factor);
         if ops.is_empty() {
-            total += f.block(b).profile_count; // control-only block: 1 cycle
+            total += count; // control-only block: 1 cycle
             continue;
         }
         let sched = schedule_ops(f, &ops, lib, budget, mem_in_bram);
-        total += f.block(b).profile_count * sched.depth as u64;
+        total += count * sched.depth as u64;
         critical = critical.max(sched.critical_ns);
     }
     let clock_mhz = (1000.0 / critical.max(1.0)).min(1000.0 / budget.target_period_ns * 3.0);
@@ -656,5 +661,22 @@ mod tests {
         // II=1 loop with 100 iterations: ~100 cycles, far below SW
         assert!(t.hw_cycles >= 100 && t.hw_cycles < 160, "{t:?}");
         assert!(t.clock_mhz > 20.0);
+
+        // A rerolled loop counts logical iterations: the same profile with
+        // a 4x reroll factor must estimate ~4x the cycles (the profiled
+        // count was taken on the unrolled original).
+        f.block_mut(header_id).reroll_factor = 4;
+        let t4 = estimate_kernel_cycles(
+            &f,
+            &region,
+            &forest,
+            &lib(),
+            &ResourceBudget::default(),
+            true,
+        );
+        assert!(
+            t4.hw_cycles >= 4 * t.hw_cycles - 64 && t4.hw_cycles >= 400,
+            "rerolled {t4:?} vs {t:?}"
+        );
     }
 }

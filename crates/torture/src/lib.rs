@@ -60,6 +60,12 @@ pub struct TortureConfig {
     /// Wall-clock watchdog per mutant; exceeding it is reported as a hang
     /// violation even though the run eventually finished.
     pub watchdog: Duration,
+    /// Superblock trace-cache engine: `None` randomizes the knob per
+    /// mutant (the default — half the campaign runs hostile input through
+    /// the trace recorder/specializer), `Some(v)` forces it. Forcing does
+    /// not change which mutants a seed generates, so a violation found
+    /// under `Some(true)` reproduces the same binary with the knob pinned.
+    pub superblocks: Option<bool>,
     /// Print one line per mutant instead of only the summary.
     pub verbose: bool,
 }
@@ -71,6 +77,7 @@ impl Default for TortureConfig {
             count: 250,
             max_steps: 2_000_000,
             watchdog: Duration::from_secs(60),
+            superblocks: None,
             verbose: false,
         }
     }
@@ -146,7 +153,7 @@ pub fn run_campaign(cfg: &TortureConfig) -> TortureSummary {
         let mut mrng = StdRng::seed_from_u64(mutant_seed);
         let (label, bin) = generate_mutant(&mut mrng, &bases);
         let label = format!("#{i} {label} (seed {mutant_seed:#x})");
-        let options = random_options(&mut mrng, cfg.max_steps);
+        let options = random_options(&mut mrng, cfg);
 
         let t0 = Instant::now();
         let result = panic::catch_unwind(AssertUnwindSafe(|| run_pipeline(&bin, &options)));
@@ -210,16 +217,20 @@ fn run_pipeline(bin: &Binary, options: &FlowOptions) -> Result<CosimReport, Flow
 
 /// Randomizes the option axes that change which code paths run, under a
 /// fixed step budget.
-fn random_options(rng: &mut StdRng, max_steps: u64) -> FlowOptions {
+fn random_options(rng: &mut StdRng, cfg: &TortureConfig) -> FlowOptions {
     let mut options = FlowOptions {
         sim: SimConfig {
-            max_steps,
+            max_steps: cfg.max_steps,
             ..SimConfig::default()
         },
         ..FlowOptions::default()
     };
     options.decompile.recover_jump_tables = rng.gen();
     options.decompile.software_fallback = rng.gen();
+    // Always draw, even when forced: entropy consumption (and thus the
+    // mutant stream for a given seed) is identical across modes.
+    let random_sb: bool = rng.gen();
+    options.sim.superblocks = cfg.superblocks.unwrap_or(random_sb);
     options
 }
 
@@ -509,6 +520,28 @@ mod tests {
         assert_eq!(s.hangs, Vec::<String>::new());
         // Hostile inputs must actually exercise the error paths: a
         // campaign where everything "succeeds" means the mutator is inert.
+        assert!(s.typed_errors() > 0, "no typed errors: {s:?}");
+    }
+
+    /// The superblock engine takes the same torture: every family with
+    /// the trace cache forced on, zero violations. Hostile mutants stress
+    /// the recorder (irreducible/self-loop shapes), mid-trace faults
+    /// (bitflip/truncate), and cache invalidation (hybrid trap
+    /// boundaries) — none may panic or diverge from the oracle.
+    #[test]
+    fn superblock_mini_campaign_is_panic_free() {
+        let cfg = TortureConfig {
+            seed: 0x7e57_0002,
+            count: 36,
+            max_steps: 500_000,
+            superblocks: Some(true),
+            ..TortureConfig::default()
+        };
+        let s = run_campaign(&cfg);
+        assert_eq!(s.total, 36);
+        assert_eq!(s.panics, Vec::<String>::new());
+        assert_eq!(s.mismatches, Vec::<String>::new());
+        assert_eq!(s.hangs, Vec::<String>::new());
         assert!(s.typed_errors() > 0, "no typed errors: {s:?}");
     }
 

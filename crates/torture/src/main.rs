@@ -2,21 +2,26 @@
 //! flow. See the crate docs and `crates/bench/src/bin/README.md`.
 //!
 //! ```text
-//! torture [--smoke] [--seed N] [--count N] [--max-steps N] [--verbose]
+//! torture [--smoke] [--seed N] [--count N] [--max-steps N] [--superblocks] [--verbose]
 //! ```
 //!
-//! `--smoke` is the CI preset: fixed seed, 250 mutants, default budgets.
-//! Exit code 1 when any contract violation (panic, hang, differential
-//! mismatch) is observed; the report names the mutant seed so a failure
-//! reproduces with `--seed <mutant seed> --count 1`.
+//! `--smoke` is the CI preset: fixed seed, 250 mutants with the superblock
+//! knob randomized per mutant, default budgets — then a second, smaller
+//! campaign with the superblock trace-cache engine forced on for every
+//! mutant. Exit code 1 when any contract violation (panic, hang,
+//! differential mismatch) is observed in either campaign; the report names
+//! the mutant seed so a failure reproduces with
+//! `--seed <mutant seed> --count 1` (add `--superblocks` if it came from
+//! the forced campaign).
 
-use binpart_torture::{run_campaign, TortureConfig};
+use binpart_torture::{run_campaign, TortureConfig, TortureSummary};
 
 fn main() {
     let mut cfg = TortureConfig {
         count: 64,
         ..TortureConfig::default()
     };
+    let mut smoke = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         // Violation lines print seeds as 0x…, so accept both bases: the
@@ -36,14 +41,17 @@ fn main() {
             "--smoke" => {
                 cfg.seed = TortureConfig::default().seed;
                 cfg.count = 250;
+                smoke = true;
             }
             "--seed" => cfg.seed = num("--seed"),
             "--count" => cfg.count = num("--count") as usize,
             "--max-steps" => cfg.max_steps = num("--max-steps"),
+            "--superblocks" => cfg.superblocks = Some(true),
             "--verbose" | "-v" => cfg.verbose = true,
             "--help" | "-h" => {
                 println!(
-                    "usage: torture [--smoke] [--seed N] [--count N] [--max-steps N] [--verbose]"
+                    "usage: torture [--smoke] [--seed N] [--count N] [--max-steps N] \
+                     [--superblocks] [--verbose]"
                 );
                 return;
             }
@@ -54,28 +62,49 @@ fn main() {
         }
     }
 
-    println!(
-        "torture: {} mutants, seed {:#x}, {} step budget",
-        cfg.count, cfg.seed, cfg.max_steps
-    );
-    let t0 = std::time::Instant::now();
-    let s = run_campaign(&cfg);
-    println!(
-        "torture: {} mutants in {:.1}s — {} full successes ({} degraded), {} typed errors",
-        s.total,
-        t0.elapsed().as_secs_f64(),
-        s.succeeded,
-        s.degraded,
-        s.typed_errors(),
-    );
-    for (kind, n) in &s.error_kinds {
-        println!("  {n:>5}  {kind}");
+    let mut campaigns: Vec<TortureConfig> = vec![cfg.clone()];
+    if smoke && cfg.superblocks.is_none() {
+        // The CI preset also pins the superblock trace-cache engine on,
+        // so every mutation family runs through the recorder/specializer
+        // even when the randomized campaign's coin flips were unlucky.
+        campaigns.push(TortureConfig {
+            count: 100,
+            superblocks: Some(true),
+            ..cfg
+        });
     }
-    for v in s.panics.iter().chain(&s.mismatches).chain(&s.hangs) {
-        eprintln!("VIOLATION: {v}");
+
+    let mut violations = 0usize;
+    for cfg in &campaigns {
+        let engine = match cfg.superblocks {
+            None => "randomized superblocks",
+            Some(true) => "superblocks forced on",
+            Some(false) => "superblocks off",
+        };
+        println!(
+            "torture: {} mutants, seed {:#x}, {} step budget, {engine}",
+            cfg.count, cfg.seed, cfg.max_steps
+        );
+        let t0 = std::time::Instant::now();
+        let s: TortureSummary = run_campaign(cfg);
+        println!(
+            "torture: {} mutants in {:.1}s — {} full successes ({} degraded), {} typed errors",
+            s.total,
+            t0.elapsed().as_secs_f64(),
+            s.succeeded,
+            s.degraded,
+            s.typed_errors(),
+        );
+        for (kind, n) in &s.error_kinds {
+            println!("  {n:>5}  {kind}");
+        }
+        for v in s.panics.iter().chain(&s.mismatches).chain(&s.hangs) {
+            eprintln!("VIOLATION: {v}");
+        }
+        violations += s.violations();
     }
-    if s.violations() > 0 {
-        eprintln!("torture: {} contract violations", s.violations());
+    if violations > 0 {
+        eprintln!("torture: {violations} contract violations");
         std::process::exit(1);
     }
     println!("torture: zero panics, zero hangs, differential clean");

@@ -4,9 +4,16 @@
 //! behind the `FusionConfig` pattern table in `binpart_mips::sim`.
 //!
 //! Run with: `cargo run --release --example fusion_histogram [-O0|-O1|-O2|-O3]`
+//!
+//! `--superblocks` switches to the trace-cache view: every benchmark runs
+//! under the superblock engine and the hottest recorded traces are
+//! printed — entry pc, shape (segments / text slots / dense dispatches
+//! per pass), pass and side-exit counts, and the empirical hold rate (the
+//! branch bias the trace was recorded on). This is the measurement behind
+//! the superblock engine's heat threshold and segment caps.
 
 use binpart::minicc::OptLevel;
-use binpart::mips::sim::Machine;
+use binpart::mips::sim::{FusionConfig, Machine, SimConfig};
 use binpart::mips::Instr;
 use binpart::workloads::suite;
 use std::collections::HashMap;
@@ -65,13 +72,63 @@ fn mnemonic(i: Instr) -> &'static str {
     }
 }
 
+/// `--superblocks` mode: run the suite under the trace-cache engine and
+/// print the hottest recorded traces per benchmark.
+fn superblock_report(level: OptLevel) -> Result<(), Box<dyn std::error::Error>> {
+    println!("recorded superblocks at {} (hottest traces per benchmark):", level.flag());
+    for b in suite() {
+        let binary = b.compile(level)?;
+        let mut m = Machine::with_config(
+            &binary,
+            SimConfig {
+                fusion: FusionConfig::Aggressive,
+                superblocks: true,
+                ..SimConfig::default()
+            },
+        )?;
+        let exit = m.run_unprofiled()?;
+        let stats = m.trace_cache_stats();
+        let mut traces = m.trace_summaries();
+        traces.sort_by_key(|t| std::cmp::Reverse(t.passes));
+        println!(
+            "{:<12} {} traces, {}/{} instrs in superblocks ({:.1}%)",
+            b.name,
+            stats.traces,
+            stats.superblock_instrs,
+            exit.instrs,
+            100.0 * stats.superblock_instrs as f64 / exit.instrs.max(1) as f64,
+        );
+        for t in traces.iter().take(4) {
+            let side_exits: u64 = t.segs.iter().map(|s| s.side_exits).sum();
+            let dense: u32 = t.segs.iter().map(|s| s.dense).sum();
+            println!(
+                "  {:#010x} {} {:>2} segs / {:>3} slots / {:>3} dense  \
+                 {:>10} passes  {:>7} side exits  hold {:>5.1}%",
+                t.entry_pc,
+                if t.looped { "loop" } else { "line" },
+                t.segs.len(),
+                t.slots(),
+                dense,
+                t.passes,
+                side_exits,
+                100.0 * t.hold_rate(),
+            );
+        }
+    }
+    Ok(())
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let level = match std::env::args().nth(1).as_deref() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let level = match args.iter().find(|a| a.starts_with("-O")).map(String::as_str) {
         Some("-O0") => OptLevel::O0,
         Some("-O2") => OptLevel::O2,
         Some("-O3") => OptLevel::O3,
         _ => OptLevel::O1,
     };
+    if args.iter().any(|a| a == "--superblocks") {
+        return superblock_report(level);
+    }
     let mut pairs: HashMap<(&str, &str), u64> = HashMap::new();
     let mut total = 0u64;
     for b in suite() {

@@ -86,6 +86,45 @@ fn hybrid_exit_is_bit_identical_on_whole_suite_at_every_level() {
 }
 
 #[test]
+fn hybrid_exit_is_bit_identical_with_superblocks_enabled() {
+    // The superblock engine under the hybrid machine: trap pcs are
+    // mandatory trace boundaries and partition changes invalidate the
+    // cache, so the co-simulated run must stay bit-identical and the
+    // hardware store oracle must still see zero divergences. Two levels
+    // over the full suite keep the runtime bounded; the pure-software
+    // differential already covers all four levels.
+    let mut options = options();
+    options.sim.superblocks = true;
+    let mut total_hw_invocations = 0u64;
+    for b in suite() {
+        for level in [OptLevel::O1, OptLevel::O3] {
+            let tag = format!("{} {level} superblocks", b.name);
+            let binary = b.compile(level).unwrap();
+            let staged = StagedFlow::new(&binary);
+            let report = staged
+                .cosimulate(&options)
+                .unwrap_or_else(|e| panic!("{tag}: cosimulation failed: {e}"));
+            assert!(
+                report.exit_bit_identical,
+                "{tag}: hybrid exit diverged from pure software \
+                 (hybrid regs {:?})",
+                report.hybrid_exit.regs
+            );
+            assert_eq!(
+                report.store_mismatches(),
+                0,
+                "{tag}: hardware store sequence diverged"
+            );
+            total_hw_invocations += report.hw_invocations();
+        }
+    }
+    assert!(
+        total_hw_invocations >= 50,
+        "only {total_hw_invocations} hardware invocations with superblocks on"
+    );
+}
+
+#[test]
 fn measured_estimate_error_is_bounded_on_the_smoke_subset() {
     // The four-benchmark smoke subset: the analytic model and the executed
     // FSMD share schedules and IIs, so the per-kernel error isolates the

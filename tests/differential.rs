@@ -54,18 +54,75 @@ fn fast_engine_matches_reference_on_whole_suite_at_every_fusion_level() {
 }
 
 #[test]
+fn superblock_engine_matches_reference_on_whole_suite() {
+    // The trace-cache/threaded-code backend must be observationally
+    // invisible: with superblocks on, every benchmark at every level and
+    // fusion config still produces bit-identical Exit and Profile. This is
+    // the license for specialized straight-line trace execution (skipped
+    // loop-top checks, fused epilogues, trace chaining).
+    let mut traces_installed = 0u64;
+    for b in suite() {
+        for level in OptLevel::ALL {
+            let binary = b.compile(level).unwrap();
+            let reference = ReferenceMachine::new(&binary)
+                .unwrap()
+                .run()
+                .unwrap_or_else(|e| panic!("{} {level}: reference failed: {e}", b.name));
+            for fusion in FUSION_LEVELS {
+                let tag = format!("{} {level} fusion={fusion:?} superblocks", b.name);
+                let mut m = Machine::with_config(
+                    &binary,
+                    SimConfig {
+                        fusion,
+                        superblocks: true,
+                        ..SimConfig::default()
+                    },
+                )
+                .unwrap();
+                let fast = m
+                    .run()
+                    .unwrap_or_else(|e| panic!("{tag}: superblock engine failed: {e}"));
+                assert_eq!(fast.reason, reference.reason, "{tag}: exit reason");
+                assert_eq!(fast.regs, reference.regs, "{tag}: register file");
+                assert_eq!(fast.cycles, reference.cycles, "{tag}: cycles");
+                assert_eq!(fast.instrs, reference.instrs, "{tag}: instrs");
+                assert_eq!(fast.profile, reference.profile, "{tag}: profile");
+                traces_installed += m.trace_cache_stats().traces as u64;
+            }
+        }
+    }
+    // Not vacuous: hot paths across the matrix actually got traced.
+    assert!(
+        traces_installed > 100,
+        "only {traces_installed} traces installed across the whole matrix"
+    );
+}
+
+#[test]
 fn block_count_profiler_is_observationally_exact_on_whole_suite() {
     // The cheap profiler must reconstruct *exact* per-instruction counts
     // (and totals) from block boundary deltas alone, at every fusion
-    // level — it only forgoes taken/call/load/store attribution.
+    // level and under the superblock engine — it only forgoes
+    // taken/call/load/store attribution.
     for b in suite() {
         for level in OptLevel::ALL {
             let binary = b.compile(level).unwrap();
             let reference = ReferenceMachine::new(&binary).unwrap().run().unwrap();
-            for fusion in [FusionConfig::Off, FusionConfig::Aggressive] {
-                let tag = format!("{} {level} fusion={fusion:?}", b.name);
+            for (fusion, superblocks) in [
+                (FusionConfig::Off, false),
+                (FusionConfig::Aggressive, false),
+                (FusionConfig::Aggressive, true),
+            ] {
+                let tag = format!("{} {level} fusion={fusion:?} sb={superblocks}", b.name);
                 let mut prof = BlockCountProfiler::new();
-                let fast = Machine::with_config(&binary, config(fusion))
+                let fast = Machine::with_config(
+                    &binary,
+                    SimConfig {
+                        fusion,
+                        superblocks,
+                        ..SimConfig::default()
+                    },
+                )
                     .unwrap()
                     .run_with(&mut prof)
                     .unwrap_or_else(|e| panic!("{tag}: blockcount run failed: {e}"));
@@ -102,10 +159,21 @@ fn edge_profiler_is_observationally_exact_on_whole_suite() {
         for level in OptLevel::ALL {
             let binary = b.compile(level).unwrap();
             let reference = ReferenceMachine::new(&binary).unwrap().run().unwrap();
-            for fusion in [FusionConfig::Off, FusionConfig::Aggressive] {
-                let tag = format!("{} {level} fusion={fusion:?}", b.name);
+            for (fusion, superblocks) in [
+                (FusionConfig::Off, false),
+                (FusionConfig::Aggressive, false),
+                (FusionConfig::Aggressive, true),
+            ] {
+                let tag = format!("{} {level} fusion={fusion:?} sb={superblocks}", b.name);
                 let mut prof = EdgeProfiler::new();
-                let fast = Machine::with_config(&binary, config(fusion))
+                let fast = Machine::with_config(
+                    &binary,
+                    SimConfig {
+                        fusion,
+                        superblocks,
+                        ..SimConfig::default()
+                    },
+                )
                     .unwrap()
                     .run_with(&mut prof)
                     .unwrap_or_else(|e| panic!("{tag}: edge run failed: {e}"));
@@ -140,31 +208,34 @@ fn unprofiled_run_matches_reference_architectural_state() {
 #[test]
 fn engines_agree_on_step_limit_boundary() {
     // MaxSteps must fire at exactly the same instruction in both engines,
-    // including mid-block, around fused control/delay-slot pairs, and in
-    // the middle of a superinstruction (which must fall back to per-op
-    // retirement at the budget boundary).
+    // including mid-block, around fused control/delay-slot pairs, in the
+    // middle of a superinstruction (which must fall back to per-op
+    // retirement at the budget boundary), and mid-superblock (where the
+    // trace must bail to the dispatcher rather than overrun the budget).
     let b = suite().into_iter().find(|b| b.name == "crc").unwrap();
     let binary = b.compile(OptLevel::O1).unwrap();
     for fusion in FUSION_LEVELS {
-        for max_steps in [1, 2, 3, 7, 100, 101, 102, 103, 1000, 12345] {
-            let config = SimConfig {
-                max_steps,
-                fusion,
-                ..SimConfig::default()
-            };
-            let fast = Machine::with_config(&binary, config).unwrap().run();
-            let reference = ReferenceMachine::with_config(&binary, config).unwrap().run();
-            match (&fast, &reference) {
-                (
-                    Err(SimError::MaxStepsExceeded { limit: a }),
-                    Err(SimError::MaxStepsExceeded { limit: b }),
-                ) => {
-                    assert_eq!(a, b, "at {max_steps} fusion={fusion:?}")
+        for superblocks in [false, true] {
+            for max_steps in [1, 2, 3, 7, 100, 101, 102, 103, 1000, 12345] {
+                let config = SimConfig {
+                    max_steps,
+                    fusion,
+                    superblocks,
+                    ..SimConfig::default()
+                };
+                let tag = format!("at {max_steps} fusion={fusion:?} sb={superblocks}");
+                let fast = Machine::with_config(&binary, config).unwrap().run();
+                let reference = ReferenceMachine::with_config(&binary, config).unwrap().run();
+                match (&fast, &reference) {
+                    (
+                        Err(SimError::MaxStepsExceeded { limit: a }),
+                        Err(SimError::MaxStepsExceeded { limit: b }),
+                    ) => {
+                        assert_eq!(a, b, "{tag}")
+                    }
+                    (Ok(x), Ok(y)) => assert_eq!(x.regs, y.regs, "{tag}"),
+                    _ => panic!("divergent outcome {tag}: {fast:?} vs {reference:?}"),
                 }
-                (Ok(x), Ok(y)) => assert_eq!(x.regs, y.regs, "at {max_steps} fusion={fusion:?}"),
-                _ => panic!(
-                    "divergent outcome at {max_steps} fusion={fusion:?}: {fast:?} vs {reference:?}"
-                ),
             }
         }
     }
@@ -222,5 +293,59 @@ fn fused_memory_idioms_fault_with_exact_pc() {
             m.profile().clone()
         };
         assert_eq!(machine.profile(), &r2, "fusion={fusion:?}: partial profile");
+    }
+}
+
+#[test]
+fn superblock_faults_mid_trace_with_exact_pc_and_profile() {
+    use binpart::mips::{Asm, BinaryBuilder, Reg};
+    // A loop that runs far past the trace-cache heat threshold with
+    // aligned loads, then computes an unaligned address on its final
+    // iteration: the fault fires *inside* an installed superblock, and the
+    // error (pc, addr) and the partial profile must still match the
+    // reference interpreter bit-for-bit.
+    let mut a = Asm::new();
+    let top = a.new_label();
+    a.li(Reg::T1, 40);
+    a.bind(top);
+    a.sltiu(Reg::T2, Reg::T1, 1); // 1 only on the last pass (T1 == 0)
+    a.sll(Reg::T2, Reg::T2, 1); // 0 aligned, 2 unaligned
+    a.lw(Reg::V0, 0, Reg::T2); // faults at addr 2 on the last pass
+    a.addiu(Reg::T1, Reg::T1, -1);
+    a.bgez(Reg::T1, top);
+    a.nop();
+    a.jr(Reg::Ra);
+    a.nop();
+    let binary = BinaryBuilder::new().text(a.finish().unwrap()).build();
+    let reference = ReferenceMachine::new(&binary).unwrap().run().unwrap_err();
+    let ref_profile = {
+        let mut m = ReferenceMachine::new(&binary).unwrap();
+        let _ = m.run();
+        m.profile().clone()
+    };
+    assert!(matches!(reference, SimError::Unaligned { addr: 2, .. }));
+    for fusion in FUSION_LEVELS {
+        let mut machine = Machine::with_config(
+            &binary,
+            SimConfig {
+                fusion,
+                superblocks: true,
+                ..SimConfig::default()
+            },
+        )
+        .unwrap();
+        let fast = machine.run().unwrap_err();
+        assert_eq!(fast, reference, "fusion={fusion:?}");
+        assert_eq!(
+            machine.profile(),
+            &ref_profile,
+            "fusion={fusion:?}: partial profile"
+        );
+        // The loop really was running as a superblock when it faulted.
+        let stats = machine.trace_cache_stats();
+        assert!(
+            stats.traces > 0 && stats.superblock_instrs > 0,
+            "fusion={fusion:?}: loop never got traced ({stats:?})"
+        );
     }
 }
