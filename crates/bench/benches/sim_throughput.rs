@@ -214,6 +214,30 @@ fn smoke() {
         superblock >= fused.max(aggressive),
         "superblock engine lost throughput: superblock {superblock:.0}/s vs fused {fused:.0}/s / aggressive {aggressive:.0}/s"
     );
+    // NullTelemetry overhead gate: the telemetry layer is compiled into the
+    // flow this build, so superblock throughput must stay within noise of
+    // the tracked pre-telemetry snapshot column. 0.5x is far below any
+    // plausible scheduler jitter on a shared box but catches a
+    // monomorphization failure (accidental dynamic dispatch or detail
+    // strings built when disabled) outright.
+    match binpart_bench::read_snapshot_value("sim_instrs_per_sec_superblock") {
+        Some(prior) if prior > 0.0 => {
+            assert!(
+                superblock >= 0.5 * prior,
+                "superblock throughput regressed with telemetry compiled in: \
+                 {superblock:.0}/s vs snapshot {prior:.0}/s (>2x loss)"
+            );
+            println!(
+                "smoke: superblock {:.0} M/s vs snapshot {:.0} M/s ({:.2}x) — NullTelemetry overhead gate PASS",
+                superblock / 1e6,
+                prior / 1e6,
+                superblock / prior
+            );
+        }
+        _ => println!(
+            "smoke: no sim_instrs_per_sec_superblock baseline in BENCH_sim.json, skipping telemetry overhead gate"
+        ),
+    }
     binpart_bench::assert_snapshot_columns(&[
         "sim_instrs_per_sec_fast",
         "sim_instrs_per_sec_fused",
@@ -226,6 +250,13 @@ fn smoke() {
         "decompile_funcs_per_sec",
         "sweep_points_per_sec",
         "sweep_speedup_vs_naive",
+        "stage_wall_s_profile",
+        "stage_wall_s_decompile",
+        "stage_wall_s_estimate",
+        "stage_wall_s_evaluate",
+        "stage_wall_s_cosimulate",
+        "estimate_cache_hit_rate",
+        "trace_side_exit_rate",
         "full_suite_wall_clock_s",
     ]);
     println!("smoke: PASS");

@@ -1,11 +1,18 @@
 //! Regenerates every table/figure of the DATE'05 evaluation.
 //!
-//! Usage: `tables [e1|e2|e3|e4|a1|a2|a3|sim|all]`
+//! Usage: `tables [e1|e2|e3|e4|a1|a2|a3|sim|telemetry|all]`
 //!
 //! `all` additionally writes `BENCH_sim.json` (simulator instructions/sec
 //! for the fast and seed engines, plus the wall-clock of the whole table
 //! regeneration) so the performance trajectory is tracked across PRs;
 //! `sim` writes it without regenerating the tables.
+//!
+//! `telemetry` runs one instrumented pass (full cosim matrix + the
+//! standard 100-point sweep on a single recorder), renders the telemetry
+//! summary table, writes + validates the Chrome-trace export
+//! (`BENCH_trace.json`, loadable in `chrome://tracing` / Perfetto) and a
+//! collapsed-stack flamegraph (`BENCH_flame.txt`), and asserts the
+//! telemetry columns of `BENCH_sim.json` are present and non-null.
 
 use binpart_bench::*;
 use binpart_minicc::OptLevel;
@@ -27,6 +34,7 @@ fn main() {
             let report = sim_report(None);
             write_bench_json(&report);
         }
+        "telemetry" => telemetry(),
         _ => {
             let t0 = Instant::now();
             e1();
@@ -85,6 +93,10 @@ struct SimReport {
     estimate_error_pct_mean: f64,
     /// Maximum |estimate error|, percent.
     estimate_error_pct_max: f64,
+    /// Per-stage wall clock and cache rates from the instrumented
+    /// telemetry pass (full cosim matrix + 100-point sweep; see
+    /// [`binpart_bench::telemetry_pass`]).
+    telemetry: TelemetryColumns,
     suite_wall_s: Option<f64>,
 }
 
@@ -203,6 +215,7 @@ fn sim_report(suite_wall_s: Option<f64>) -> SimReport {
         cosim.bit_identical_cells, cosim.cells,
         "hybrid exits diverged during the snapshot pass"
     );
+    let (_, telemetry) = binpart_bench::telemetry_pass();
     let ips = |s: f64| total as f64 / s;
     SimReport {
         fast_ips: ips(fast_s),
@@ -220,8 +233,102 @@ fn sim_report(suite_wall_s: Option<f64>) -> SimReport {
         cosim_cycles_per_sec: cosim.cosim_cycles_per_sec,
         estimate_error_pct_mean: cosim.estimate_error_pct_mean,
         estimate_error_pct_max: cosim.estimate_error_pct_max,
+        telemetry,
         suite_wall_s,
     }
+}
+
+/// The `telemetry` subcommand: one instrumented pass, rendered summary,
+/// validated Chrome-trace + flamegraph artifacts, and the snapshot-column
+/// assertion the CI smoke step relies on.
+fn telemetry() {
+    use binpart_mips::sim::{SamplingProfiler, SimConfig};
+    use binpart_telemetry::{collapse_pc_samples, validate_json, FuncExtent};
+
+    let (rec, cols) = binpart_bench::telemetry_pass();
+    print!("{}", rec.report().render());
+
+    let trace = rec.chrome_trace().expect("span stream balances");
+    validate_json(&trace).expect("chrome trace parses");
+    let trace_path = "BENCH_trace.json";
+    match std::fs::write(trace_path, &trace) {
+        Ok(()) => println!(
+            "wrote {trace_path}: {} bytes, load in chrome://tracing or Perfetto",
+            trace.len()
+        ),
+        Err(e) => eprintln!("error: could not write {trace_path}: {e}"),
+    }
+
+    // Self-profile one representative benchmark with the sampling profiler
+    // and collapse the per-pc histogram through the recovered function
+    // extents into flamegraph text. minicc binaries carry no symbol
+    // table, so the extents come from the decompiler's own function
+    // discovery: each lifted entry address owns the text up to the next
+    // entry (entries are function starts, so the gaps are exact).
+    let b = binpart_workloads::suite()
+        .into_iter()
+        .find(|b| b.name == "tblook01")
+        .expect("suite has tblook01");
+    let bin = b.compile(OptLevel::O1).expect("compiles");
+    let mut sampler = SamplingProfiler::new(64);
+    Machine::with_config(&bin, SimConfig::default())
+        .expect("decodes")
+        .run_with(&mut sampler)
+        .expect("runs");
+    let lifted = binpart_core::lift::lift_program(
+        &bin,
+        binpart_core::DecompileOptions {
+            recover_jump_tables: true,
+            ..Default::default()
+        },
+    )
+    .expect("tblook01 lifts");
+    let mut funcs: Vec<(u32, String)> = lifted
+        .entries
+        .iter()
+        .copied()
+        .zip(lifted.functions.iter().map(|f| f.name.clone()))
+        .collect();
+    funcs.sort_by_key(|&(entry, _)| entry);
+    let extents: Vec<FuncExtent> = funcs
+        .iter()
+        .enumerate()
+        .map(|(i, (lo, name))| FuncExtent {
+            name: name.clone(),
+            lo: *lo,
+            hi: funcs.get(i + 1).map_or(bin.text_end(), |&(next, _)| next),
+        })
+        .collect();
+    let flame = collapse_pc_samples(b.name, &sampler.samples(), &extents);
+    let flame_path = "BENCH_flame.txt";
+    match std::fs::write(flame_path, &flame) {
+        Ok(()) => println!(
+            "wrote {flame_path}: {} frames from {} samples (collapsed-stack format)",
+            flame.lines().count(),
+            sampler.total_samples()
+        ),
+        Err(e) => eprintln!("error: could not write {flame_path}: {e}"),
+    }
+
+    assert_snapshot_columns(&[
+        "stage_wall_s_profile",
+        "stage_wall_s_decompile",
+        "stage_wall_s_estimate",
+        "stage_wall_s_evaluate",
+        "stage_wall_s_cosimulate",
+        "estimate_cache_hit_rate",
+        "trace_side_exit_rate",
+    ]);
+    println!(
+        "telemetry: stages profile {:.4}s decompile {:.4}s estimate {:.4}s evaluate {:.4}s cosim {:.4}s | estimate cache {:.1}% hit | trace side-exit rate {:.3}",
+        cols.stage_wall_s_profile,
+        cols.stage_wall_s_decompile,
+        cols.stage_wall_s_estimate,
+        cols.stage_wall_s_evaluate,
+        cols.stage_wall_s_cosimulate,
+        cols.estimate_cache_hit_rate * 100.0,
+        cols.trace_side_exit_rate,
+    );
 }
 
 /// Measures the staged design-space sweep (5 clocks × 5 budgets × 4 opt
@@ -291,7 +398,7 @@ fn write_bench_json(r: &SimReport) {
         })
         .map_or("null".to_string(), |s: f64| format!("{s:.6}"));
     let json = format!(
-        "{{\n  \"sim_instrs_per_sec_fast\": {:.0},\n  \"sim_instrs_per_sec_unfused\": {:.0},\n  \"sim_instrs_per_sec_fused\": {:.0},\n  \"sim_instrs_per_sec_superblock\": {:.0},\n  \"sim_instrs_per_sec_seed\": {:.0},\n  \"sim_speedup\": {:.2},\n  \"fusion_speedup\": {:.3},\n  \"superblock_speedup\": {:.3},\n  \"trace_cache_hit_rate\": {:.3},\n  \"blockcount_profile_overhead_pct\": {:.1},\n  \"full_profile_overhead_pct\": {:.1},\n  \"matrix_total_instrs\": {},\n  \"decompile_funcs_per_sec\": {:.0},\n  \"sweep_points_per_sec\": {:.0},\n  \"sweep_speedup_vs_naive\": {:.2},\n  \"cosim_cycles_per_sec\": {:.0},\n  \"estimate_error_pct_mean\": {:.2},\n  \"estimate_error_pct_max\": {:.2},\n  \"full_suite_wall_clock_s\": {}\n}}\n",
+        "{{\n  \"sim_instrs_per_sec_fast\": {:.0},\n  \"sim_instrs_per_sec_unfused\": {:.0},\n  \"sim_instrs_per_sec_fused\": {:.0},\n  \"sim_instrs_per_sec_superblock\": {:.0},\n  \"sim_instrs_per_sec_seed\": {:.0},\n  \"sim_speedup\": {:.2},\n  \"fusion_speedup\": {:.3},\n  \"superblock_speedup\": {:.3},\n  \"trace_cache_hit_rate\": {:.3},\n  \"blockcount_profile_overhead_pct\": {:.1},\n  \"full_profile_overhead_pct\": {:.1},\n  \"matrix_total_instrs\": {},\n  \"decompile_funcs_per_sec\": {:.0},\n  \"sweep_points_per_sec\": {:.0},\n  \"sweep_speedup_vs_naive\": {:.2},\n  \"cosim_cycles_per_sec\": {:.0},\n  \"estimate_error_pct_mean\": {:.2},\n  \"estimate_error_pct_max\": {:.2},\n  \"stage_wall_s_profile\": {:.6},\n  \"stage_wall_s_decompile\": {:.6},\n  \"stage_wall_s_estimate\": {:.6},\n  \"stage_wall_s_evaluate\": {:.6},\n  \"stage_wall_s_cosimulate\": {:.6},\n  \"estimate_cache_hit_rate\": {:.4},\n  \"trace_side_exit_rate\": {:.4},\n  \"full_suite_wall_clock_s\": {}\n}}\n",
         r.fast_ips,
         r.unfused_ips,
         r.fused_ips,
@@ -310,11 +417,18 @@ fn write_bench_json(r: &SimReport) {
         r.cosim_cycles_per_sec,
         r.estimate_error_pct_mean,
         r.estimate_error_pct_max,
+        r.telemetry.stage_wall_s_profile,
+        r.telemetry.stage_wall_s_decompile,
+        r.telemetry.stage_wall_s_estimate,
+        r.telemetry.stage_wall_s_evaluate,
+        r.telemetry.stage_wall_s_cosimulate,
+        r.telemetry.estimate_cache_hit_rate,
+        r.telemetry.trace_side_exit_rate,
         suite_wall,
     );
     match std::fs::write(path, &json) {
         Ok(()) => println!(
-            "wrote {path}: fast {:.0} M instrs/s (unfused {:.0}, fused {:.0}, superblock {:.0} = {:.2}x @ {:.0}% trace coverage), seed {:.0} M instrs/s ({:.1}x); blockcount profiling {:+.1}%, full {:+.1}%; decompile {:.0} funcs/s; sweep {:.0} pts/s ({:.1}x vs naive); cosim {:.1} M cyc/s, estimate error mean {:.1}% max {:.1}%",
+            "wrote {path}: fast {:.0} M instrs/s (unfused {:.0}, fused {:.0}, superblock {:.0} = {:.2}x @ {:.0}% trace coverage), seed {:.0} M instrs/s ({:.1}x); blockcount profiling {:+.1}%, full {:+.1}%; decompile {:.0} funcs/s; sweep {:.0} pts/s ({:.1}x vs naive); cosim {:.1} M cyc/s, estimate error mean {:.1}% max {:.1}%; estimate cache {:.0}% hit, trace side-exit rate {:.3}",
             r.fast_ips / 1e6,
             r.unfused_ips / 1e6,
             r.fused_ips / 1e6,
@@ -331,6 +445,8 @@ fn write_bench_json(r: &SimReport) {
             r.cosim_cycles_per_sec / 1e6,
             r.estimate_error_pct_mean,
             r.estimate_error_pct_max,
+            r.telemetry.estimate_cache_hit_rate * 100.0,
+            r.telemetry.trace_side_exit_rate,
         ),
         Err(e) => eprintln!(
             "error: could not write {path}: {e} — the snapshot is written to the current \

@@ -29,6 +29,7 @@ use binpart_mips::sim::{Exit, Machine, SimConfig};
 use binpart_mips::Binary;
 use binpart_par::par_map;
 use binpart_platform::{geomean, Platform};
+use binpart_telemetry::{Counter, Recorder};
 use binpart_workloads::{suite, Benchmark};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -402,6 +403,107 @@ pub fn run_cosim_matrix(passes: usize) -> CosimMatrixSummary {
         .expect("at least one cosim pass ran");
     summary.cosim_cycles_per_sec = cycles as f64 / secs;
     summary
+}
+
+/// The telemetry-derived snapshot columns measured by [`telemetry_pass`]:
+/// inclusive per-stage wall clock plus the two cache rates the snapshot
+/// tracks across PRs.
+#[derive(Debug, Clone, Copy)]
+pub struct TelemetryColumns {
+    /// Inclusive wall total of every `profile` span, seconds.
+    pub stage_wall_s_profile: f64,
+    /// Inclusive wall total of every `decompile` span, seconds.
+    pub stage_wall_s_decompile: f64,
+    /// Inclusive wall total of every `estimate` span, seconds.
+    pub stage_wall_s_estimate: f64,
+    /// Inclusive wall total of every `evaluate` span, seconds.
+    pub stage_wall_s_evaluate: f64,
+    /// Inclusive wall total of every `cosimulate` span, seconds.
+    pub stage_wall_s_cosimulate: f64,
+    /// `EstimateCache` memo hits / (hits + misses) over the whole pass.
+    pub estimate_cache_hit_rate: f64,
+    /// Superblock side exits per completed trace pass.
+    pub trace_side_exit_rate: f64,
+}
+
+/// One fully instrumented pass over the workload the snapshot tracks: the
+/// complete (benchmark, OptLevel) co-simulation matrix with the superblock
+/// engine on (so the trace-cache counters populate) followed by the
+/// standard 100-point staged sweep (5 clocks × 5 budgets × 4 levels on
+/// autcor00), all recorded on a single [`Recorder`].
+///
+/// Returns the recorder (callers export Chrome traces or render the
+/// summary table from it) and the derived [`TelemetryColumns`].
+pub fn telemetry_pass() -> (Recorder, TelemetryColumns) {
+    let rec = Recorder::new();
+    let mut options = FlowOptions::aggressive_sim();
+    options.decompile.recover_jump_tables = true;
+    options.sim.superblocks = true;
+    for b in &suite() {
+        for level in OptLevel::ALL {
+            let compiled = CompiledSuite::get(b, level);
+            let staged =
+                binpart_core::stage::StagedFlow::with_telemetry(&compiled.binary, &rec);
+            staged.cosimulate(&options).expect("suite cosimulates");
+        }
+    }
+    let b = suite()
+        .into_iter()
+        .find(|b| b.name == "autcor00")
+        .expect("suite has autcor00");
+    let mut base = FlowOptions::default();
+    base.decompile.recover_jump_tables = true;
+    let sweep = binpart_explore::Sweep::with_base(base)
+        .clocks([40e6, 100e6, 200e6, 300e6, 400e6])
+        .area_budgets([5_000, 15_000, 40_000, 100_000, 250_000])
+        .opt_levels(OptLevel::ALL);
+    let result =
+        sweep.run_with_telemetry(&rec, |level| b.compile(level).map_err(|e| e.to_string()));
+    assert_eq!(result.points.len(), 100, "sweep grid is 5 x 5 x 4");
+    let report = rec.report();
+    let passes = rec.counter_total(Counter::TracePasses);
+    let side_exits = rec.counter_total(Counter::TraceSideExits);
+    let cols = TelemetryColumns {
+        stage_wall_s_profile: report.span_total_s("profile"),
+        stage_wall_s_decompile: report.span_total_s("decompile"),
+        stage_wall_s_estimate: report.span_total_s("estimate"),
+        stage_wall_s_evaluate: report.span_total_s("evaluate"),
+        stage_wall_s_cosimulate: report.span_total_s("cosimulate"),
+        estimate_cache_hit_rate: report
+            .hit_rate(Counter::EstimateCacheHit, Counter::EstimateCacheMiss)
+            .unwrap_or(0.0),
+        trace_side_exit_rate: if passes == 0 {
+            0.0
+        } else {
+            side_exits as f64 / passes as f64
+        },
+    };
+    (rec, cols)
+}
+
+/// Reads one numeric column from the tracked `BENCH_sim.json` snapshot,
+/// probing the same locations as [`check_snapshot_columns`]. `None` when
+/// the snapshot, the key, or a parseable value is absent — callers treat
+/// that as "no baseline yet", never an error (fresh checkouts have no
+/// snapshot).
+pub fn read_snapshot_value(key: &str) -> Option<f64> {
+    read_snapshot_value_at(&["BENCH_sim.json", "../../BENCH_sim.json"], key)
+}
+
+/// Path-parameterized core of [`read_snapshot_value`] so tests can point it
+/// at fixture files without faking the working directory.
+pub fn read_snapshot_value_at(paths: &[&str], key: &str) -> Option<f64> {
+    for path in paths {
+        let Ok(json) = std::fs::read_to_string(path) else {
+            continue;
+        };
+        return json
+            .split(&format!("\"{key}\":"))
+            .nth(1)
+            .and_then(|t| t.trim().split([',', '}']).next())
+            .and_then(|v| v.trim().parse().ok());
+    }
+    None
 }
 
 /// One benchmark's row of Table 1 (experiment E1).
@@ -789,6 +891,68 @@ mod tests {
         let err = check_snapshot_at(&[nulled], &["sim_speedup"]).unwrap_err();
         assert!(matches!(&err, SnapshotError::NullKey { key, .. } if key == "sim_speedup"));
         assert!(err.to_string().contains("null"), "{err}");
+    }
+
+    #[test]
+    fn snapshot_value_reader_parses_numbers_and_skips_absent() {
+        let dir = std::env::temp_dir().join("binpart_snapshot_value");
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("snap.json");
+        std::fs::write(
+            &file,
+            "{\n  \"sim_speedup\": 12.5,\n  \"estimate_cache_hit_rate\": 0.9375,\n  \"full_suite_wall_clock_s\": null\n}\n",
+        )
+        .unwrap();
+        let file = file.to_str().unwrap();
+        assert_eq!(read_snapshot_value_at(&[file], "sim_speedup"), Some(12.5));
+        assert_eq!(
+            read_snapshot_value_at(&[file], "estimate_cache_hit_rate"),
+            Some(0.9375)
+        );
+        // Null and missing keys are both "no baseline", not errors.
+        assert_eq!(read_snapshot_value_at(&[file], "full_suite_wall_clock_s"), None);
+        assert_eq!(read_snapshot_value_at(&[file], "no_such_key"), None);
+        let absent = dir.join("absent.json");
+        assert_eq!(read_snapshot_value_at(&[absent.to_str().unwrap()], "sim_speedup"), None);
+    }
+
+    #[test]
+    fn telemetry_pass_exports_loadable_chrome_trace_and_populated_columns() {
+        let (rec, cols) = telemetry_pass();
+        // The acceptance shape: a full-suite cosim run plus a 100-point
+        // sweep on one recorder exports valid Chrome-trace JSON carrying
+        // per-stage spans and cache-hit counter tracks.
+        let trace = rec.chrome_trace().expect("spans balance");
+        binpart_telemetry::validate_json(&trace).expect("trace parses");
+        for span in ["cosimulate", "profile", "decompile", "estimate", "evaluate", "sweep"] {
+            assert!(trace.contains(&format!("\"name\":\"{span}\"")), "missing span {span}");
+        }
+        for track in ["estimate_cache_hit", "estimate_cache_miss", "sweep_points_ok"] {
+            assert!(trace.contains(&format!("\"name\":\"{track}\"")), "missing track {track}");
+        }
+        // The derived columns are live: every stage ran, the estimate memo
+        // saw real traffic, and the superblock engine retired trace passes.
+        for (name, wall) in [
+            ("profile", cols.stage_wall_s_profile),
+            ("decompile", cols.stage_wall_s_decompile),
+            ("estimate", cols.stage_wall_s_estimate),
+            ("evaluate", cols.stage_wall_s_evaluate),
+            ("cosimulate", cols.stage_wall_s_cosimulate),
+        ] {
+            assert!(wall > 0.0, "stage {name} recorded no wall clock");
+        }
+        assert!(
+            cols.estimate_cache_hit_rate > 0.0 && cols.estimate_cache_hit_rate <= 1.0,
+            "estimate cache rate out of range: {}",
+            cols.estimate_cache_hit_rate
+        );
+        assert!(
+            (0.0..=1.0).contains(&cols.trace_side_exit_rate),
+            "side-exit rate out of range: {}",
+            cols.trace_side_exit_rate
+        );
+        assert!(rec.counter_total(Counter::TracePasses) > 0, "superblocks never ran");
+        assert_eq!(rec.counter_total(Counter::SweepPointsOk), 100);
     }
 
     #[cfg(unix)]

@@ -37,6 +37,7 @@ use binpart_hwsim::{AccelBuildError, KernelAccel, KernelSet};
 use binpart_mips::hybrid::{HybridConfig, HybridMachine, RegionSpec};
 use binpart_mips::sim::{Exit, SimError};
 use binpart_platform::{HardwareKernel, HybridReport};
+use binpart_telemetry::{Counter, SpanGuard, Telemetry};
 use std::fmt;
 
 /// Co-simulation failure: the hybrid run itself could not complete.
@@ -157,7 +158,7 @@ impl CosimReport {
     }
 }
 
-impl StagedFlow<'_> {
+impl<T: Telemetry> StagedFlow<'_, T> {
     /// The verification/measurement stage: co-simulates the partition the
     /// `evaluate` stage selects under `options`, executing each kernel's
     /// scheduled FSMD against shared memory and differencing it per
@@ -165,16 +166,28 @@ impl StagedFlow<'_> {
     /// the hybrid machine afresh); the expensive inputs — profile, CDFG,
     /// candidates, synthesis — come from the cached stage artifacts.
     ///
+    /// Under an instrumented flow this emits a `cosimulate` span
+    /// (inclusive of the nested stage spans), hybrid-machine counters
+    /// (trap entries, store-differential events), and a `diagnostic`
+    /// event for every degradation record first observed here
+    /// (accelerator packaging rejections, store divergences).
+    ///
     /// # Errors
     ///
     /// Propagates stage-1/-2 failures and software-simulation errors from
     /// the hybrid run.
     pub fn cosimulate(&self, options: &FlowOptions) -> Result<CosimReport, FlowError> {
+        let _span = SpanGuard::enter(self.telemetry(), "cosimulate", || {
+            format!("superblocks={}", options.sim.superblocks)
+        });
         let est = self.estimate(options.decompile, options.sim)?;
         let staged = self.evaluate(options)?;
         let reference = self.profile(options.sim)?;
         let mut diagnostics = est.program.diagnostics.clone();
         diagnostics.extend(staged.partition.diagnostics.iter().cloned());
+        // Everything up to here was already emitted by the `evaluate`
+        // stage; only records added below are new to this stage.
+        let upstream_diagnostics = diagnostics.len();
 
         // Package each selected kernel as a region + accelerator.
         let mut specs: Vec<RegionSpec> = Vec::new();
@@ -318,6 +331,17 @@ impl StagedFlow<'_> {
             .collect();
         let measured = options.platform.hybrid(reference.cycles, &measured_kernels);
 
+        if T::ENABLED {
+            let traps: u64 = hx.kernels.iter().map(|s| s.invocations).sum();
+            let mismatches: u64 = hx.kernels.iter().map(|s| s.store_mismatches).sum();
+            self.telemetry().counter_add(Counter::HybridTrapEntries, traps);
+            self.telemetry().counter_add(Counter::HybridStoreMismatches, mismatches);
+            crate::stage::emit_diagnostics(
+                self.telemetry(),
+                &diagnostics[upstream_diagnostics..],
+            );
+        }
+
         let exit_bit_identical = hx.exit.regs == reference.regs
             && hx.exit.reason == reference.reason
             && hx.exit.cycles == reference.cycles
@@ -379,6 +403,35 @@ mod tests {
             let err = report.mean_abs_error_pct().expect("kernels executed");
             assert!(err.is_finite());
         }
+    }
+
+    /// Golden Chrome-trace shape on a fixed small benchmark: the export
+    /// parses as JSON, the per-stage spans appear in their deterministic
+    /// first-enter order, and the cache counter tracks are present.
+    #[test]
+    fn chrome_trace_golden_shape_for_one_cosim_run() {
+        let binary = compile(kernel_program(), OptLevel::O1).unwrap();
+        let rec = binpart_telemetry::Recorder::new();
+        let staged = StagedFlow::with_telemetry(&binary, &rec);
+        let report = staged.cosimulate(&FlowOptions::default()).unwrap();
+        assert!(report.exit_bit_identical);
+        let json = rec.chrome_trace().expect("balanced spans after a clean run");
+        binpart_telemetry::validate_json(&json).unwrap_or_else(|e| panic!("{e}"));
+        // Span "X" events are emitted in enter order; a single-threaded
+        // cosimulate enters cosimulate → profile → decompile → estimate
+        // → evaluate (the estimate span opens after its inputs build).
+        let order: Vec<usize> = ["cosimulate", "profile", "decompile", "estimate", "evaluate"]
+            .iter()
+            .map(|n| {
+                json.find(&format!("\"name\":\"{n}\""))
+                    .unwrap_or_else(|| panic!("span {n} missing from trace\n{json}"))
+            })
+            .collect();
+        assert!(order.windows(2).all(|w| w[0] < w[1]), "span order {order:?}\n{json}");
+        assert!(json.contains("\"ph\":\"X\""), "{json}");
+        assert!(json.contains("\"ph\":\"C\""), "counter tracks missing\n{json}");
+        assert!(json.contains("estimate_cache_miss"), "{json}");
+        assert!(json.contains("hybrid_trap_entries"), "{json}");
     }
 
     #[test]

@@ -81,6 +81,7 @@ use binpart_mips::sim::{EdgeProfiler, Exit, Machine, SimConfig};
 use binpart_mips::Binary;
 use binpart_platform::{HardwareKernel, HybridReport};
 use binpart_synth::EstimateCache;
+use binpart_telemetry::{Counter, NullTelemetry, SpanGuard, Telemetry};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
@@ -131,8 +132,18 @@ type Slot<T> = Arc<OnceLock<Result<Arc<T>, FlowError>>>;
 
 /// The staged flow over one binary. See the module docs for the stage
 /// table and cache-invalidation rules.
-pub struct StagedFlow<'b> {
+///
+/// Generic over a [`Telemetry`] sink, defaulting to the zero-cost
+/// [`NullTelemetry`] (the generic parameter compiles away; see
+/// `binpart_telemetry`'s crate docs for the contract). An instrumented
+/// flow ([`with_telemetry`](StagedFlow::with_telemetry)) emits a span
+/// per stage execution, `OnceLock`-slot hit/miss counters per stage
+/// call, [`EstimateCache`] memo deltas per evaluation, superblock
+/// engine counters from the profile run, and every [`Diagnostic`]
+/// as a structured event.
+pub struct StagedFlow<'b, T: Telemetry = NullTelemetry> {
     binary: &'b Binary,
+    telemetry: T,
     profiles: Mutex<HashMap<SimConfig, Slot<Exit>>>,
     programs: Mutex<HashMap<DecompileOptions, Slot<DecompiledProgram>>>,
     estimated: Mutex<HashMap<(DecompileOptions, SimConfig), Slot<EstimatedProgram>>>,
@@ -157,13 +168,21 @@ fn slot<K: std::hash::Hash + Eq + Clone, T>(
 /// evicted from the map immediately, so the next call with the same key
 /// recomputes instead of serving a latched budget trip. Deterministic
 /// failures (the paper's jump-table cases) stay cached as errors.
+/// The second element reports whether *this* call ran `init` (a cache
+/// miss) — the hit/miss attribution the telemetry counters record.
 fn get_stage<K: std::hash::Hash + Eq + Clone, T>(
     map: &Mutex<HashMap<K, Slot<T>>>,
     key: &K,
     init: impl FnOnce() -> Result<Arc<T>, FlowError>,
-) -> Result<Arc<T>, FlowError> {
+) -> (Result<Arc<T>, FlowError>, bool) {
     let s = slot(map, key);
-    let result = s.get_or_init(init).clone();
+    let mut ran = false;
+    let result = s
+        .get_or_init(|| {
+            ran = true;
+            init()
+        })
+        .clone();
     if let Err(e) = &result {
         if e.is_transient() {
             let mut map = map.lock().unwrap_or_else(|p| p.into_inner());
@@ -174,18 +193,32 @@ fn get_stage<K: std::hash::Hash + Eq + Clone, T>(
             }
         }
     }
-    result
+    (result, ran)
 }
 
 impl<'b> StagedFlow<'b> {
-    /// A staged flow over `binary` with empty caches.
+    /// A staged flow over `binary` with empty caches and no telemetry.
     pub fn new(binary: &'b Binary) -> StagedFlow<'b> {
+        StagedFlow::with_telemetry(binary, NullTelemetry)
+    }
+}
+
+impl<'b, T: Telemetry> StagedFlow<'b, T> {
+    /// A staged flow over `binary` reporting through `telemetry` (pass a
+    /// `&Recorder` to share one sink across flows or sweep workers).
+    pub fn with_telemetry(binary: &'b Binary, telemetry: T) -> StagedFlow<'b, T> {
         StagedFlow {
             binary,
+            telemetry,
             profiles: Mutex::new(HashMap::new()),
             programs: Mutex::new(HashMap::new()),
             estimated: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// The telemetry sink this flow reports through.
+    pub fn telemetry(&self) -> &T {
+        &self.telemetry
     }
 
     /// The binary this flow stages.
@@ -203,11 +236,29 @@ impl<'b> StagedFlow<'b> {
     /// Returns [`FlowError::Sim`] if the run faults or exceeds the step
     /// budget.
     pub fn profile(&self, sim: SimConfig) -> Result<Arc<Exit>, FlowError> {
-        get_stage(&self.profiles, &sim, || {
+        let (result, ran) = get_stage(&self.profiles, &sim, || {
+            let _span = SpanGuard::enter(&self.telemetry, "profile", || {
+                format!("superblocks={} max_steps={}", sim.superblocks, sim.max_steps)
+            });
             let mut machine = Machine::with_config(self.binary, sim)?;
             let mut prof = EdgeProfiler::new();
-            Ok(Arc::new(machine.run_with(&mut prof)?))
-        })
+            let exit = machine.run_with(&mut prof)?;
+            if T::ENABLED && sim.superblocks {
+                let st = machine.trace_cache_stats();
+                self.telemetry.counter_add(Counter::TraceHeatPromotions, st.heat_promotions);
+                self.telemetry.counter_add(Counter::TraceInstalls, st.installs);
+                self.telemetry.counter_add(Counter::TracePasses, st.passes);
+                self.telemetry.counter_add(Counter::TraceSideExits, st.side_exits);
+                self.telemetry.counter_add(Counter::TraceChainTransfers, st.chain_transfers);
+                self.telemetry.counter_add(Counter::TraceInvalidations, st.invalidations);
+            }
+            Ok(Arc::new(exit))
+        });
+        self.telemetry.counter_add(
+            if ran { Counter::ProfileStageMiss } else { Counter::ProfileStageHit },
+            1,
+        );
+        result
     }
 
     /// Stage 2 — CDFG recovery (pre-profile). Decompiled once per distinct
@@ -221,9 +272,17 @@ impl<'b> StagedFlow<'b> {
         &self,
         options: DecompileOptions,
     ) -> Result<Arc<DecompiledProgram>, FlowError> {
-        get_stage(&self.programs, &options, || {
+        let (result, ran) = get_stage(&self.programs, &options, || {
+            let _span = SpanGuard::enter(&self.telemetry, "decompile", || {
+                format!("jump_tables={}", options.recover_jump_tables)
+            });
             Ok(Arc::new(decompile::decompile(self.binary, options)?))
-        })
+        });
+        self.telemetry.counter_add(
+            if ran { Counter::DecompileStageMiss } else { Counter::DecompileStageHit },
+            1,
+        );
+        result
     }
 
     /// Stage 3 — profile attachment, candidate harvesting, and the shared
@@ -247,9 +306,10 @@ impl<'b> StagedFlow<'b> {
             fusion: binpart_mips::sim::FusionConfig::default(),
             ..sim
         };
-        get_stage(&self.estimated, &(decompile_options, normalized), || {
+        let (result, ran) = get_stage(&self.estimated, &(decompile_options, normalized), || {
             let exit = self.profile(sim)?;
             let base = self.decompile(decompile_options)?;
+            let _span = SpanGuard::enter(&self.telemetry, "estimate", String::new);
             let mut program = (*base).clone();
             decompile::attach_profile(&mut program, &exit.profile);
             let candidates =
@@ -263,7 +323,12 @@ impl<'b> StagedFlow<'b> {
                 sw_exit_value: exit.reg(binpart_mips::Reg::V0),
                 stats,
             }))
-        })
+        });
+        self.telemetry.counter_add(
+            if ran { Counter::EstimateStageMiss } else { Counter::EstimateStageHit },
+            1,
+        );
+        result
     }
 
     /// Stage 4 — partition selection + platform evaluation for one option
@@ -278,7 +343,32 @@ impl<'b> StagedFlow<'b> {
     /// Propagates stage-1/-2 failures.
     pub fn evaluate(&self, options: &FlowOptions) -> Result<StagedReport, FlowError> {
         let est = self.estimate(options.decompile, options.sim)?;
-        Ok(evaluate_artifact(&est, options))
+        Ok(self.evaluate_est(&est, options))
+    }
+
+    /// Evaluate one option point against an already-built artifact, with
+    /// span/counter attribution: an `evaluate` span, the artifact's
+    /// [`EstimateCache`] hit/miss delta (approximate under concurrent
+    /// evaluations of the same artifact), and a `diagnostic` event per
+    /// degradation record.
+    fn evaluate_est(&self, est: &EstimatedProgram, options: &FlowOptions) -> StagedReport {
+        let _span = SpanGuard::enter(&self.telemetry, "evaluate", || {
+            format!(
+                "clock={:.0}MHz budget={}",
+                options.platform.cpu.clock_hz / 1e6,
+                options.partition.area_budget_gates
+            )
+        });
+        let (h0, m0) = if T::ENABLED { (est.cache.hits(), est.cache.misses()) } else { (0, 0) };
+        let report = evaluate_artifact(est, options);
+        if T::ENABLED {
+            self.telemetry
+                .counter_add(Counter::EstimateCacheHit, est.cache.hits().saturating_sub(h0));
+            self.telemetry
+                .counter_add(Counter::EstimateCacheMiss, est.cache.misses().saturating_sub(m0));
+            emit_diagnostics(&self.telemetry, &report.diagnostics);
+        }
+        report
     }
 
     /// Monolithic-compatible entry: like [`Flow::run`], but cached. The
@@ -290,7 +380,7 @@ impl<'b> StagedFlow<'b> {
     /// Propagates stage-1/-2 failures.
     pub fn run(&self, options: &FlowOptions) -> Result<FlowReport, FlowError> {
         let est = self.estimate(options.decompile, options.sim)?;
-        let report = evaluate_artifact(&est, options);
+        let report = self.evaluate_est(&est, options);
         Ok(FlowReport {
             sw_cycles: report.sw_cycles,
             sw_exit_value: report.sw_exit_value,
@@ -303,7 +393,7 @@ impl<'b> StagedFlow<'b> {
     }
 }
 
-impl std::fmt::Debug for StagedFlow<'_> {
+impl<T: Telemetry> std::fmt::Debug for StagedFlow<'_, T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         fn len<K, T>(m: &Mutex<HashMap<K, Slot<T>>>) -> usize {
             m.lock().unwrap_or_else(|p| p.into_inner()).len()
@@ -313,6 +403,15 @@ impl std::fmt::Debug for StagedFlow<'_> {
             .field("programs", &len(&self.programs))
             .field("estimated", &len(&self.estimated))
             .finish()
+    }
+}
+
+/// Emit every degradation record as a structured telemetry event (plus
+/// the `diagnostics` counter). Callers gate on `T::ENABLED`.
+pub(crate) fn emit_diagnostics<T: Telemetry>(tel: &T, diagnostics: &[crate::diag::Diagnostic]) {
+    tel.counter_add(Counter::Diagnostics, diagnostics.len() as u64);
+    for d in diagnostics {
+        tel.event("diagnostic", &d.to_string());
     }
 }
 
@@ -520,6 +619,39 @@ mod tests {
             ..sim
         };
         assert!(staged.profile(sim).is_ok());
+    }
+
+    #[test]
+    fn telemetry_attributes_stage_hits_and_misses() {
+        let binary = compile(kernel_program(), OptLevel::O1).unwrap();
+        let rec = binpart_telemetry::Recorder::new();
+        let staged = StagedFlow::with_telemetry(&binary, &rec);
+        let options = FlowOptions::default();
+        let first = staged.evaluate(&options).unwrap();
+        let _ = staged.evaluate(&options).unwrap();
+        assert_eq!(rec.counter_total(Counter::ProfileStageMiss), 1);
+        assert_eq!(rec.counter_total(Counter::ProfileStageHit), 0);
+        assert_eq!(rec.counter_total(Counter::DecompileStageMiss), 1);
+        assert_eq!(rec.counter_total(Counter::EstimateStageMiss), 1);
+        assert_eq!(rec.counter_total(Counter::EstimateStageHit), 1);
+        assert!(
+            rec.counter_total(Counter::EstimateCacheMiss) > 0,
+            "first evaluation synthesizes kernels"
+        );
+        assert!(
+            rec.counter_total(Counter::EstimateCacheHit) > 0,
+            "second evaluation hits the synthesis memo"
+        );
+        let report = rec.report();
+        assert!(report.span_total_s("profile") > 0.0);
+        assert!(report.span_total_s("evaluate") > 0.0);
+        // Instrumentation must not change results.
+        let plain = StagedFlow::new(&binary).evaluate(&options).unwrap();
+        assert_eq!(
+            plain.hybrid.app_speedup.to_bits(),
+            first.hybrid.app_speedup.to_bits()
+        );
+        assert_eq!(plain.partition.log, first.partition.log);
     }
 
     #[test]

@@ -56,6 +56,7 @@ use binpart_mips::Binary;
 use binpart_minicc::OptLevel;
 use binpart_par::par_map;
 use binpart_platform::ProcessorSpec;
+use binpart_telemetry::{Counter, NullTelemetry, SpanGuard, Telemetry};
 use std::sync::Arc;
 
 // Referenced by the crate docs.
@@ -251,7 +252,21 @@ impl Sweep {
     /// [`StagedFlow`] per [`OptLevel`], all points sharing its artifacts,
     /// evaluated in parallel. Point order matches [`Sweep::configs`].
     pub fn run(&self, compile: impl FnMut(OptLevel) -> Result<Binary, String>) -> SweepResult {
-        self.run_impl(compile, false)
+        self.run_impl(&NullTelemetry, compile, false)
+    }
+
+    /// Like [`Sweep::run`], reporting progress through `telemetry`: a
+    /// `sweep` span over the whole grid, per-point
+    /// `sweep_points_ok`/`sweep_points_failed` counters as points
+    /// complete, a `sweep_done` event, and — because each level's
+    /// [`StagedFlow`] is built over the same sink — all the per-stage
+    /// spans and cache counters of the underlying flow.
+    pub fn run_with_telemetry<T: Telemetry>(
+        &self,
+        telemetry: &T,
+        compile: impl FnMut(OptLevel) -> Result<Binary, String>,
+    ) -> SweepResult {
+        self.run_impl(telemetry, compile, false)
     }
 
     /// Runs the same grid through the monolithic [`Flow::run`] per point —
@@ -262,23 +277,27 @@ impl Sweep {
         &self,
         compile: impl FnMut(OptLevel) -> Result<Binary, String>,
     ) -> SweepResult {
-        self.run_impl(compile, true)
+        self.run_impl(&NullTelemetry, compile, true)
     }
 
-    fn run_impl(
+    fn run_impl<T: Telemetry>(
         &self,
+        telemetry: &T,
         mut compile: impl FnMut(OptLevel) -> Result<Binary, String>,
         naive: bool,
     ) -> SweepResult {
         let configs = self.configs();
+        let _span = SpanGuard::enter(telemetry, "sweep", || {
+            format!("{} points, {} levels{}", configs.len(), self.opt_levels.len(), if naive { ", naive" } else { "" })
+        });
         // One binary per level (compiled once, up front).
         let mut binaries: Vec<(OptLevel, Result<Binary, String>)> = Vec::new();
         for &level in &self.opt_levels {
             binaries.push((level, compile(level)));
         }
-        let staged: Vec<Option<StagedFlow<'_>>> = binaries
+        let staged: Vec<Option<StagedFlow<'_, &T>>> = binaries
             .iter()
-            .map(|(_, b)| b.as_ref().ok().map(StagedFlow::new))
+            .map(|(_, b)| b.as_ref().ok().map(|bin| StagedFlow::with_telemetry(bin, telemetry)))
             .collect();
         let level_index =
             |level: OptLevel| binaries.iter().position(|(l, _)| *l == level).expect("own level");
@@ -317,11 +336,19 @@ impl Sweep {
                 }
                 (Ok(_), None) => unreachable!("staged flow exists for compiled binaries"),
             };
+            telemetry.counter_add(
+                if outcome.is_ok() { Counter::SweepPointsOk } else { Counter::SweepPointsFailed },
+                1,
+            );
             SweepPoint {
                 config: config.clone(),
                 outcome,
             }
         });
+        if T::ENABLED {
+            let ok = points.iter().filter(|p| p.outcome.is_ok()).count();
+            telemetry.event("sweep_done", &format!("{}/{} points ok", ok, points.len()));
+        }
         SweepResult { points }
     }
 }

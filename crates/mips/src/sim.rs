@@ -660,6 +660,79 @@ impl Profiler for BlockCountProfiler {
     }
 }
 
+/// Sampled per-pc histogram — the self-profiling hook for flamegraphs.
+///
+/// Instead of exact counts, every `period`-th dispatch round attributes
+/// one sample to its starting pc: one compare-and-decrement per round on
+/// the hot path, independent of block length. The decimated histogram is
+/// statistically proportional to where retired rounds *start*, which is
+/// what a flamegraph wants; feed [`samples`](SamplingProfiler::samples)
+/// through `binpart_telemetry::collapse_pc_samples` keyed by recovered
+/// function extents to get collapsed-stack text. Under the superblock
+/// engine a whole trace pass reports as one block, so samples concentrate
+/// on trace heads — the attribution the trace-cost work needs.
+#[derive(Debug, Clone)]
+pub struct SamplingProfiler {
+    period: u32,
+    countdown: u32,
+    text_base: u32,
+    counts: Vec<u64>,
+}
+
+impl SamplingProfiler {
+    /// Samples one dispatch round in every `period` (clamped to ≥ 1).
+    pub fn new(period: u32) -> SamplingProfiler {
+        let period = period.max(1);
+        SamplingProfiler { period, countdown: period, text_base: 0, counts: Vec::new() }
+    }
+
+    /// The sampled histogram as `(pc, samples)` pairs, zero entries
+    /// elided, in ascending pc order.
+    pub fn samples(&self) -> Vec<(u32, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (self.text_base.wrapping_add((i * 4) as u32), c))
+            .collect()
+    }
+
+    /// Total samples taken so far.
+    pub fn total_samples(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+}
+
+impl Profiler for SamplingProfiler {
+    fn begin(&mut self, text_base: u32, text_len: usize) {
+        self.text_base = text_base;
+        if self.counts.len() < text_len {
+            self.counts.resize(text_len, 0);
+        }
+    }
+    #[inline(always)]
+    fn on_block(&mut self, idx: usize, _n: usize, _cyc: u64) {
+        self.countdown -= 1;
+        if self.countdown == 0 {
+            self.countdown = self.period;
+            self.counts[idx] += 1;
+        }
+    }
+    #[inline(always)]
+    fn on_taken(&mut self, _idx: usize) {}
+    #[inline(always)]
+    fn on_call(&mut self, _target: u32) {}
+    #[inline(always)]
+    fn on_load(&mut self) {}
+    #[inline(always)]
+    fn on_store(&mut self) {}
+    fn take_profile(&mut self, text_base: u32, text_len: usize) -> Profile {
+        // Samples are not exact counts; the extracted Profile carries
+        // only the geometry so callers read the histogram via `samples`.
+        Profile::new(text_base, text_len)
+    }
+}
+
 /// Block execution counts **plus branch bias** — the edge profiler.
 ///
 /// Extends [`BlockCountProfiler`]'s boundary-delta scheme (exact

@@ -176,6 +176,19 @@ pub struct TraceCacheStats {
     pub superblock_instrs: u64,
     /// Times the cache was cleared by a dispatch-boundary change.
     pub invalidations: u64,
+    /// Heat counters that crossed [`HEAT_THRESHOLD`] and armed a
+    /// recording (cumulative, survives invalidation).
+    pub heat_promotions: u64,
+    /// Traces specialized and installed (cumulative).
+    pub installs: u64,
+    /// Head-segment passes over installed traces (cumulative; includes
+    /// passes of traces since dropped by an invalidation).
+    pub passes: u64,
+    /// Early exits at guarded branches (cumulative).
+    pub side_exits: u64,
+    /// Direct trace-to-trace transfers without a dispatcher round-trip
+    /// (cumulative).
+    pub chain_transfers: u64,
 }
 
 /// Summary of one segment of a recorded trace (for tooling; see
@@ -242,6 +255,15 @@ pub(crate) struct TraceCache {
     rec: Option<Recording>,
     sb_instrs: u64,
     invalidations: u64,
+    /// Rare-path engine counters (observability; cumulative).
+    heat_promotions: u64,
+    installs: u64,
+    chain_transfers: u64,
+    /// Pass/side-exit totals of traces dropped by `invalidate` —
+    /// per-trace counts are folded in here before the trace list is
+    /// cleared, so `stats` stays cumulative at zero hot-path cost.
+    retired_passes: u64,
+    retired_side_exits: u64,
 }
 
 impl TraceCache {
@@ -253,6 +275,11 @@ impl TraceCache {
             rec: None,
             sb_instrs: 0,
             invalidations: 0,
+            heat_promotions: 0,
+            installs: 0,
+            chain_transfers: 0,
+            retired_passes: 0,
+            retired_side_exits: 0,
         }
     }
 
@@ -262,6 +289,10 @@ impl TraceCache {
     pub(crate) fn invalidate(&mut self) {
         self.map.fill(NO_TRACE);
         self.heat.fill(0);
+        for t in &self.traces {
+            self.retired_passes += t.passes;
+            self.retired_side_exits += t.exits.iter().sum::<u64>();
+        }
         self.traces.clear();
         self.rec = None;
         self.invalidations += 1;
@@ -278,6 +309,12 @@ impl TraceCache {
             segments: self.traces.iter().map(|t| t.segs.len()).sum(),
             superblock_instrs: self.sb_instrs,
             invalidations: self.invalidations,
+            heat_promotions: self.heat_promotions,
+            installs: self.installs,
+            passes: self.retired_passes + self.traces.iter().map(|t| t.passes).sum::<u64>(),
+            side_exits: self.retired_side_exits
+                + self.traces.iter().map(|t| t.exits.iter().sum::<u64>()).sum::<u64>(),
+            chain_transfers: self.chain_transfers,
         }
     }
 
@@ -327,6 +364,7 @@ impl TraceCache {
         let h = self.heat[idx].saturating_add(1);
         self.heat[idx] = h;
         if h == HEAT_THRESHOLD && self.traces.len() < MAX_TRACES {
+            self.heat_promotions += 1;
             self.rec = Some(Recording {
                 entry: idx as u32,
                 expect: idx as u32,
@@ -419,6 +457,7 @@ impl TraceCache {
             exits,
         });
         self.map[entry] = id;
+        self.installs += 1;
     }
 
     /// Replays trace `tid`, charging retired-inside-superblock accounting.
@@ -481,6 +520,7 @@ impl TraceCache {
                     if next != NO_TRACE && !watch.hit(*pc) && *instrs < max_steps {
                         tid = next;
                         chained = true;
+                        self.chain_transfers += 1;
                         continue;
                     }
                     break TraceExit::Seq;

@@ -40,6 +40,7 @@ use binpart_core::{CosimReport, StagedFlow};
 use binpart_mips::sim::SimConfig;
 use binpart_mips::{encode, Asm, Binary, BinaryBuilder, Instr, Reg};
 use binpart_minicc::OptLevel;
+use binpart_telemetry::Recorder;
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use std::collections::BTreeMap;
 use std::panic::{self, AssertUnwindSafe};
@@ -155,15 +156,23 @@ pub fn run_campaign(cfg: &TortureConfig) -> TortureSummary {
         let label = format!("#{i} {label} (seed {mutant_seed:#x})");
         let options = random_options(&mut mrng, cfg);
 
+        // A fresh recorder per mutant: when this mutant violates the
+        // contract, its report carries the span stack that was open at the
+        // point of failure and the last few counter/event deltas — the
+        // post-mortem a bare panic message cannot give.
+        let rec = Recorder::new();
         let t0 = Instant::now();
-        let result = panic::catch_unwind(AssertUnwindSafe(|| run_pipeline(&bin, &options)));
+        let result =
+            panic::catch_unwind(AssertUnwindSafe(|| run_pipeline(&bin, &options, &rec)));
         let elapsed = t0.elapsed();
         summary.total += 1;
 
         if elapsed > cfg.watchdog {
-            summary
-                .hangs
-                .push(format!("{label}: took {:.1}s", elapsed.as_secs_f64()));
+            summary.hangs.push(format!(
+                "{label}: took {:.1}s{}",
+                elapsed.as_secs_f64(),
+                violation_context(&rec)
+            ));
         }
         match result {
             Ok(Ok(report)) => {
@@ -182,9 +191,10 @@ pub fn run_campaign(cfg: &TortureConfig) -> TortureSummary {
                     }
                 } else {
                     summary.mismatches.push(format!(
-                        "{label}: exit_bit_identical={} store_mismatches={}",
+                        "{label}: exit_bit_identical={} store_mismatches={}{}",
                         report.exit_bit_identical,
-                        report.store_mismatches()
+                        report.store_mismatches(),
+                        violation_context(&rec)
                     ));
                 }
             }
@@ -200,7 +210,9 @@ pub fn run_campaign(cfg: &TortureConfig) -> TortureSummary {
                     .unwrap_or_else(|p| p.into_inner())
                     .take()
                     .unwrap_or_else(|| "<no hook message>".into());
-                summary.panics.push(format!("{label}: panic: {msg}"));
+                summary
+                    .panics
+                    .push(format!("{label}: panic: {msg}{}", violation_context(&rec)));
             }
         }
     }
@@ -210,9 +222,81 @@ pub fn run_campaign(cfg: &TortureConfig) -> TortureSummary {
 }
 
 /// The full pipeline on one binary: profile → decompile → partition →
-/// synthesize → hybrid co-simulation with store differential.
-fn run_pipeline(bin: &Binary, options: &FlowOptions) -> Result<CosimReport, FlowError> {
-    StagedFlow::new(bin).cosimulate(options)
+/// synthesize → hybrid co-simulation with store differential, recorded on
+/// the mutant's telemetry recorder (span guards stay open across a panic,
+/// so `rec` holds the active stage stack when the pipeline unwinds).
+fn run_pipeline(
+    bin: &Binary,
+    options: &FlowOptions,
+    rec: &Recorder,
+) -> Result<CosimReport, FlowError> {
+    StagedFlow::with_telemetry(bin, rec).cosimulate(options)
+}
+
+/// Post-mortem context from a mutant's recorder, appended to every
+/// violation line: the span stack that was open when the pipeline stopped
+/// and the most recent counter/event deltas. This runs while reporting
+/// another failure, so it must never panic itself —
+/// [`telemetry_emission_smoke`] checks that mechanically.
+pub fn violation_context(rec: &Recorder) -> String {
+    let spans = rec.open_span_stack();
+    let spans = if spans.is_empty() {
+        "<none>".to_string()
+    } else {
+        spans.join(" > ")
+    };
+    let recent = rec.recent_activity(8);
+    let recent = if recent.is_empty() {
+        "<none>".to_string()
+    } else {
+        recent.join("; ")
+    };
+    format!(" | open spans: {spans} | recent: {recent}")
+}
+
+/// CI check on the reporting path itself: everything the violation
+/// reports lean on — mid-span context reads, unbalanced span bookkeeping,
+/// report/trace rendering, context after a panicking pipeline — must be
+/// panic-free. Returns `Err` (never unwinds) if any of it panicked.
+pub fn telemetry_emission_smoke() -> Result<(), String> {
+    use binpart_telemetry::{Counter, SpanGuard, Telemetry};
+    // Quiet hook: this smoke deliberately panics inside `catch_unwind`,
+    // and the default hook would spray a backtrace mid-report.
+    let prev_hook = panic::take_hook();
+    panic::set_hook(Box::new(|_| {}));
+    let outcome = panic::catch_unwind(|| {
+        let rec = Recorder::new();
+        // Mid-span context, exactly as the violation path reads it.
+        let guard = SpanGuard::enter(&rec, "profile", || "smoke".to_string());
+        rec.counter_add(Counter::Diagnostics, 1);
+        let ctx = violation_context(&rec);
+        assert!(ctx.contains("profile"), "open span missing from context: {ctx}");
+        assert!(ctx.contains("diagnostics"), "counter delta missing: {ctx}");
+        drop(guard);
+        // Unbalanced bookkeeping surfaces as a typed error at export time,
+        // not as a panic anywhere on the way.
+        rec.span_exit("never-entered");
+        assert!(rec.chrome_trace().is_err(), "unbalanced exit must fail export");
+        let report = rec.report();
+        assert!(report.errors > 0, "span defect not recorded");
+        let _ = report.render();
+        // A panicking pipeline leaves its spans open; context still reads.
+        let _ = panic::catch_unwind(AssertUnwindSafe(|| {
+            let _g = SpanGuard::enter(&rec, "decompile", String::new);
+            panic!("simulated mutant panic");
+        }));
+        let ctx = violation_context(&rec);
+        assert!(ctx.contains("decompile"), "post-panic span missing: {ctx}");
+    });
+    panic::set_hook(prev_hook);
+    outcome.map_err(|p| {
+        let msg = p
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| p.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "<non-string payload>".into());
+        format!("telemetry emission path panicked: {msg}")
+    })
 }
 
 /// Randomizes the option axes that change which code paths run, under a
@@ -543,6 +627,28 @@ mod tests {
         assert_eq!(s.mismatches, Vec::<String>::new());
         assert_eq!(s.hangs, Vec::<String>::new());
         assert!(s.typed_errors() > 0, "no typed errors: {s:?}");
+    }
+
+    /// The emission path behind violation reports never panics — the same
+    /// check the `--smoke` CI preset runs.
+    #[test]
+    fn telemetry_emission_path_is_panic_free() {
+        telemetry_emission_smoke().unwrap();
+    }
+
+    /// Violation context reads cleanly mid-pipeline: an open span and
+    /// recent counter traffic both show up, and an idle recorder renders
+    /// placeholders instead of panicking on empty state.
+    #[test]
+    fn violation_context_names_open_spans_and_recent_deltas() {
+        use binpart_telemetry::{Counter, SpanGuard, Telemetry};
+        let rec = Recorder::new();
+        assert!(violation_context(&rec).contains("<none>"));
+        let _g = SpanGuard::enter(&rec, "cosimulate", String::new);
+        rec.counter_add(Counter::HybridTrapEntries, 3);
+        let ctx = violation_context(&rec);
+        assert!(ctx.contains("open spans: cosimulate"), "{ctx}");
+        assert!(ctx.contains("hybrid_trap_entries"), "{ctx}");
     }
 
     #[test]

@@ -103,6 +103,18 @@ fn main() {
         }
         violations += s.violations();
     }
+    if smoke {
+        // The violation-report machinery itself (span-stack reads,
+        // unbalanced bookkeeping, rendering around a panicking pipeline)
+        // must never panic: it runs while reporting another failure.
+        match binpart_torture::telemetry_emission_smoke() {
+            Ok(()) => println!("torture: telemetry emission path is panic-free"),
+            Err(e) => {
+                eprintln!("VIOLATION: {e}");
+                violations += 1;
+            }
+        }
+    }
     if violations > 0 {
         eprintln!("torture: {violations} contract violations");
         std::process::exit(1);

@@ -3,7 +3,8 @@
 //! where superinstruction fusion candidates live. This is the measurement
 //! behind the `FusionConfig` pattern table in `binpart_mips::sim`.
 //!
-//! Run with: `cargo run --release --example fusion_histogram [-O0|-O1|-O2|-O3]`
+//! Run with: `cargo run --release --example fusion_histogram [-O0|-O1|-O2|-O3]
+//! [--superblocks] [--trace-out FILE]`
 //!
 //! `--superblocks` switches to the trace-cache view: every benchmark runs
 //! under the superblock engine and the hottest recorded traces are
@@ -11,10 +12,15 @@
 //! per pass), pass and side-exit counts, and the empirical hold rate (the
 //! branch bias the trace was recorded on). This is the measurement behind
 //! the superblock engine's heat threshold and segment caps.
+//!
+//! `--trace-out FILE` writes the run's telemetry as Chrome-trace JSON:
+//! one span per benchmark, plus (in `--superblocks` mode) the trace-cache
+//! counter tracks. Load it in `chrome://tracing` or Perfetto.
 
 use binpart::minicc::OptLevel;
 use binpart::mips::sim::{FusionConfig, Machine, SimConfig};
 use binpart::mips::Instr;
+use binpart::telemetry::{Counter, Recorder, SpanGuard, Telemetry};
 use binpart::workloads::suite;
 use std::collections::HashMap;
 
@@ -74,9 +80,10 @@ fn mnemonic(i: Instr) -> &'static str {
 
 /// `--superblocks` mode: run the suite under the trace-cache engine and
 /// print the hottest recorded traces per benchmark.
-fn superblock_report(level: OptLevel) -> Result<(), Box<dyn std::error::Error>> {
+fn superblock_report(level: OptLevel, rec: &Recorder) -> Result<(), Box<dyn std::error::Error>> {
     println!("recorded superblocks at {} (hottest traces per benchmark):", level.flag());
     for b in suite() {
+        let _span = SpanGuard::enter(rec, "benchmark", || b.name.to_string());
         let binary = b.compile(level)?;
         let mut m = Machine::with_config(
             &binary,
@@ -88,6 +95,12 @@ fn superblock_report(level: OptLevel) -> Result<(), Box<dyn std::error::Error>> 
         )?;
         let exit = m.run_unprofiled()?;
         let stats = m.trace_cache_stats();
+        rec.counter_add(Counter::TraceHeatPromotions, stats.heat_promotions);
+        rec.counter_add(Counter::TraceInstalls, stats.installs);
+        rec.counter_add(Counter::TracePasses, stats.passes);
+        rec.counter_add(Counter::TraceSideExits, stats.side_exits);
+        rec.counter_add(Counter::TraceChainTransfers, stats.chain_transfers);
+        rec.counter_add(Counter::TraceInvalidations, stats.invalidations);
         let mut traces = m.trace_summaries();
         traces.sort_by_key(|t| std::cmp::Reverse(t.passes));
         println!(
@@ -126,31 +139,48 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some("-O3") => OptLevel::O3,
         _ => OptLevel::O1,
     };
+    let trace_out = args.iter().position(|a| a == "--trace-out").map(|i| {
+        args.get(i + 1).cloned().unwrap_or_else(|| {
+            eprintln!("fusion_histogram: --trace-out needs a file path");
+            std::process::exit(2);
+        })
+    });
+    let rec = Recorder::new();
     if args.iter().any(|a| a == "--superblocks") {
-        return superblock_report(level);
-    }
-    let mut pairs: HashMap<(&str, &str), u64> = HashMap::new();
-    let mut total = 0u64;
-    for b in suite() {
-        let binary = b.compile(level)?;
-        let text = binary.decode_text()?;
-        let exit = Machine::new(&binary)?.run()?;
-        total += exit.profile.total_instrs;
-        for i in 0..text.len().saturating_sub(1) {
-            // Weight a static pair by the dynamic count of its first
-            // instruction: an upper bound on how often the pair retires
-            // back to back.
-            let n = exit.profile.counts[i];
-            if n > 0 {
-                *pairs.entry((mnemonic(text[i]), mnemonic(text[i + 1]))).or_insert(0) += n;
+        superblock_report(level, &rec)?;
+    } else {
+        let mut pairs: HashMap<(&str, &str), u64> = HashMap::new();
+        let mut total = 0u64;
+        for b in suite() {
+            let _span = SpanGuard::enter(&rec, "benchmark", || b.name.to_string());
+            let binary = b.compile(level)?;
+            let text = binary.decode_text()?;
+            let exit = Machine::new(&binary)?.run()?;
+            total += exit.profile.total_instrs;
+            for i in 0..text.len().saturating_sub(1) {
+                // Weight a static pair by the dynamic count of its first
+                // instruction: an upper bound on how often the pair retires
+                // back to back.
+                let n = exit.profile.counts[i];
+                if n > 0 {
+                    *pairs.entry((mnemonic(text[i]), mnemonic(text[i + 1]))).or_insert(0) += n;
+                }
             }
         }
+        let mut rows: Vec<_> = pairs.into_iter().collect();
+        rows.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+        println!("top adjacent pairs at {} ({} dynamic instrs):", level.flag(), total);
+        for ((a, b), n) in rows.into_iter().take(25) {
+            println!("{:>6.2}%  {a} ; {b}", 100.0 * n as f64 / total as f64);
+        }
     }
-    let mut rows: Vec<_> = pairs.into_iter().collect();
-    rows.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
-    println!("top adjacent pairs at {} ({} dynamic instrs):", level.flag(), total);
-    for ((a, b), n) in rows.into_iter().take(25) {
-        println!("{:>6.2}%  {a} ; {b}", 100.0 * n as f64 / total as f64);
+    if let Some(path) = trace_out {
+        let trace = rec.chrome_trace()?;
+        std::fs::write(&path, &trace)?;
+        println!(
+            "wrote Chrome trace to {path} ({} bytes) — load in chrome://tracing or Perfetto",
+            trace.len()
+        );
     }
     Ok(())
 }

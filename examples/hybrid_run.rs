@@ -4,16 +4,37 @@
 //! measured vs analytically estimated numbers side by side.
 //!
 //! ```text
-//! cargo run --release --example hybrid_run [benchmark] [O0|O1|O2|O3]
+//! cargo run --release --example hybrid_run [benchmark] [O0|O1|O2|O3] [--trace-out FILE]
 //! ```
+//!
+//! `--trace-out FILE` writes the run's telemetry as Chrome-trace JSON
+//! (per-stage spans + counter tracks); load it in `chrome://tracing` or
+//! Perfetto.
 
 use binpart::core::flow::FlowOptions;
 use binpart::core::stage::StagedFlow;
 use binpart::minicc::OptLevel;
+use binpart::telemetry::Recorder;
 
 fn main() {
-    let name = std::env::args().nth(1).unwrap_or_else(|| "autcor00".into());
-    let level = match std::env::args().nth(2).as_deref() {
+    let mut trace_out: Option<String> = None;
+    let mut positional = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--trace-out" {
+            trace_out = Some(args.next().unwrap_or_else(|| {
+                eprintln!("hybrid_run: --trace-out needs a file path");
+                std::process::exit(2);
+            }));
+        } else {
+            positional.push(a);
+        }
+    }
+    let name = positional
+        .first()
+        .cloned()
+        .unwrap_or_else(|| "autcor00".into());
+    let level = match positional.get(1).map(String::as_str) {
         Some("O0") => OptLevel::O0,
         Some("O2") => OptLevel::O2,
         Some("O3") => OptLevel::O3,
@@ -28,7 +49,8 @@ fn main() {
     let mut options = FlowOptions::default();
     options.decompile.recover_jump_tables = true;
 
-    let staged = StagedFlow::new(&binary);
+    let recorder = Recorder::new();
+    let staged = StagedFlow::with_telemetry(&binary, &recorder);
     let report = staged.cosimulate(&options).expect("co-simulation runs");
 
     println!("== {} at -{:?}: hybrid co-simulation ==", bench.name, level);
@@ -76,6 +98,14 @@ fn main() {
         println!(
             "({} kernel(s) had no recoverable live-in binding and stayed in software)",
             report.unmapped_kernels
+        );
+    }
+    if let Some(path) = trace_out {
+        let trace = recorder.chrome_trace().expect("span stream balances");
+        std::fs::write(&path, &trace).expect("trace file writes");
+        println!(
+            "wrote Chrome trace to {path} ({} bytes) — load in chrome://tracing or Perfetto",
+            trace.len()
         );
     }
 }

@@ -24,6 +24,9 @@
 //!   flow ([`core::stage`]) with Pareto-frontier extraction;
 //! * [`partition`] — baseline partitioners (knapsack, GCLP, annealing);
 //! * [`platform`] — processor/FPGA/energy models;
+//! * [`telemetry`] — zero-cost-when-off observability: spans, counters,
+//!   Chrome-trace and flamegraph export, threaded through the staged
+//!   flow, the superblock engine, co-simulation, and sweeps;
 //! * [`workloads`] — the 20-benchmark suite.
 //!
 //! # Quickstart
@@ -56,4 +59,5 @@ pub use binpart_mips as mips;
 pub use binpart_partition as partition;
 pub use binpart_platform as platform;
 pub use binpart_synth as synth;
+pub use binpart_telemetry as telemetry;
 pub use binpart_workloads as workloads;

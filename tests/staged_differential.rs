@@ -118,6 +118,72 @@ fn staged_flow_matches_monolithic_flow_across_matrix() {
     }
 }
 
+/// The telemetry overhead gate, correctness leg: with a live recorder
+/// attached, every observable artifact — the software `Exit` (profile +
+/// cycles) and the full evaluation — must be bit-identical to the
+/// uninstrumented `NullTelemetry` flow across the whole suite matrix.
+/// Telemetry may *observe* the flow; it may never perturb it.
+#[test]
+fn telemetry_instrumented_flow_is_bit_identical_suite_wide() {
+    use binpart::telemetry::{Counter, Recorder};
+    let recorder = Recorder::new();
+    let mut cells = 0usize;
+    for b in suite() {
+        for level in OptLevel::ALL {
+            let binary = b.compile(level).unwrap();
+            let mut options = FlowOptions::default();
+            options.decompile.recover_jump_tables = true;
+            // Superblocks on: the trace-cache counter harvest is the one
+            // telemetry path that touches simulator state accessors.
+            options.sim.superblocks = true;
+            let plain = StagedFlow::new(&binary);
+            let instrumented = StagedFlow::with_telemetry(&binary, &recorder);
+            let tag = format!("{} {level}", b.name);
+
+            let exit_plain = plain.profile(options.sim).unwrap();
+            let exit_inst = instrumented.profile(options.sim).unwrap();
+            assert_eq!(exit_plain.cycles, exit_inst.cycles, "{tag}: cycles");
+            assert_eq!(exit_plain.instrs, exit_inst.instrs, "{tag}: instrs");
+            assert_eq!(exit_plain.regs, exit_inst.regs, "{tag}: registers");
+            assert_eq!(exit_plain.profile, exit_inst.profile, "{tag}: profile");
+
+            match (plain.evaluate(&options), instrumented.evaluate(&options)) {
+                (Ok(p), Ok(i)) => {
+                    assert_eq!(
+                        p.hybrid.app_speedup.to_bits(),
+                        i.hybrid.app_speedup.to_bits(),
+                        "{tag}: speedup"
+                    );
+                    assert_eq!(
+                        p.hybrid.energy_savings.to_bits(),
+                        i.hybrid.energy_savings.to_bits(),
+                        "{tag}: energy"
+                    );
+                    assert_eq!(p.partition.log, i.partition.log, "{tag}: log");
+                    assert_eq!(
+                        p.partition.total_area_gates, i.partition.total_area_gates,
+                        "{tag}: area"
+                    );
+                }
+                (Err(p), Err(i)) => {
+                    assert_eq!(format!("{p}"), format!("{i}"), "{tag}: errors differ")
+                }
+                (p, i) => panic!(
+                    "{tag}: plain {:?} vs instrumented {:?}",
+                    p.map(|r| r.hybrid.app_speedup),
+                    i.map(|r| r.hybrid.app_speedup)
+                ),
+            }
+            cells += 1;
+        }
+    }
+    assert_eq!(cells, 80, "matrix should cover the suite");
+    // The recorder actually observed the pass: every cell missed its
+    // profile slot exactly once, and the superblock engine reported in.
+    assert_eq!(recorder.counter_total(Counter::ProfileStageMiss), 80);
+    assert!(recorder.counter_total(Counter::TracePasses) > 0);
+}
+
 /// The plain-recovery failure cells (the paper's 2-of-20) must fail
 /// identically through both entries.
 #[test]
