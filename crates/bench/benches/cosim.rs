@@ -68,7 +68,33 @@ fn smoke() {
         "cosim_cycles_per_sec",
         "estimate_error_pct_mean",
         "estimate_error_pct_max",
+        "hw_bus_stall_pct",
+        "hw_fill_overhead_pct",
+        "hw_state_coverage",
     ]);
+    // The zero-cost gate for the hardware telemetry layer: the default
+    // (uninstrumented, `NullHwTelemetry`) co-simulation path must hold the
+    // tracked throughput. The 50% floor absorbs shared-runner noise while
+    // still catching a probe that escaped its `ENABLED` guard — the
+    // instrumented path costs well over 2x.
+    if let Some(snapshot) = binpart_bench::read_snapshot_value("cosim_cycles_per_sec") {
+        let measured = binpart_bench::run_cosim_matrix(3);
+        assert!(
+            measured.cosim_cycles_per_sec >= 0.5 * snapshot,
+            "uninstrumented cosim throughput regressed: {:.1} M cyc/s vs snapshot {:.1} M cyc/s \
+             (floor: 50%) — a hardware-telemetry probe is likely running outside its \
+             `HwTelemetry::ENABLED` guard",
+            measured.cosim_cycles_per_sec / 1e6,
+            snapshot / 1e6,
+        );
+        println!(
+            "smoke: NullHwTelemetry cosim throughput {:.1} M cyc/s vs snapshot {:.1} M cyc/s",
+            measured.cosim_cycles_per_sec / 1e6,
+            snapshot / 1e6,
+        );
+    } else {
+        println!("smoke: BENCH_sim.json not present, skipping cosim throughput gate");
+    }
     println!("smoke: PASS");
 }
 

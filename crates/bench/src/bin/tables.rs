@@ -1,11 +1,13 @@
 //! Regenerates every table/figure of the DATE'05 evaluation.
 //!
-//! Usage: `tables [e1|e2|e3|e4|a1|a2|a3|sim|telemetry|all]`
+//! Usage: `tables [e1|e2|e3|e4|a1|a2|a3|sim|telemetry|hwprof|trend|all]`
 //!
 //! `all` additionally writes `BENCH_sim.json` (simulator instructions/sec
 //! for the fast and seed engines, plus the wall-clock of the whole table
 //! regeneration) so the performance trajectory is tracked across PRs;
-//! `sim` writes it without regenerating the tables.
+//! `sim` writes it without regenerating the tables. Every snapshot write
+//! also appends one flat line to `BENCH_history.jsonl`, stamped with a
+//! monotonic `run_id`.
 //!
 //! `telemetry` runs one instrumented pass (full cosim matrix + the
 //! standard 100-point sweep on a single recorder), renders the telemetry
@@ -13,6 +15,15 @@
 //! (`BENCH_trace.json`, loadable in `chrome://tracing` / Perfetto) and a
 //! collapsed-stack flamegraph (`BENCH_flame.txt`), and asserts the
 //! telemetry columns of `BENCH_sim.json` are present and non-null.
+//!
+//! `hwprof` runs the instrumented co-simulation on two benchmarks and
+//! renders the per-kernel FSMD cycle-attribution table (steady-state II /
+//! fill-drain / bus-stall / sequential split, state coverage), asserting
+//! the attribution-conservation invariant and the hardware snapshot
+//! columns along the way — the CI hardware-observability smoke.
+//!
+//! `trend` compares the last two `BENCH_history.jsonl` entries and prints
+//! per-column deltas.
 
 use binpart_bench::*;
 use binpart_minicc::OptLevel;
@@ -35,6 +46,8 @@ fn main() {
             write_bench_json(&report);
         }
         "telemetry" => telemetry(),
+        "hwprof" => hwprof(),
+        "trend" => trend(),
         _ => {
             let t0 = Instant::now();
             e1();
@@ -331,6 +344,125 @@ fn telemetry() {
     );
 }
 
+/// The `hwprof` subcommand: instrumented co-simulation over two benchmarks
+/// (every OptLevel), per-kernel cycle-attribution table, and the hard
+/// checks CI leans on — exact attribution conservation, structurally valid
+/// first-invocation VCDs, and the hardware snapshot columns non-null.
+fn hwprof() {
+    use binpart_core::stage::StagedFlow;
+    use binpart_telemetry::Recorder;
+    let mut options = binpart_core::flow::FlowOptions::default();
+    options.decompile.recover_jump_tables = true;
+    println!("== hwprof: measured FSMD cycle attribution (instrumented co-simulation) ==");
+    println!(
+        "{:<12} {:<4} {:<20} {:>10} {:>10} {:>8} {:>8} {:>8} {:>7} {:>7} {:>6}",
+        "benchmark", "lvl", "kernel", "cycles", "steady", "fill", "stall", "seq", "stall%", "fill%", "cov%"
+    );
+    let benches: Vec<_> = binpart_workloads::opt_level_subset()
+        .into_iter()
+        .take(2)
+        .collect();
+    let mut profiled = 0usize;
+    for b in &benches {
+        for level in OptLevel::ALL {
+            let binary = b.compile(level).expect("compiles");
+            let rec = Recorder::new();
+            let staged = StagedFlow::with_telemetry(&binary, &rec);
+            let report = staged.cosimulate(&options).expect("cosimulates");
+            for k in &report.kernels {
+                let Some(p) = &k.hw_profile else { continue };
+                profiled += 1;
+                println!(
+                    "{:<12} {:<4} {:<20} {:>10} {:>10} {:>8} {:>8} {:>8} {:>6.1}% {:>6.1}% {:>5.0}%",
+                    b.name,
+                    level.flag(),
+                    k.name,
+                    p.measured_cycles,
+                    p.attributed.steady_ii,
+                    p.attributed.fill_drain,
+                    p.attributed.bus_stall,
+                    p.attributed.block_seq,
+                    p.bus_stall_pct(),
+                    p.fill_overhead_pct(),
+                    p.state_coverage() * 100.0,
+                );
+                // The conservation invariant: the attribution split and the
+                // per-state occupancy each sum to the measured cycles,
+                // exactly — by construction of the instrumented executor.
+                assert_eq!(
+                    p.attributed.total(),
+                    p.measured_cycles,
+                    "{} {}: attributed cycles do not sum to measured",
+                    b.name,
+                    k.name
+                );
+                assert_eq!(
+                    p.state_cycles.iter().map(|&(_, c)| c).sum::<u64>(),
+                    p.measured_cycles,
+                    "{} {}: per-state occupancy does not sum to measured",
+                    b.name,
+                    k.name
+                );
+                // The first-invocation waveform is present and structurally
+                // a VCD: header, at least one signal, value dump.
+                if k.hw_invocations > 0 {
+                    let vcd = p.vcd.as_deref().unwrap_or("");
+                    for marker in ["$timescale", "$var wire", "$enddefinitions", "$dumpvars", "#0"] {
+                        assert!(
+                            vcd.contains(marker),
+                            "{} {}: VCD missing {marker}",
+                            b.name,
+                            k.name
+                        );
+                    }
+                }
+            }
+        }
+    }
+    assert!(profiled > 0, "hwprof saw no instrumented kernel profiles");
+    println!("hwprof: {profiled} kernel profiles, attribution conserved exactly, VCDs well-formed");
+    assert_snapshot_columns(&[
+        "hw_bus_stall_pct",
+        "hw_fill_overhead_pct",
+        "hw_state_coverage",
+    ]);
+}
+
+/// The `trend` subcommand: per-column deltas between the last two
+/// `BENCH_history.jsonl` entries.
+fn trend() {
+    let path = "BENCH_history.jsonl";
+    let Some((prev, cur)) = history_last_two(path) else {
+        println!("trend: {path} holds fewer than two runs; run `tables sim` (or `all`) to append one");
+        return;
+    };
+    let id = |cols: &[(String, f64)]| {
+        cols.iter()
+            .find(|(k, _)| k == "run_id")
+            .map_or(0u64, |&(_, v)| v as u64)
+    };
+    println!("== trend: run {} -> run {} ==", id(&prev), id(&cur));
+    println!(
+        "{:<34} {:>16} {:>16} {:>10}",
+        "column", "previous", "current", "delta%"
+    );
+    for (key, now) in &cur {
+        if key == "run_id" {
+            continue;
+        }
+        let Some((_, was)) = prev.iter().find(|(k, _)| k == key) else {
+            println!("{key:<34} {:>16} {now:>16.4} {:>10}", "-", "new");
+            continue;
+        };
+        let delta = if *was == 0.0 {
+            "-".to_string()
+        } else {
+            format!("{:+.1}%", 100.0 * (now - was) / was)
+        };
+        println!("{key:<34} {was:>16.4} {now:>16.4} {delta:>10}");
+    }
+}
+
 /// Measures the staged design-space sweep (5 clocks × 5 budgets × 4 opt
 /// levels on autcor00, fresh caches per pass) against the naive per-point
 /// `Flow::run` loop over the identical grid. Pinned to one thread so the
@@ -398,7 +530,7 @@ fn write_bench_json(r: &SimReport) {
         })
         .map_or("null".to_string(), |s: f64| format!("{s:.6}"));
     let json = format!(
-        "{{\n  \"sim_instrs_per_sec_fast\": {:.0},\n  \"sim_instrs_per_sec_unfused\": {:.0},\n  \"sim_instrs_per_sec_fused\": {:.0},\n  \"sim_instrs_per_sec_superblock\": {:.0},\n  \"sim_instrs_per_sec_seed\": {:.0},\n  \"sim_speedup\": {:.2},\n  \"fusion_speedup\": {:.3},\n  \"superblock_speedup\": {:.3},\n  \"trace_cache_hit_rate\": {:.3},\n  \"blockcount_profile_overhead_pct\": {:.1},\n  \"full_profile_overhead_pct\": {:.1},\n  \"matrix_total_instrs\": {},\n  \"decompile_funcs_per_sec\": {:.0},\n  \"sweep_points_per_sec\": {:.0},\n  \"sweep_speedup_vs_naive\": {:.2},\n  \"cosim_cycles_per_sec\": {:.0},\n  \"estimate_error_pct_mean\": {:.2},\n  \"estimate_error_pct_max\": {:.2},\n  \"stage_wall_s_profile\": {:.6},\n  \"stage_wall_s_decompile\": {:.6},\n  \"stage_wall_s_estimate\": {:.6},\n  \"stage_wall_s_evaluate\": {:.6},\n  \"stage_wall_s_cosimulate\": {:.6},\n  \"estimate_cache_hit_rate\": {:.4},\n  \"trace_side_exit_rate\": {:.4},\n  \"full_suite_wall_clock_s\": {}\n}}\n",
+        "{{\n  \"sim_instrs_per_sec_fast\": {:.0},\n  \"sim_instrs_per_sec_unfused\": {:.0},\n  \"sim_instrs_per_sec_fused\": {:.0},\n  \"sim_instrs_per_sec_superblock\": {:.0},\n  \"sim_instrs_per_sec_seed\": {:.0},\n  \"sim_speedup\": {:.2},\n  \"fusion_speedup\": {:.3},\n  \"superblock_speedup\": {:.3},\n  \"trace_cache_hit_rate\": {:.3},\n  \"blockcount_profile_overhead_pct\": {:.1},\n  \"full_profile_overhead_pct\": {:.1},\n  \"matrix_total_instrs\": {},\n  \"decompile_funcs_per_sec\": {:.0},\n  \"sweep_points_per_sec\": {:.0},\n  \"sweep_speedup_vs_naive\": {:.2},\n  \"cosim_cycles_per_sec\": {:.0},\n  \"estimate_error_pct_mean\": {:.2},\n  \"estimate_error_pct_max\": {:.2},\n  \"stage_wall_s_profile\": {:.6},\n  \"stage_wall_s_decompile\": {:.6},\n  \"stage_wall_s_estimate\": {:.6},\n  \"stage_wall_s_evaluate\": {:.6},\n  \"stage_wall_s_cosimulate\": {:.6},\n  \"estimate_cache_hit_rate\": {:.4},\n  \"trace_side_exit_rate\": {:.4},\n  \"hw_bus_stall_pct\": {:.2},\n  \"hw_fill_overhead_pct\": {:.2},\n  \"hw_state_coverage\": {:.4},\n  \"full_suite_wall_clock_s\": {}\n}}\n",
         r.fast_ips,
         r.unfused_ips,
         r.fused_ips,
@@ -424,6 +556,9 @@ fn write_bench_json(r: &SimReport) {
         r.telemetry.stage_wall_s_cosimulate,
         r.telemetry.estimate_cache_hit_rate,
         r.telemetry.trace_side_exit_rate,
+        r.telemetry.hw_bus_stall_pct,
+        r.telemetry.hw_fill_overhead_pct,
+        r.telemetry.hw_state_coverage,
         suite_wall,
     );
     match std::fs::write(path, &json) {
@@ -452,6 +587,13 @@ fn write_bench_json(r: &SimReport) {
             "error: could not write {path}: {e} — the snapshot is written to the current \
              directory; run from the workspace root with write permission"
         ),
+    }
+    // Every snapshot write also extends the performance log, so `tables
+    // trend` can diff consecutive runs without re-measuring anything.
+    let history = "BENCH_history.jsonl";
+    match history_append(history, &json) {
+        Ok(run_id) => println!("appended snapshot to {history} as run {run_id}"),
+        Err(e) => eprintln!("warning: could not append to {history}: {e}"),
     }
 }
 

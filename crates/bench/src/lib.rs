@@ -424,6 +424,17 @@ pub struct TelemetryColumns {
     pub estimate_cache_hit_rate: f64,
     /// Superblock side exits per completed trace pass.
     pub trace_side_exit_rate: f64,
+    /// Memory-bus stall cycles as a percentage of all measured hardware
+    /// cycles, aggregated over every instrumented kernel of the matrix
+    /// (from the FSMD cycle-attribution profiles).
+    pub hw_bus_stall_pct: f64,
+    /// Pipelined-loop fill/drain cycles as a percentage of all measured
+    /// hardware cycles.
+    pub hw_fill_overhead_pct: f64,
+    /// FSM states entered at least once / states in the synthesized
+    /// region, aggregated over every instrumented kernel (1.0 = every
+    /// state exercised by the suite's data).
+    pub hw_state_coverage: f64,
 }
 
 /// One fully instrumented pass over the workload the snapshot tracks: the
@@ -439,12 +450,29 @@ pub fn telemetry_pass() -> (Recorder, TelemetryColumns) {
     let mut options = FlowOptions::aggressive_sim();
     options.decompile.recover_jump_tables = true;
     options.sim.superblocks = true;
+    let mut hw_measured = 0u64;
+    let mut hw_stall = 0u64;
+    let mut hw_fill = 0u64;
+    let mut hw_states_executed = 0u64;
+    let mut hw_states_total = 0u64;
     for b in &suite() {
         for level in OptLevel::ALL {
             let compiled = CompiledSuite::get(b, level);
             let staged =
                 binpart_core::stage::StagedFlow::with_telemetry(&compiled.binary, &rec);
-            staged.cosimulate(&options).expect("suite cosimulates");
+            let report = staged.cosimulate(&options).expect("suite cosimulates");
+            // The instrumented flow attaches an FSMD profile to every
+            // hardware-executed kernel; aggregate the attribution split
+            // suite-wide for the snapshot's hardware columns.
+            for k in &report.kernels {
+                if let Some(p) = &k.hw_profile {
+                    hw_measured += p.measured_cycles;
+                    hw_stall += p.attributed.bus_stall;
+                    hw_fill += p.attributed.fill_drain;
+                    hw_states_executed += p.states_executed as u64;
+                    hw_states_total += p.states_total as u64;
+                }
+            }
         }
     }
     let b = suite()
@@ -477,6 +505,21 @@ pub fn telemetry_pass() -> (Recorder, TelemetryColumns) {
         } else {
             side_exits as f64 / passes as f64
         },
+        hw_bus_stall_pct: if hw_measured == 0 {
+            0.0
+        } else {
+            100.0 * hw_stall as f64 / hw_measured as f64
+        },
+        hw_fill_overhead_pct: if hw_measured == 0 {
+            0.0
+        } else {
+            100.0 * hw_fill as f64 / hw_measured as f64
+        },
+        hw_state_coverage: if hw_states_total == 0 {
+            0.0
+        } else {
+            hw_states_executed as f64 / hw_states_total as f64
+        },
     };
     (rec, cols)
 }
@@ -504,6 +547,80 @@ pub fn read_snapshot_value_at(paths: &[&str], key: &str) -> Option<f64> {
             .and_then(|v| v.trim().parse().ok());
     }
     None
+}
+
+/// Extracts every `"key": number` pair from one flat JSON object, in
+/// declaration order. The snapshot and its history lines are machine-
+/// written flat objects of numbers (and the occasional `null`, which is
+/// skipped), so a full JSON parser — a dependency this workspace does not
+/// take — is not needed.
+pub fn parse_json_numbers(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut rest = json;
+    while let Some(q) = rest.find('"') {
+        rest = &rest[q + 1..];
+        let Some(qe) = rest.find('"') else { break };
+        let key = &rest[..qe];
+        rest = &rest[qe + 1..];
+        let Some(c) = rest.find(':') else { break };
+        let val = rest[c + 1..].trim_start();
+        let end = val.find([',', '}', '\n']).unwrap_or(val.len());
+        if let Ok(v) = val[..end].trim().parse::<f64>() {
+            out.push((key.to_string(), v));
+        }
+        rest = &rest[c + 1..];
+    }
+    out
+}
+
+/// Appends one snapshot to the `BENCH_history.jsonl` performance log: the
+/// (pretty-printed) `BENCH_sim.json` object is flattened to a single line
+/// and stamped with a monotonic `run_id` (max existing id + 1, so the log
+/// survives manual pruning). Returns the id assigned.
+///
+/// # Errors
+///
+/// Propagates I/O failures reading or appending the history file; an
+/// absent file is the empty history, not an error.
+pub fn history_append(path: &str, snapshot_json: &str) -> std::io::Result<u64> {
+    let prev = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(e),
+    };
+    let run_id = prev
+        .lines()
+        .filter_map(|l| {
+            parse_json_numbers(l)
+                .into_iter()
+                .find(|(k, _)| k == "run_id")
+                .map(|(_, v)| v as u64)
+        })
+        .max()
+        .unwrap_or(0)
+        + 1;
+    let flat: String = snapshot_json.lines().map(str::trim).collect();
+    let body = flat.strip_prefix('{').unwrap_or(&flat);
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    writeln!(f, "{{\"run_id\": {run_id}, {body}")?;
+    Ok(run_id)
+}
+
+/// The last two entries of the history log, parsed to `(key, value)`
+/// columns — the input to `tables trend`. `None` when the file is absent
+/// or holds fewer than two non-empty lines (no trend to report yet).
+#[allow(clippy::type_complexity)]
+pub fn history_last_two(path: &str) -> Option<(Vec<(String, f64)>, Vec<(String, f64)>)> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    let [.., prev, cur] = lines[..] else {
+        return None;
+    };
+    Some((parse_json_numbers(prev), parse_json_numbers(cur)))
 }
 
 /// One benchmark's row of Table 1 (experiment E1).
@@ -953,6 +1070,60 @@ mod tests {
         );
         assert!(rec.counter_total(Counter::TracePasses) > 0, "superblocks never ran");
         assert_eq!(rec.counter_total(Counter::SweepPointsOk), 100);
+        // The hardware-attribution columns are live too: the instrumented
+        // matrix saw real FSMD profiles, and the ratios are well-formed.
+        assert!(
+            (0.0..100.0).contains(&cols.hw_bus_stall_pct),
+            "bus-stall share out of range: {}",
+            cols.hw_bus_stall_pct
+        );
+        assert!(
+            (0.0..100.0).contains(&cols.hw_fill_overhead_pct) && cols.hw_fill_overhead_pct > 0.0,
+            "fill-overhead share out of range: {}",
+            cols.hw_fill_overhead_pct
+        );
+        assert!(
+            cols.hw_state_coverage > 0.0 && cols.hw_state_coverage <= 1.0,
+            "state coverage out of range: {}",
+            cols.hw_state_coverage
+        );
+        assert!(rec.counter_total(Counter::HwInvocations) > 0, "hw counters never fired");
+    }
+
+    #[test]
+    fn history_append_assigns_monotonic_run_ids_and_trend_parses_them() {
+        let dir = std::env::temp_dir().join("binpart_history_log");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("hist.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let path = path.to_str().unwrap();
+        let snap1 = "{\n  \"sim_speedup\": 3.25,\n  \"hw_state_coverage\": 0.9871,\n  \"full_suite_wall_clock_s\": null\n}\n";
+        let snap2 = "{\n  \"sim_speedup\": 3.50,\n  \"hw_state_coverage\": 1.0000,\n  \"full_suite_wall_clock_s\": 0.100000\n}\n";
+        assert_eq!(history_append(path, snap1).unwrap(), 1);
+        assert_eq!(history_append(path, snap2).unwrap(), 2);
+        // One line per run, each a flat object stamped with its id.
+        let text = std::fs::read_to_string(path).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("{\"run_id\": 1, "));
+        assert!(lines[1].starts_with("{\"run_id\": 2, "));
+        assert!(!lines[1].contains('\t'));
+        let (prev, cur) = history_last_two(path).expect("two entries");
+        assert_eq!(prev[0], ("run_id".to_string(), 1.0));
+        assert_eq!(cur[0], ("run_id".to_string(), 2.0));
+        assert!(prev.iter().any(|(k, v)| k == "sim_speedup" && *v == 3.25));
+        assert!(cur.iter().any(|(k, v)| k == "sim_speedup" && *v == 3.5));
+        // `null` values are skipped, not parsed as zero.
+        assert!(!prev.iter().any(|(k, _)| k == "full_suite_wall_clock_s"));
+        assert!(cur.iter().any(|(k, v)| k == "full_suite_wall_clock_s" && *v == 0.1));
+        // A pruned log keeps counting above the ids that remain.
+        std::fs::write(path, format!("{}\n", lines[1])).unwrap();
+        assert_eq!(history_append(path, snap1).unwrap(), 3);
+        // Fewer than two lines: no trend yet.
+        std::fs::write(path, "").unwrap();
+        assert!(history_last_two(path).is_none());
+        assert_eq!(history_append(path, snap1).unwrap(), 1);
+        assert!(history_last_two(path).is_none());
     }
 
     #[cfg(unix)]

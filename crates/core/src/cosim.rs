@@ -33,9 +33,11 @@ use crate::decompile::{function_end_after, region_machine_extent, region_pc_rang
 use crate::diag::{Diagnostic, FlowStage};
 use crate::flow::{FlowError, FlowOptions};
 use crate::stage::StagedFlow;
-use binpart_hwsim::{AccelBuildError, KernelAccel, KernelSet};
-use binpart_mips::hybrid::{HybridConfig, HybridMachine, RegionSpec};
-use binpart_mips::sim::{Exit, SimError};
+use binpart_hwsim::{AccelBuildError, HwProfile, HwRecorder, KernelAccel, KernelSet};
+use binpart_mips::hybrid::{
+    AccelOutcome, Accelerator, HybridConfig, HybridMachine, RegionSpec,
+};
+use binpart_mips::sim::{Exit, Memory, SimError};
 use binpart_platform::{HardwareKernel, HybridReport};
 use binpart_telemetry::{Counter, SpanGuard, Telemetry};
 use std::fmt;
@@ -92,6 +94,12 @@ pub struct KernelCosim {
     /// `100 · (measured − estimated) / estimated` hardware cycles, when
     /// the kernel executed at least once.
     pub error_pct: Option<f64>,
+    /// The hardware-side profile (per-state occupancy, cycle attribution,
+    /// bus log, first-invocation VCD). Present only under an instrumented
+    /// flow (`StagedFlow::with_telemetry`) for mapped kernels — the
+    /// default `NullTelemetry` path takes the uninstrumented accelerator
+    /// and produces no profile.
+    pub hw_profile: Option<HwProfile>,
 }
 
 /// The co-simulation stage's result. See the [module docs](self).
@@ -158,6 +166,52 @@ impl CosimReport {
     }
 }
 
+/// `hw_invoke` spans emitted per kernel per co-simulation: the first few
+/// invocations land on the shared Chrome-trace timeline; the rest are
+/// profiled (recorders see every invocation) but not span-logged, so a
+/// hot kernel cannot flood the trace.
+const HW_SPAN_CAP: u64 = 8;
+
+/// The instrumented [`Accelerator`]: dispatches through the same
+/// [`KernelSet`] as the uninstrumented path, but drives one
+/// [`HwRecorder`] per mapped kernel and merges accelerator invocations
+/// into the software span timeline. Execution semantics are identical —
+/// the differential suite asserts the instrumented flow stays
+/// bit-identical to the uninstrumented one.
+struct InstrumentedAccel<'a, 'f, T: Telemetry> {
+    set: &'a mut KernelSet<'f>,
+    recorders: Vec<Option<HwRecorder>>,
+    names: &'a [String],
+    span_budget: Vec<u64>,
+    tel: &'a T,
+}
+
+impl<T: Telemetry> Accelerator for InstrumentedAccel<'_, '_, T> {
+    fn invoke(&mut self, region: usize, regs: &[u32; 32], mem: &Memory) -> AccelOutcome {
+        let Some(accel) = self.set.kernels.get(region).and_then(|k| k.as_ref()) else {
+            return AccelOutcome::Declined;
+        };
+        let budget = &mut self.span_budget[region];
+        let span = if *budget > 0 {
+            *budget -= 1;
+            Some(SpanGuard::enter(self.tel, "hw_invoke", || {
+                self.names.get(region).cloned().unwrap_or_default()
+            }))
+        } else {
+            None
+        };
+        let rec = self.recorders[region]
+            .as_ref()
+            .expect("every mapped kernel has a recorder");
+        let outcome = match accel.execute_with(regs, mem, rec) {
+            Ok(inv) => AccelOutcome::Executed(inv),
+            Err(_) => AccelOutcome::Faulted,
+        };
+        drop(span);
+        outcome
+    }
+}
+
 impl<T: Telemetry> StagedFlow<'_, T> {
     /// The verification/measurement stage: co-simulates the partition the
     /// `evaluate` stage selects under `options`, executing each kernel's
@@ -193,6 +247,7 @@ impl<T: Telemetry> StagedFlow<'_, T> {
         let mut specs: Vec<RegionSpec> = Vec::new();
         let mut set = KernelSet::default();
         let mut spec_kernel: Vec<usize> = Vec::new(); // region -> kernel index
+        let mut region_names: Vec<String> = Vec::new();
         let mut mapped = vec![false; staged.partition.kernels.len()];
         for (ki, k) in staged.partition.kernels.iter().enumerate() {
             let f = &est.program.functions[k.func_index];
@@ -245,6 +300,7 @@ impl<T: Telemetry> StagedFlow<'_, T> {
             });
             set.kernels.push(accel);
             spec_kernel.push(ki);
+            region_names.push(k.name.clone());
         }
 
         // Run the hybrid machine.
@@ -255,9 +311,42 @@ impl<T: Telemetry> StagedFlow<'_, T> {
             HybridConfig::default(),
         )
         .map_err(|e| FlowError::Cosim(CosimError::Hybrid(e)))?;
-        let hx = hm
-            .run(&mut set)
-            .map_err(|e| FlowError::Cosim(CosimError::Hybrid(e)))?;
+        // Differential gating: the default `NullTelemetry` flow takes the
+        // exact uninstrumented path (the throughput snapshot measures it);
+        // an instrumented flow swaps in the recording accelerator, whose
+        // execution semantics are identical.
+        let mut hw_profiles: Vec<Option<HwProfile>> = Vec::new();
+        let hx = if T::ENABLED {
+            let recorders: Vec<Option<HwRecorder>> = set
+                .kernels
+                .iter()
+                .map(|k| k.as_ref().map(|a| HwRecorder::new(a.fsmd().block_count())))
+                .collect();
+            let span_budget = vec![HW_SPAN_CAP; set.kernels.len()];
+            let mut ia = InstrumentedAccel {
+                set: &mut set,
+                recorders,
+                names: &region_names,
+                span_budget,
+                tel: self.telemetry(),
+            };
+            let hx = hm
+                .run(&mut ia)
+                .map_err(|e| FlowError::Cosim(CosimError::Hybrid(e)))?;
+            let recorders = ia.recorders;
+            hw_profiles = recorders
+                .iter()
+                .zip(set.kernels.iter())
+                .map(|(rec, accel)| match (rec, accel) {
+                    (Some(rec), Some(accel)) => Some(rec.profile(accel.fsmd())),
+                    _ => None,
+                })
+                .collect();
+            hx
+        } else {
+            hm.run(&mut set)
+                .map_err(|e| FlowError::Cosim(CosimError::Hybrid(e)))?
+        };
 
         // Assemble per-kernel results (kernels without a region spec are
         // unmapped with zero traps).
@@ -279,6 +368,7 @@ impl<T: Telemetry> StagedFlow<'_, T> {
                 sw_cycles_estimated: k.sw_cycles,
                 store_mismatches: 0,
                 error_pct: None,
+                hw_profile: None,
             })
             .collect();
         for (ri, stats) in hx.kernels.iter().enumerate() {
@@ -309,6 +399,15 @@ impl<T: Telemetry> StagedFlow<'_, T> {
                 diagnostics.push(Diagnostic::new(FlowStage::Cosim, &kc.name, detail));
             }
         }
+        // Attach hardware profiles (instrumented flow only), charging each
+        // kernel's one-time BRAM migration transfer.
+        for (ri, p) in hw_profiles.into_iter().enumerate() {
+            let Some(mut p) = p else { continue };
+            let ki = spec_kernel[ri];
+            let k = &staged.partition.kernels[ki];
+            p.bram_transfer_words = if k.mem_in_bram { k.bram_bytes / 4 } else { 0 };
+            kernels[ki].hw_profile = Some(p);
+        }
 
         // Measured hybrid evaluation: the kernels that actually executed,
         // with measured cycles/invocations and the block-RAM transfer
@@ -336,6 +435,19 @@ impl<T: Telemetry> StagedFlow<'_, T> {
             let mismatches: u64 = hx.kernels.iter().map(|s| s.store_mismatches).sum();
             self.telemetry().counter_add(Counter::HybridTrapEntries, traps);
             self.telemetry().counter_add(Counter::HybridStoreMismatches, mismatches);
+            let mut hw = (0u64, 0u64, 0u64, 0u64, 0u64);
+            for p in kernels.iter().filter_map(|k| k.hw_profile.as_ref()) {
+                hw.0 += p.invocations;
+                hw.1 += p.bus_reads;
+                hw.2 += p.bus_writes;
+                hw.3 += p.attributed.bus_stall;
+                hw.4 += p.attributed.fill_drain;
+            }
+            self.telemetry().counter_add(Counter::HwInvocations, hw.0);
+            self.telemetry().counter_add(Counter::HwBusReads, hw.1);
+            self.telemetry().counter_add(Counter::HwBusWrites, hw.2);
+            self.telemetry().counter_add(Counter::HwStallCycles, hw.3);
+            self.telemetry().counter_add(Counter::HwFillCycles, hw.4);
             crate::stage::emit_diagnostics(
                 self.telemetry(),
                 &diagnostics[upstream_diagnostics..],
@@ -432,6 +544,50 @@ mod tests {
         assert!(json.contains("\"ph\":\"C\""), "counter tracks missing\n{json}");
         assert!(json.contains("estimate_cache_miss"), "{json}");
         assert!(json.contains("hybrid_trap_entries"), "{json}");
+        // Hardware spans share the timeline with the software stages.
+        assert!(json.contains("\"name\":\"hw_invoke\""), "{json}");
+        assert!(json.contains("hw_invocations"), "{json}");
+    }
+
+    #[test]
+    fn instrumented_cosim_attaches_conserving_hw_profiles() {
+        let binary = compile(kernel_program(), OptLevel::O2).unwrap();
+        let rec = binpart_telemetry::Recorder::new();
+        let staged = StagedFlow::with_telemetry(&binary, &rec);
+        let report = staged.cosimulate(&FlowOptions::default()).unwrap();
+        assert!(report.exit_bit_identical, "instrumentation must not perturb");
+        let mut executed = 0;
+        for k in &report.kernels {
+            if k.hw_invocations == 0 {
+                continue;
+            }
+            let p = k.hw_profile.as_ref().expect("executed kernel has a profile");
+            executed += 1;
+            // Attribution conservation: per-category and per-state sums
+            // both equal the measured hardware cycles, exactly.
+            assert_eq!(p.attributed.total(), k.hw_cycles_measured, "{}", k.name);
+            assert_eq!(p.measured_cycles, k.hw_cycles_measured, "{}", k.name);
+            assert_eq!(
+                p.state_cycles.iter().map(|&(_, c)| c).sum::<u64>(),
+                k.hw_cycles_measured
+            );
+            assert_eq!(p.committed, k.hw_invocations);
+            assert!(p.states_executed > 0 && p.states_executed <= p.states_total);
+            assert_eq!(p.analytic.total().max(1), k.hw_cycles_estimated, "{}", k.name);
+            assert!(p.vcd.is_some(), "first invocation captures a wave");
+        }
+        assert!(executed > 0, "no kernel executed");
+        // The uninstrumented flow runs the identical hardware and attaches
+        // no profiles.
+        let plain = StagedFlow::new(&binary)
+            .cosimulate(&FlowOptions::default())
+            .unwrap();
+        assert!(plain.kernels.iter().all(|k| k.hw_profile.is_none()));
+        for (a, b) in plain.kernels.iter().zip(&report.kernels) {
+            assert_eq!(a.hw_cycles_measured, b.hw_cycles_measured);
+            assert_eq!(a.hw_invocations, b.hw_invocations);
+            assert_eq!(a.store_mismatches, b.store_mismatches);
+        }
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! exists to catch.
 
 use crate::fsmd::{Fsmd, FsmdError, OverlayBus};
+use crate::hwtel::{HwTelemetry, NullHwTelemetry};
 use binpart_cdfg::ir::{BinOp, BlockId, Function, Inst, Op, Operand, UnOp, VReg};
 use binpart_mips::hybrid::{AccelOutcome, Accelerator, HwInvocation};
 use binpart_mips::sim::Memory;
@@ -131,6 +132,11 @@ impl<'f> KernelAccel<'f> {
         &self.plan
     }
 
+    /// The compiled FSMD (telemetry sizing and analytic attribution).
+    pub fn fsmd(&self) -> &Fsmd<'f> {
+        &self.fsmd
+    }
+
     /// Executes one invocation against CPU state, returning the hardware
     /// cycle count and store log, or the fault.
     ///
@@ -142,6 +148,24 @@ impl<'f> KernelAccel<'f> {
         regs: &[u32; 32],
         mem: &Memory,
     ) -> Result<HwInvocation, FsmdError> {
+        self.execute_with(regs, mem, &NullHwTelemetry)
+    }
+
+    /// [`KernelAccel::execute`] with a live [`HwTelemetry`] sink. Drives
+    /// the sink's invocation lifecycle: `invocation_begin` before the
+    /// FSMD runs, then `invocation_commit` on success or
+    /// `invocation_abort` on a fault — so a recording sink's totals cover
+    /// exactly the invocations whose cycles the hybrid machine charged.
+    ///
+    /// # Errors
+    ///
+    /// Any [`FsmdError`] from the interpreter.
+    pub fn execute_with<H: HwTelemetry>(
+        &self,
+        regs: &[u32; 32],
+        mem: &Memory,
+        tel: &H,
+    ) -> Result<HwInvocation, FsmdError> {
         let mut vals = vec![0u32; self.vreg_count];
         for &(v, src) in &self.plan {
             vals[v.index()] = match src {
@@ -150,11 +174,26 @@ impl<'f> KernelAccel<'f> {
             };
         }
         let mut bus = OverlayBus::new(mem);
-        let run = self.fsmd.execute(&mut vals, &mut bus, self.cycle_limit)?;
-        Ok(HwInvocation {
-            hw_cycles: run.cycles,
-            stores: bus.stores,
-        })
+        if H::ENABLED {
+            tel.invocation_begin();
+        }
+        match self.fsmd.execute_tel(&mut vals, &mut bus, self.cycle_limit, tel) {
+            Ok(run) => {
+                if H::ENABLED {
+                    tel.invocation_commit();
+                }
+                Ok(HwInvocation {
+                    hw_cycles: run.cycles,
+                    stores: bus.stores,
+                })
+            }
+            Err(e) => {
+                if H::ENABLED {
+                    tel.invocation_abort();
+                }
+                Err(e)
+            }
+        }
     }
 }
 

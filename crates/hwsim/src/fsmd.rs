@@ -7,8 +7,9 @@ use binpart_cdfg::ir::{
 use binpart_cdfg::loops::LoopForest;
 use binpart_mips::hybrid::HwStore;
 use binpart_mips::sim::Memory;
+use crate::hwtel::{HwAttr, HwAttribution, HwTelemetry, NullHwTelemetry};
 use binpart_synth::schedule::{
-    loop_iteration_ops, rec_mii, res_mii, schedule_ops,
+    loop_iteration_ops, rec_mii, res_mii, res_mii_nonmem, schedule_ops,
 };
 use binpart_synth::{ResourceBudget, TechLibrary};
 use std::collections::HashMap;
@@ -182,6 +183,12 @@ struct PipeLoop {
     ii: u32,
     /// Pipeline fill cost paid once per entry: `depth - II`.
     fill: u32,
+    /// The share of the II forced by memory-port contention:
+    /// `II - max(RecMII, ResMII-without-mem)` — attributed to
+    /// [`HwAttr::BusStall`] per iteration.
+    stall: u32,
+    /// The loop's static trip count, when known (analytic attribution).
+    trip_count: Option<u64>,
 }
 
 /// A compiled, executable FSMD for one region of a decompiled function —
@@ -238,11 +245,16 @@ impl<'f> Fsmd<'f> {
             let rmii = rec_mii(f, &l.blocks, l.header, library, budget, mem_in_bram);
             let smii = res_mii(&ops, budget, library, mem_in_bram);
             let ii = rmii.max(smii);
+            // What the II would be with infinite memory ports; the gap is
+            // the bus-contention share of every steady-state iteration.
+            let nonmem = rmii.max(res_mii_nonmem(&ops, budget, library, mem_in_bram));
             let pid = loops.len();
             loops.push(PipeLoop {
                 header: l.header,
                 ii,
                 fill: sched.depth.saturating_sub(ii),
+                stall: ii.saturating_sub(nonmem),
+                trip_count: l.trip_count,
             });
             for &b in &l.blocks {
                 loop_of[b.index()] = Some(pid);
@@ -326,6 +338,47 @@ impl<'f> Fsmd<'f> {
         live
     }
 
+    /// Blocks in the function (sizing for telemetry recorders).
+    pub fn block_count(&self) -> usize {
+        self.f.blocks.len()
+    }
+
+    /// FSM states in the kernel: region blocks the FSMD compiled.
+    pub fn region_states(&self) -> usize {
+        self.blocks.iter().filter(|b| b.is_some()).count()
+    }
+
+    /// The analytic per-category cycle attribution: the exact split
+    /// [`binpart_synth::schedule::estimate_kernel_cycles`] predicts from
+    /// the compiled schedule tables and the static profile counts. The
+    /// categories sum to the analytic `hw_cycles` estimate (up to its
+    /// `max(1)` floor); differencing against a measured
+    /// [`HwAttribution`] decomposes the estimate error by feature.
+    pub fn analytic_attribution(&self) -> HwAttribution {
+        let mut a = HwAttribution::default();
+        for pl in &self.loops {
+            let hb = self.f.block(pl.header);
+            let iters = hb.profile_count * u64::from(hb.reroll_factor);
+            let entries = match pl.trip_count {
+                Some(t) if t > 0 => iters.div_ceil(t),
+                _ => 1,
+            };
+            a.steady_ii += iters * u64::from(pl.ii - pl.stall);
+            a.bus_stall += iters * u64::from(pl.stall);
+            a.fill_drain += entries * u64::from(pl.fill);
+        }
+        for (bi, eb) in self.blocks.iter().enumerate() {
+            let Some(eb) = eb else { continue };
+            if self.loop_of[bi].is_some() {
+                continue;
+            }
+            let b = self.f.block(BlockId(bi as u32));
+            let count = b.profile_count * u64::from(b.reroll_factor);
+            a.block_seq += count * u64::from(eb.depth);
+        }
+        a
+    }
+
     /// Executes one invocation: live-ins pre-bound in `vals` (indexed by
     /// [`VReg::index`], sized to the function's register count), memory
     /// through `bus`. Runs until the region is left or `cycle_limit` is
@@ -339,6 +392,25 @@ impl<'f> Fsmd<'f> {
         vals: &mut [u32],
         bus: &mut impl HwBus,
         cycle_limit: u64,
+    ) -> Result<FsmdRun, FsmdError> {
+        self.execute_tel(vals, bus, cycle_limit, &NullHwTelemetry)
+    }
+
+    /// [`Fsmd::execute`] with a live [`HwTelemetry`] sink. Monomorphized:
+    /// with [`NullHwTelemetry`] every probe compiles away and this *is*
+    /// `execute`. Every `cycles +=` below has exactly one matching
+    /// [`HwTelemetry::charge`], so a recording sink's per-state and
+    /// per-category totals both sum to [`FsmdRun::cycles`] exactly.
+    ///
+    /// # Errors
+    ///
+    /// Any [`FsmdError`]; the bus may have absorbed a partial store log.
+    pub fn execute_tel<H: HwTelemetry>(
+        &self,
+        vals: &mut [u32],
+        bus: &mut impl HwBus,
+        cycle_limit: u64,
+        tel: &H,
     ) -> Result<FsmdRun, FsmdError> {
         let f = self.f;
         let mut run = FsmdRun {
@@ -358,6 +430,9 @@ impl<'f> Fsmd<'f> {
                 .as_ref()
                 .ok_or(FsmdError::Unexecutable)?;
             run.blocks_executed += 1;
+            if H::ENABLED {
+                tel.state_enter(run.cycles, cur.0);
+            }
             // ---- timing: pipelined loops at II, other blocks at depth ----
             match self.loop_of[cur.index()] {
                 Some(li) => {
@@ -367,15 +442,25 @@ impl<'f> Fsmd<'f> {
                         run.cycles += u64::from(pl.fill);
                         run.entries += 1;
                         cur_loop = Some(li);
+                        if H::ENABLED {
+                            tel.charge(cur.0, HwAttr::FillDrain, u64::from(pl.fill));
+                        }
                     }
                     if cur == pl.header {
                         run.cycles += u64::from(pl.ii);
                         run.iterations += 1;
+                        if H::ENABLED {
+                            tel.charge(cur.0, HwAttr::SteadyII, u64::from(pl.ii - pl.stall));
+                            tel.charge(cur.0, HwAttr::BusStall, u64::from(pl.stall));
+                        }
                     }
                 }
                 None => {
                     cur_loop = None;
                     run.cycles += u64::from(eb.depth);
+                    if H::ENABLED {
+                        tel.charge(cur.0, HwAttr::BlockSeq, u64::from(eb.depth));
+                    }
                 }
             }
             if run.cycles > cycle_limit {
@@ -406,11 +491,14 @@ impl<'f> Fsmd<'f> {
                 }
                 for &(d, v) in &phi_new {
                     vals[d.index()] = v;
+                    if H::ENABLED {
+                        tel.reg_write(run.cycles, d.index() as u32, v);
+                    }
                 }
             }
             // ---- datapath: the block's states in scheduled order ----
             for &k in &eb.order {
-                exec_op(f, vals, bus, &block.ops[k as usize].op)?;
+                exec_op(f, vals, bus, &block.ops[k as usize].op, tel, run.cycles)?;
             }
             // ---- terminator ----
             let next = match &block.term {
@@ -455,24 +543,42 @@ fn eval(vals: &[u32], o: Operand) -> u32 {
 }
 
 #[inline]
-fn exec_op(
+fn exec_op<H: HwTelemetry>(
     f: &Function,
     vals: &mut [u32],
     bus: &mut impl HwBus,
     op: &Op,
+    tel: &H,
+    cycle: u64,
 ) -> Result<(), FsmdError> {
     let _ = f;
     match op {
-        Op::Const { dst, value } => vals[dst.index()] = *value as u32,
-        Op::Copy { dst, src } => vals[dst.index()] = eval(vals, *src),
+        Op::Const { dst, value } => {
+            vals[dst.index()] = *value as u32;
+            if H::ENABLED {
+                tel.reg_write(cycle, dst.index() as u32, vals[dst.index()]);
+            }
+        }
+        Op::Copy { dst, src } => {
+            vals[dst.index()] = eval(vals, *src);
+            if H::ENABLED {
+                tel.reg_write(cycle, dst.index() as u32, vals[dst.index()]);
+            }
+        }
         Op::Un { op, dst, src } => {
             let v = eval(vals, *src);
             vals[dst.index()] = UnOp::fold(*op, v as i64) as u32;
+            if H::ENABLED {
+                tel.reg_write(cycle, dst.index() as u32, vals[dst.index()]);
+            }
         }
         Op::Bin { op, dst, lhs, rhs } => {
             let a = eval(vals, *lhs);
             let b = eval(vals, *rhs);
             vals[dst.index()] = BinOp::fold(*op, a as i64, b as i64) as u32;
+            if H::ENABLED {
+                tel.reg_write(cycle, dst.index() as u32, vals[dst.index()]);
+            }
         }
         Op::Load {
             dst,
@@ -498,6 +604,10 @@ fn exec_op(
                 (MemWidth::H, true) => raw as u16 as i16 as i32 as u32,
                 _ => raw,
             };
+            if H::ENABLED {
+                tel.bus_read(cycle, a, width.bytes() as u8, raw);
+                tel.reg_write(cycle, dst.index() as u32, vals[dst.index()]);
+            }
         }
         Op::Store { src, addr, width } => {
             let a = eval(vals, *addr);
@@ -512,6 +622,9 @@ fn exec_op(
                 }
             }
             bus.on_store(a, width.bytes() as u8, v);
+            if H::ENABLED {
+                tel.bus_write(cycle, a, width.bytes() as u8, v);
+            }
         }
         Op::Phi { .. } => {} // handled at block entry
         Op::Call { .. } => return Err(FsmdError::Unexecutable),
@@ -687,6 +800,116 @@ mod tests {
             err < 0.05,
             "measured {measured} vs analytic {analytic} ({:.1}% off)",
             err * 100.0
+        );
+    }
+
+    #[test]
+    fn recorded_attribution_conserves_measured_cycles_exactly() {
+        let n = 137u64;
+        let (f, region, header) = sum_kernel(n);
+        let budget = ResourceBudget::default();
+        let fsmd = Fsmd::compile(&f, &region, header, &budget, &library(), true).unwrap();
+        let mem = Memory::new();
+        let mut bus = OverlayBus::new(&mem);
+        let mut vals = vec![0u32; f.vreg_count() as usize];
+        bind_const_live_ins(&f, &fsmd, &mut vals);
+        let rec = crate::hwtel::HwRecorder::new(fsmd.block_count());
+        rec.invocation_begin();
+        let run = fsmd.execute_tel(&mut vals, &mut bus, 1 << 28, &rec).unwrap();
+        rec.invocation_commit();
+        let profile = rec.profile(&fsmd);
+        // Conservation by construction: per-category and per-state sums
+        // both equal the measured cycle count, exactly.
+        assert_eq!(profile.attributed.total(), run.cycles);
+        assert_eq!(profile.measured_cycles, run.cycles);
+        assert_eq!(
+            profile.state_cycles.iter().map(|&(_, c)| c).sum::<u64>(),
+            run.cycles
+        );
+        // The analytic split sums to the synthesizer's estimate.
+        let mut input = SynthesisInput::new(&f, region);
+        input.budget = budget;
+        let est = synthesize(&input).unwrap();
+        assert_eq!(profile.analytic.total().max(1), est.timing.hw_cycles);
+        // Every region state ran, and the bus saw one load per iteration.
+        assert_eq!(profile.states_executed, profile.states_total);
+        assert_eq!(profile.bus_reads, n);
+        assert_eq!(profile.bus_writes, 0);
+        assert!(!profile.last_bus.is_empty());
+        assert!(profile.vcd.is_some(), "first invocation captures a wave");
+    }
+
+    #[test]
+    fn identical_run_with_and_without_recorder_is_bit_identical() {
+        let (f, region, header) = sum_kernel(64);
+        let fsmd = Fsmd::compile(
+            &f,
+            &region,
+            header,
+            &ResourceBudget::default(),
+            &library(),
+            true,
+        )
+        .unwrap();
+        let mut mem = Memory::new();
+        for i in 0..64u32 {
+            mem.write_u32(i * 4, i * 3);
+        }
+        let run2 = || {
+            let mut bus = OverlayBus::new(&mem);
+            let mut vals = vec![0u32; f.vreg_count() as usize];
+            bind_const_live_ins(&f, &fsmd, &mut vals);
+            (fsmd.execute(&mut vals, &mut bus, 1 << 24).unwrap(), vals)
+        };
+        let (plain, plain_vals) = run2();
+        let rec = crate::hwtel::HwRecorder::new(fsmd.block_count());
+        let mut bus = OverlayBus::new(&mem);
+        let mut vals = vec![0u32; f.vreg_count() as usize];
+        bind_const_live_ins(&f, &fsmd, &mut vals);
+        rec.invocation_begin();
+        let instrumented = fsmd.execute_tel(&mut vals, &mut bus, 1 << 24, &rec).unwrap();
+        rec.invocation_commit();
+        assert_eq!(plain, instrumented);
+        assert_eq!(plain_vals, vals);
+    }
+
+    #[test]
+    fn golden_vcd_for_the_sum_kernel() {
+        let (f, region, header) = sum_kernel(4);
+        let fsmd = Fsmd::compile(
+            &f,
+            &region,
+            header,
+            &ResourceBudget::default(),
+            &library(),
+            true,
+        )
+        .unwrap();
+        let mut mem = Memory::new();
+        for i in 0..4u32 {
+            mem.write_u32(i * 4, 10 + i);
+        }
+        let mut bus = OverlayBus::new(&mem);
+        let mut vals = vec![0u32; f.vreg_count() as usize];
+        bind_const_live_ins(&f, &fsmd, &mut vals);
+        let rec = crate::hwtel::HwRecorder::new(fsmd.block_count());
+        rec.invocation_begin();
+        fsmd.execute_tel(&mut vals, &mut bus, 1 << 20, &rec).unwrap();
+        rec.invocation_commit();
+        let vcd = rec.profile(&fsmd).vcd.expect("wave captured");
+        if std::env::var_os("BINPART_PIN_GOLDEN").is_some() {
+            std::fs::write(
+                concat!(env!("CARGO_MANIFEST_DIR"), "/src/golden_sum_kernel.vcd"),
+                &vcd,
+            )
+            .unwrap();
+        }
+        let golden = include_str!("golden_sum_kernel.vcd");
+        assert_eq!(
+            vcd, golden,
+            "VCD output drifted from the pinned golden; if the change is \
+             intended, regenerate with BINPART_PIN_GOLDEN=1 cargo test -p \
+             binpart-hwsim golden_vcd"
         );
     }
 

@@ -25,9 +25,22 @@
 //! so the difference between measured and analytic cycles isolates exactly
 //! the estimator's count/trip assumptions. `binpart_core`'s
 //! `StagedFlow::cosimulate` reports that error per kernel.
+//!
+//! The [`hwtel`] module adds the hardware observability layer: a
+//! monomorphized [`HwTelemetry`] trait (the [`NullHwTelemetry`] default
+//! compiles every probe away; [`HwRecorder`] records per-state occupancy,
+//! per-category cycle attribution, a bus transaction log, and a VCD wave
+//! of the first invocation) surfaced per kernel as [`HwProfile`]. See the
+//! module docs for the begin → state/charge/bus → commit-or-abort
+//! lifecycle.
 
 pub mod accel;
 pub mod fsmd;
+pub mod hwtel;
 
 pub use accel::{AccelBuildError, KernelAccel, KernelSet, LiveInSource};
 pub use fsmd::{Fsmd, FsmdError, FsmdRun, HwBus, OverlayBus};
+pub use hwtel::{
+    clear_post_mortem, post_mortem_context, BusTxn, HwAttr, HwAttribution,
+    HwProfile, HwRecorder, HwTelemetry, NullHwTelemetry,
+};

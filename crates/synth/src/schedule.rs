@@ -261,6 +261,32 @@ pub fn res_mii(
     ii
 }
 
+/// [`res_mii`] with the memory-port pressure term removed: the II the loop
+/// would reach if the bus were infinitely ported. The gap between the full
+/// II and `max(rec_mii, res_mii_nonmem)` is the per-iteration cycle count
+/// attributable to memory-bus contention — the hardware profiler's
+/// `BusStall` category.
+pub fn res_mii_nonmem(
+    ops: &[&Op],
+    budget: &ResourceBudget,
+    lib: &TechLibrary,
+    mem_in_bram: bool,
+) -> u32 {
+    let mut mul = 0u32;
+    let mut div = 0u32;
+    for op in ops {
+        match classify(op) {
+            FuClass::Mult => mul += 1,
+            FuClass::Div => div += lib.cycles(FuClass::Div, mem_in_bram),
+            _ => {}
+        }
+    }
+    let mut ii = 1;
+    ii = ii.max(mul.div_ceil(budget.multipliers.max(1)));
+    ii = ii.max(div);
+    ii
+}
+
 /// Area accounting for a scheduled kernel.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct AreaEstimate {

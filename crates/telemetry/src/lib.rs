@@ -41,6 +41,8 @@
 //! | `evaluate`    | partitioning + synthesis estimation for one config   |
 //! | `cosimulate`  | accelerator packaging + hybrid trap-and-swap cosim   |
 //! | `sweep`       | one whole `binpart_explore` grid sweep               |
+//! | `hw_invoke`   | one FSMD accelerator invocation (instrumented cosim; |
+//! |               | capped per kernel to bound trace size)               |
 //!
 //! **Counters** ([`Counter`]; monotonic totals, each delta also recorded
 //! as a timestamped point for Chrome counter tracks):
@@ -57,6 +59,10 @@
 //!   kernel-trap entries and store-differential mismatch events.
 //! * `sweep_points_ok`, `sweep_points_failed` — sweep progress.
 //! * `diagnostics` — per-region degradation records emitted as events.
+//! * `hw_invocations`, `hw_bus_reads`, `hw_bus_writes`,
+//!   `hw_stall_cycles`, `hw_fill_cycles` — hardware-side totals folded
+//!   out of the per-kernel `HwProfile`s after an instrumented
+//!   co-simulation (`binpart_hwsim`'s FSMD profiler).
 //!
 //! **Events** (timestamped instants with a detail string): `diagnostic`
 //! (one per `Diagnostic` in a flow report) and `sweep_done`.
@@ -213,11 +219,21 @@ pub enum Counter {
     SweepPointsFailed,
     /// Per-region degradation `Diagnostic`s emitted.
     Diagnostics,
+    /// Hardware accelerator invocations observed by the FSMD profiler.
+    HwInvocations,
+    /// FSMD bus load transactions (instrumented co-simulation).
+    HwBusReads,
+    /// FSMD bus store transactions (instrumented co-simulation).
+    HwBusWrites,
+    /// Measured cycles attributed to memory-bus II stalls.
+    HwStallCycles,
+    /// Measured cycles attributed to pipeline fill/drain.
+    HwFillCycles,
 }
 
 impl Counter {
     /// Number of counters in the taxonomy.
-    pub const COUNT: usize = 19;
+    pub const COUNT: usize = 24;
 
     /// Every counter, in taxonomy order.
     pub const ALL: [Counter; Counter::COUNT] = [
@@ -240,6 +256,11 @@ impl Counter {
         Counter::SweepPointsOk,
         Counter::SweepPointsFailed,
         Counter::Diagnostics,
+        Counter::HwInvocations,
+        Counter::HwBusReads,
+        Counter::HwBusWrites,
+        Counter::HwStallCycles,
+        Counter::HwFillCycles,
     ];
 
     /// Stable snake-case name (used in reports, Chrome tracks, JSON).
@@ -264,6 +285,11 @@ impl Counter {
             Counter::SweepPointsOk => "sweep_points_ok",
             Counter::SweepPointsFailed => "sweep_points_failed",
             Counter::Diagnostics => "diagnostics",
+            Counter::HwInvocations => "hw_invocations",
+            Counter::HwBusReads => "hw_bus_reads",
+            Counter::HwBusWrites => "hw_bus_writes",
+            Counter::HwStallCycles => "hw_stall_cycles",
+            Counter::HwFillCycles => "hw_fill_cycles",
         }
     }
 

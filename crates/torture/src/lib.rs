@@ -161,6 +161,9 @@ pub fn run_campaign(cfg: &TortureConfig) -> TortureSummary {
         // point of failure and the last few counter/event deltas — the
         // post-mortem a bare panic message cannot give.
         let rec = Recorder::new();
+        // Ditto for the hardware side: drop the previous mutant's FSMD
+        // post-mortem so a violation here reports its *own* bus history.
+        binpart_hwsim::clear_post_mortem();
         let t0 = Instant::now();
         let result =
             panic::catch_unwind(AssertUnwindSafe(|| run_pipeline(&bin, &options, &rec)));
@@ -235,8 +238,11 @@ fn run_pipeline(
 
 /// Post-mortem context from a mutant's recorder, appended to every
 /// violation line: the span stack that was open when the pipeline stopped
-/// and the most recent counter/event deltas. This runs while reporting
-/// another failure, so it must never panic itself —
+/// and the most recent counter/event deltas — plus, when the mutant
+/// reached the hybrid machine, the hardware post-mortem (current FSM
+/// state and the last few bus transactions, kept by the instrumented
+/// FSMD across aborts and unwinds). This runs while reporting another
+/// failure, so it must never panic itself —
 /// [`telemetry_emission_smoke`] checks that mechanically.
 pub fn violation_context(rec: &Recorder) -> String {
     let spans = rec.open_span_stack();
@@ -251,7 +257,10 @@ pub fn violation_context(rec: &Recorder) -> String {
     } else {
         recent.join("; ")
     };
-    format!(" | open spans: {spans} | recent: {recent}")
+    let hw = binpart_hwsim::post_mortem_context()
+        .map(|c| format!(" | hw: {c}"))
+        .unwrap_or_default();
+    format!(" | open spans: {spans} | recent: {recent}{hw}")
 }
 
 /// CI check on the reporting path itself: everything the violation
@@ -287,6 +296,12 @@ pub fn telemetry_emission_smoke() -> Result<(), String> {
         }));
         let ctx = violation_context(&rec);
         assert!(ctx.contains("decompile"), "post-panic span missing: {ctx}");
+        // The hardware post-mortem read is part of the same reporting
+        // path: reading with nothing recorded and after a clear must both
+        // be panic-free (and contribute nothing to the line).
+        binpart_hwsim::clear_post_mortem();
+        assert!(binpart_hwsim::post_mortem_context().is_none());
+        assert!(!violation_context(&rec).contains(" | hw: "));
     });
     panic::set_hook(prev_hook);
     outcome.map_err(|p| {

@@ -4,12 +4,16 @@
 //! measured vs analytically estimated numbers side by side.
 //!
 //! ```text
-//! cargo run --release --example hybrid_run [benchmark] [O0|O1|O2|O3] [--trace-out FILE]
+//! cargo run --release --example hybrid_run [benchmark] [O0|O1|O2|O3] [--trace-out FILE] [--vcd-out FILE]
 //! ```
 //!
 //! `--trace-out FILE` writes the run's telemetry as Chrome-trace JSON
 //! (per-stage spans + counter tracks); load it in `chrome://tracing` or
 //! Perfetto.
+//!
+//! `--vcd-out FILE` writes the first executed kernel's first-invocation
+//! FSMD waveform (FSM state, bus strobes, bound registers) as a VCD file
+//! viewable in GTKWave.
 
 use binpart::core::flow::FlowOptions;
 use binpart::core::stage::StagedFlow;
@@ -18,12 +22,18 @@ use binpart::telemetry::Recorder;
 
 fn main() {
     let mut trace_out: Option<String> = None;
+    let mut vcd_out: Option<String> = None;
     let mut positional = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--trace-out" {
             trace_out = Some(args.next().unwrap_or_else(|| {
                 eprintln!("hybrid_run: --trace-out needs a file path");
+                std::process::exit(2);
+            }));
+        } else if a == "--vcd-out" {
+            vcd_out = Some(args.next().unwrap_or_else(|| {
+                eprintln!("hybrid_run: --vcd-out needs a file path");
                 std::process::exit(2);
             }));
         } else {
@@ -78,6 +88,28 @@ fn main() {
         );
     }
     println!();
+    // The measured hardware side of the story: where each kernel's cycles
+    // actually went, from the FSMD profiler the instrumented flow attaches.
+    println!(
+        "{:<28} {:>12} {:>10} {:>8} {:>8} {:>8} {:>7} {:>7} {:>6}",
+        "kernel (cycle attribution)", "cycles", "steady-II", "fill", "stall", "seq", "stall%", "fill%", "cov%"
+    );
+    for k in &report.kernels {
+        let Some(p) = &k.hw_profile else { continue };
+        println!(
+            "{:<28} {:>12} {:>10} {:>8} {:>8} {:>8} {:>6.1}% {:>6.1}% {:>5.0}%",
+            k.name,
+            p.measured_cycles,
+            p.attributed.steady_ii,
+            p.attributed.fill_drain,
+            p.attributed.bus_stall,
+            p.attributed.block_seq,
+            p.bus_stall_pct(),
+            p.fill_overhead_pct(),
+            p.state_coverage() * 100.0,
+        );
+    }
+    println!();
     println!(
         "estimated (analytic): speedup {:.2}x, energy savings {:.0}%",
         report.estimated.app_speedup,
@@ -99,6 +131,23 @@ fn main() {
             "({} kernel(s) had no recoverable live-in binding and stayed in software)",
             report.unmapped_kernels
         );
+    }
+    if let Some(path) = vcd_out {
+        // First executed kernel's first-invocation waveform.
+        match report
+            .kernels
+            .iter()
+            .find_map(|k| k.hw_profile.as_ref().and_then(|p| p.vcd.clone().map(|v| (k.name.clone(), v))))
+        {
+            Some((kernel, vcd)) => {
+                std::fs::write(&path, &vcd).expect("vcd file writes");
+                println!(
+                    "wrote {kernel}'s first-invocation waveform to {path} ({} bytes) — open in GTKWave",
+                    vcd.len()
+                );
+            }
+            None => println!("no kernel executed in hardware; nothing to write to {path}"),
+        }
     }
     if let Some(path) = trace_out {
         let trace = recorder.chrome_trace().expect("span stream balances");

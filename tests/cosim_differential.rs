@@ -125,6 +125,87 @@ fn hybrid_exit_is_bit_identical_with_superblocks_enabled() {
 }
 
 #[test]
+fn instrumented_cosim_conserves_attribution_and_stays_bit_identical_suite_wide() {
+    // The hardware-observability contract over the entire 20x4 matrix:
+    // under an instrumented flow every executed kernel carries an FSMD
+    // profile whose cycle attribution (steady-state II + fill/drain +
+    // bus-stall + sequential) and per-state occupancy each sum to the
+    // measured kernel cycles *exactly* — the probes charge every cycle
+    // the executor counts, once. And instrumentation must be pure
+    // observation: the hybrid exit stays bit-identical to software, the
+    // store oracle still sees zero divergences, and the measured cycle
+    // and invocation totals match the uninstrumented flow.
+    let rec = binpart::telemetry::Recorder::new();
+    let mut profiles_checked = 0usize;
+    for b in suite() {
+        for level in OptLevel::ALL {
+            let tag = format!("{} {level}", b.name);
+            let binary = b.compile(level).unwrap();
+            let instrumented = StagedFlow::with_telemetry(&binary, &rec)
+                .cosimulate(&options())
+                .unwrap_or_else(|e| panic!("{tag}: instrumented cosimulation failed: {e}"));
+            assert!(
+                instrumented.exit_bit_identical,
+                "{tag}: instrumented hybrid exit diverged from pure software"
+            );
+            assert_eq!(
+                instrumented.store_mismatches(),
+                0,
+                "{tag}: instrumented hardware store sequence diverged"
+            );
+            let plain = StagedFlow::new(&binary).cosimulate(&options()).unwrap();
+            assert_eq!(
+                instrumented.hw_invocations(),
+                plain.hw_invocations(),
+                "{tag}: instrumentation changed the invocation count"
+            );
+            for (ki, k) in instrumented.kernels.iter().enumerate() {
+                assert_eq!(
+                    k.hw_cycles_measured, plain.kernels[ki].hw_cycles_measured,
+                    "{tag}: instrumentation changed {}'s measured cycles",
+                    k.name
+                );
+                let Some(p) = &k.hw_profile else {
+                    assert_eq!(
+                        k.hw_invocations, 0,
+                        "{tag}: executed kernel {} has no hardware profile",
+                        k.name
+                    );
+                    continue;
+                };
+                profiles_checked += 1;
+                assert_eq!(
+                    p.attributed.total(),
+                    k.hw_cycles_measured,
+                    "{tag}: {}: attributed cycles != measured cycles",
+                    k.name
+                );
+                assert_eq!(
+                    p.measured_cycles, k.hw_cycles_measured,
+                    "{tag}: {}: profile cycle total != kernel measurement",
+                    k.name
+                );
+                assert_eq!(
+                    p.state_cycles.iter().map(|&(_, c)| c).sum::<u64>(),
+                    k.hw_cycles_measured,
+                    "{tag}: {}: per-state occupancy != measured cycles",
+                    k.name
+                );
+                assert_eq!(
+                    p.committed, k.hw_invocations,
+                    "{tag}: {}: committed invocations != kernel invocations",
+                    k.name
+                );
+            }
+        }
+    }
+    assert!(
+        profiles_checked >= 60,
+        "only {profiles_checked} kernel profiles seen across the matrix"
+    );
+}
+
+#[test]
 fn measured_estimate_error_is_bounded_on_the_smoke_subset() {
     // The four-benchmark smoke subset: the analytic model and the executed
     // FSMD share schedules and IIs, so the per-kernel error isolates the
